@@ -1,0 +1,275 @@
+//! DeFiRanger-style detection (Wu et al., compared in paper Table IV).
+//!
+//! DeFiRanger lifts raw **account-level** transfers into DeFi actions and
+//! matches two-trade price-manipulation patterns. Two structural
+//! weaknesses, both named by the LeiShen paper, are reproduced here:
+//!
+//! 1. **No application-level conversion** — counterparties are raw
+//!    addresses. A trade whose legs pass through an intermediary (router,
+//!    margin desk) never forms, because the in/out transfers do not share
+//!    one counterparty address pair.
+//! 2. **Two-trade patterns only** — one buy and one later sell of the same
+//!    token by the same account at a higher price. Batched buying (bZx-2's
+//!    18 buys, KRP generally) is not modeled as a series; it is only
+//!    caught if a *single* buy/sell pair happens to satisfy the pump/dump
+//!    relation, and symmetric/multi-round structure is ignored.
+
+use ethsim::{Address, TxRecord};
+use leishen::flashloan::identify_flash_loans;
+use leishen::tagging::{Tag, TaggedTransfer};
+use leishen::trades::{identify_trades, Trade};
+
+/// Minimum relative price gain between buy and sell for DeFiRanger to call
+/// a pump/dump (prunes fee-level arbitrage noise; vault attacks like
+/// Harvest gain ~0.5% per round and must stay detectable).
+const MIN_GAIN: f64 = 0.001;
+
+/// The DeFiRanger baseline detector.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct DefiRanger;
+
+/// A DeFiRanger detection: the pumped token and the two trades.
+#[derive(Clone, Debug, PartialEq)]
+pub struct RangerFinding {
+    /// Account that bought low and sold high.
+    pub actor: Address,
+    /// Token bought low / sold high.
+    pub token: ethsim::TokenId,
+    /// Buy price (quote per target).
+    pub buy_rate: f64,
+    /// Sell price.
+    pub sell_rate: f64,
+}
+
+impl DefiRanger {
+    /// Creates the detector.
+    pub fn new() -> Self {
+        DefiRanger
+    }
+
+    /// Lifts account-level transfers to trades *without tagging*: every
+    /// address stands for itself.
+    pub fn account_level_trades(tx: &TxRecord) -> Vec<Trade> {
+        let tagged: Vec<TaggedTransfer> = tx
+            .trace
+            .transfers
+            .iter()
+            .map(|t| TaggedTransfer {
+                seq: t.seq,
+                sender: addr_tag(t.sender),
+                receiver: addr_tag(t.receiver),
+                amount: t.amount,
+                token: t.token,
+            })
+            .collect();
+        identify_trades(&tagged)
+    }
+
+    /// Runs detection on one transaction. Only flash-loan transactions are
+    /// considered (DeFiRanger targets price manipulation broadly, but the
+    /// comparison corpus is flash-loan transactions).
+    pub fn detect(&self, tx: &TxRecord) -> Vec<RangerFinding> {
+        if !tx.status.is_success() {
+            return Vec::new();
+        }
+        let loans = identify_flash_loans(tx);
+        if loans.is_empty() {
+            return Vec::new();
+        }
+        // The flash-borrowed assets are the *quote* side of a pump/dump;
+        // price-manipulation findings target some other token.
+        let borrowed: Vec<_> = loans.iter().filter_map(|l| l.token).collect();
+        let trades = Self::account_level_trades(tx);
+        let mut findings = Vec::new();
+        // Two-trade pattern: some account buys X then later sells X at a
+        // higher price (same quote token).
+        let legs: Vec<_> = trades.iter().flat_map(Trade::views).collect();
+        for buy in &legs {
+            if borrowed.contains(&buy.buy_token) {
+                continue;
+            }
+            let Some(buy_rate) = buy.buy_rate() else { continue };
+            let Tag::Root(actor) = buy.buyer else { continue };
+            for sell in &legs {
+                if sell.seq <= buy.seq
+                    || sell.buyer != buy.buyer
+                    || sell.sell_token != buy.buy_token
+                    || sell.buy_token != buy.sell_token
+                {
+                    continue;
+                }
+                let Some(sell_rate) = sell.sell_rate() else { continue };
+                if sell_rate > buy_rate * (1.0 + MIN_GAIN) {
+                    let finding = RangerFinding {
+                        actor: *actor,
+                        token: buy.buy_token,
+                        buy_rate,
+                        sell_rate,
+                    };
+                    if !findings.contains(&finding) {
+                        findings.push(finding);
+                    }
+                }
+            }
+        }
+        findings
+    }
+
+    /// Convenience: does DeFiRanger flag this transaction at all?
+    pub fn is_attack(&self, tx: &TxRecord) -> bool {
+        !self.detect(tx).is_empty()
+    }
+}
+
+fn addr_tag(a: Address) -> Tag {
+    if a.is_zero() {
+        Tag::BlackHole
+    } else {
+        Tag::Root(a)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ethsim::{Chain, ChainConfig, TokenId};
+
+    /// Builds a tx with a Uniswap-style flash loan plus a body.
+    fn flash_tx(
+        body: impl FnOnce(&mut ethsim::TxContext<'_>, Address, Address) -> ethsim::Result<()>,
+    ) -> TxRecord {
+        let mut chain = Chain::new(ChainConfig::default());
+        let attacker = chain.create_eoa("attacker");
+        let lender = chain.create_eoa("lender-pair");
+        chain.state_mut().credit_eth(lender, 1_000_000).unwrap();
+        chain.state_mut().credit_eth(attacker, 10_000).unwrap();
+        let tx = chain
+            .execute(attacker, lender, "attack", |ctx| {
+                ctx.call(attacker, lender, "swap", 0, |ctx| {
+                    ctx.transfer_eth(lender, attacker, 100_000)?;
+                    ctx.call(lender, attacker, "uniswapV2Call", 0, |ctx| {
+                        body(ctx, attacker, lender)
+                    })?;
+                    ctx.transfer_eth(attacker, lender, 100_301)?;
+                    Ok(())
+                })
+            })
+            .unwrap();
+        chain.replay(tx).unwrap().clone()
+    }
+
+    #[test]
+    fn direct_pump_dump_is_detected() {
+        let mut chain = Chain::new(ChainConfig::default());
+        let deployer = chain.create_eoa("d");
+        let mut tokx = None;
+        chain
+            .execute(deployer, deployer, "t", |ctx| {
+                let c = ctx.create_contract(deployer)?;
+                tokx = Some(ctx.register_token("X", 18, c));
+                Ok(())
+            })
+            .unwrap();
+        let x = tokx.unwrap();
+        let victim = chain.create_eoa("victim");
+        chain.state_mut().credit_eth(victim, 10_000_000).unwrap();
+        let attacker = chain.create_eoa("attacker");
+        let lender = chain.create_eoa("lender");
+        chain.state_mut().credit_eth(lender, 1_000_000).unwrap();
+        chain.state_mut().credit_eth(attacker, 10_000).unwrap();
+        chain
+            .execute(deployer, deployer, "fund", |ctx| {
+                ctx.mint_token(x, victim, 1_000_000)?;
+                Ok(())
+            })
+            .unwrap();
+        let tx = chain
+            .execute(attacker, lender, "attack", |ctx| {
+                ctx.call(attacker, lender, "swap", 0, |ctx| {
+                    ctx.transfer_eth(lender, attacker, 100_000)?;
+                    ctx.call(lender, attacker, "uniswapV2Call", 0, |ctx| {
+                        // buy 100 X for 1000 ETH (rate 10), sell for 2000 (rate 20)
+                        ctx.transfer_eth(attacker, victim, 1_000)?;
+                        ctx.transfer_token(x, victim, attacker, 100)?;
+                        ctx.transfer_token(x, attacker, victim, 100)?;
+                        ctx.transfer_eth(victim, attacker, 2_000)?;
+                        Ok(())
+                    })?;
+                    ctx.transfer_eth(attacker, lender, 100_301)?;
+                    Ok(())
+                })
+            })
+            .unwrap();
+        let rec = chain.replay(tx).unwrap().clone();
+        let findings = DefiRanger::new().detect(&rec);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].token, x);
+        assert!(findings[0].sell_rate > findings[0].buy_rate);
+    }
+
+    #[test]
+    fn intermediary_hop_breaks_detection() {
+        // Same economics, but the sell leg goes through a router address:
+        // attacker -> router -> victim. Account-level windows never pair
+        // the attacker's X-out with the victim's ETH-in.
+        let rec = flash_tx(|ctx, attacker, _lender| {
+            let deployer = attacker; // reuse as token authority
+            let c = ctx.create_contract(deployer)?;
+            let x = ctx.register_token("X", 18, c);
+            let victim = Address::from_seed("victim2");
+            ctx.state(); // no-op read
+            ctx.mint_token(x, victim, 1_000_000)?;
+            // fund victim with ETH for the payout
+            // (mint via credit is unavailable inside tx; use lender's ETH)
+            ctx.transfer_eth(attacker, victim, 5_000)?;
+            let router = Address::from_seed("router");
+            // buy direct (adjacent pair)
+            ctx.transfer_eth(attacker, victim, 1_000)?;
+            ctx.transfer_token(x, victim, attacker, 100)?;
+            // sell through the router: X goes attacker->router->victim,
+            // ETH comes victim->router->attacker.
+            ctx.transfer_token(x, attacker, router, 100)?;
+            ctx.transfer_token(x, router, victim, 100)?;
+            ctx.transfer_eth(victim, router, 2_000)?;
+            ctx.transfer_eth(router, attacker, 1_999)?;
+            Ok(())
+        });
+        assert!(rec.status.is_success(), "{:?}", rec.status);
+        assert!(
+            DefiRanger::new().detect(&rec).is_empty(),
+            "router hop must hide the sell from account-level analysis"
+        );
+    }
+
+    #[test]
+    fn non_flash_loan_is_ignored() {
+        let mut chain = Chain::new(ChainConfig::default());
+        let a = chain.create_eoa("a");
+        chain.state_mut().credit_eth(a, 100).unwrap();
+        let b = chain.create_eoa("b");
+        let tx = chain
+            .execute(a, b, "send", |ctx| ctx.transfer_eth(a, b, 10))
+            .unwrap();
+        let rec = chain.replay(tx).unwrap().clone();
+        assert!(!DefiRanger::new().is_attack(&rec));
+        let _ = TokenId::ETH;
+    }
+
+    #[test]
+    fn unprofitable_round_trip_is_not_flagged() {
+        let rec = flash_tx(|ctx, attacker, _| {
+            let c = ctx.create_contract(attacker)?;
+            let x = ctx.register_token("X", 18, c);
+            let victim = Address::from_seed("victim3");
+            ctx.mint_token(x, victim, 1_000)?;
+            ctx.transfer_eth(attacker, victim, 2_000)?;
+            // buy at 20, sell at 19 — a loss
+            ctx.transfer_eth(attacker, victim, 2_000)?;
+            ctx.transfer_token(x, victim, attacker, 100)?;
+            ctx.transfer_token(x, attacker, victim, 100)?;
+            ctx.transfer_eth(victim, attacker, 1_900)?;
+            Ok(())
+        });
+        assert!(!DefiRanger::new().is_attack(&rec));
+    }
+}

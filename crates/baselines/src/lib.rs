@@ -1,0 +1,35 @@
+//! # leishen-baselines — the detectors LeiShen is compared against
+//!
+//! The paper's Table IV evaluates three detectors on the 22 known
+//! flpAttacks; this crate implements the two competitors (LeiShen itself
+//! lives in the `leishen` crate), plus the price-volatility monitor of Xue
+//! et al. discussed in §I/§VIII:
+//!
+//! * [`defiranger`] — DeFiRanger (Wu et al.): detects price manipulation
+//!   from **account-level** transfers with **two-trade** pump/dump
+//!   patterns. It performs no application-level conversion, so any
+//!   intermediary (a router hop, a desk-financed trade) breaks transfer
+//!   adjacency and hides the trade — the failure mode the paper calls out
+//!   ("it cannot detect some key trade actions, e.g. the trade between bZx
+//!   and Uniswap"), and it cannot relate different accounts of the same
+//!   application.
+//! * [`explorer`] — Explorer+LeiShen: extracts trades **from event logs
+//!   only** (Etherscan/BscScan "transaction action" style) and feeds them
+//!   to LeiShen's pattern matchers. Protocols that do not emit trade
+//!   events are invisible, which is why this combination found only 4 of
+//!   22 known attacks.
+//! * [`volatility`] — a Xue-et-al.-style monitor that flags a flash-loan
+//!   transaction when some pair's intra-transaction price volatility
+//!   exceeds a threshold; it structurally misses low-volatility attacks
+//!   like Harvest Finance (0.5%).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod defiranger;
+pub mod explorer;
+pub mod volatility;
+
+pub use defiranger::DefiRanger;
+pub use explorer::ExplorerLeiShen;
+pub use volatility::VolatilityMonitor;

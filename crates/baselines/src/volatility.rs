@@ -1,0 +1,146 @@
+//! Price-volatility threshold monitoring (Xue et al., paper §I/§VIII).
+//!
+//! "Xue et al. utilized price inquiry methods provided by DeFi applications
+//! to monitor the price volatility caused by a transaction. If the price
+//! volatility exceeds a pre-defined threshold, e.g., 99%, they consider it
+//! a flpAttack. … it cannot detect flpAttacks with slight price movements."
+//! Harvest Finance moved prices by 0.5% — far below any usable threshold —
+//! which LeiShen's pattern-based approach catches and this baseline cannot.
+
+use ethsim::TxRecord;
+use leishen::analytics::pair_volatility;
+use leishen::flashloan::identify_flash_loans;
+use leishen::tagging::{Tag, TaggedTransfer};
+use leishen::trades::identify_trades;
+
+/// The volatility-threshold baseline.
+#[derive(Clone, Copy, Debug)]
+pub struct VolatilityMonitor {
+    /// Flag a transaction when some pair's volatility exceeds this
+    /// fraction (0.99 = the paper's quoted 99% example).
+    pub threshold: f64,
+}
+
+impl Default for VolatilityMonitor {
+    fn default() -> Self {
+        VolatilityMonitor { threshold: 0.99 }
+    }
+}
+
+impl VolatilityMonitor {
+    /// Creates a monitor with a custom threshold.
+    pub fn new(threshold: f64) -> Self {
+        VolatilityMonitor { threshold }
+    }
+
+    /// Maximum per-pair volatility caused by the transaction (fraction).
+    pub fn max_volatility(&self, tx: &TxRecord) -> f64 {
+        // Price inquiry ≈ observing every executed trade's rate; we reuse
+        // the account-level trade lifting for the rate samples.
+        let tagged: Vec<TaggedTransfer> = tx
+            .trace
+            .transfers
+            .iter()
+            .map(|t| TaggedTransfer {
+                seq: t.seq,
+                sender: if t.sender.is_zero() {
+                    Tag::BlackHole
+                } else {
+                    Tag::Root(t.sender)
+                },
+                receiver: if t.receiver.is_zero() {
+                    Tag::BlackHole
+                } else {
+                    Tag::Root(t.receiver)
+                },
+                amount: t.amount,
+                token: t.token,
+            })
+            .collect();
+        let trades = identify_trades(&tagged);
+        pair_volatility(&trades)
+            .first()
+            .map(|v| v.volatility())
+            .unwrap_or(0.0)
+    }
+
+    /// Whether the monitor flags the transaction.
+    pub fn is_attack(&self, tx: &TxRecord) -> bool {
+        if !tx.status.is_success() || identify_flash_loans(tx).is_empty() {
+            return false;
+        }
+        self.max_volatility(tx) >= self.threshold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ethsim::{Address, Chain, ChainConfig, TokenId};
+
+    fn tx_with_rates(rates: &[(u128, u128)]) -> TxRecord {
+        // Each (eth_in, x_out) pair is one buy of X inside a flash loan.
+        let mut chain = Chain::new(ChainConfig::default());
+        let attacker = chain.create_eoa("attacker");
+        let lender = chain.create_eoa("lender");
+        let victim = Address::from_seed("victim");
+        chain.state_mut().credit_eth(lender, 10_000_000).unwrap();
+        chain.state_mut().credit_eth(attacker, 1_000_000).unwrap();
+        let mut x = None;
+        chain
+            .execute(attacker, attacker, "prep", |ctx| {
+                let c = ctx.create_contract(attacker)?;
+                let t = ctx.register_token("X", 18, c);
+                ctx.mint_token(t, victim, 10_000_000)?;
+                x = Some(t);
+                Ok(())
+            })
+            .unwrap();
+        let x = x.unwrap();
+        let rates = rates.to_vec();
+        let tx = chain
+            .execute(attacker, lender, "attack", |ctx| {
+                ctx.call(attacker, lender, "swap", 0, |ctx| {
+                    ctx.transfer_eth(lender, attacker, 1_000_000)?;
+                    ctx.call(lender, attacker, "uniswapV2Call", 0, |ctx| {
+                        for (eth_in, x_out) in rates {
+                            ctx.transfer_eth(attacker, victim, eth_in)?;
+                            ctx.transfer_token(x, victim, attacker, x_out)?;
+                        }
+                        Ok(())
+                    })?;
+                    ctx.transfer_eth(attacker, lender, 1_000_000)?;
+                    Ok(())
+                })
+            })
+            .unwrap();
+        let _ = TokenId::ETH;
+        chain.replay(tx).unwrap().clone()
+    }
+
+    #[test]
+    fn large_volatility_is_flagged() {
+        // rate moves 10 -> 25: volatility 150%
+        let rec = tx_with_rates(&[(1_000, 100), (2_500, 100)]);
+        let monitor = VolatilityMonitor::default();
+        assert!(monitor.max_volatility(&rec) > 1.0);
+        assert!(monitor.is_attack(&rec));
+    }
+
+    #[test]
+    fn harvest_scale_volatility_is_missed() {
+        // rate moves 0.5%: below any workable threshold
+        let rec = tx_with_rates(&[(10_000, 1_000), (10_050, 1_000)]);
+        let monitor = VolatilityMonitor::default();
+        let v = monitor.max_volatility(&rec);
+        assert!(v > 0.004 && v < 0.006, "{v}");
+        assert!(!monitor.is_attack(&rec));
+    }
+
+    #[test]
+    fn custom_threshold() {
+        let rec = tx_with_rates(&[(1_000, 100), (1_200, 100)]);
+        assert!(!VolatilityMonitor::default().is_attack(&rec));
+        assert!(VolatilityMonitor::new(0.1).is_attack(&rec));
+    }
+}

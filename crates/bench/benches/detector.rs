@@ -1,0 +1,69 @@
+//! Criterion: per-stage detector latency on the heaviest known attacks
+//! (paper §VI-A: 10 ms mean / 16 ms p75 per transaction).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use leishen::simplify::simplify;
+use leishen::tagging::tag_transfers;
+use leishen::trades::identify_trades;
+use leishen::{patterns, DetectorConfig, LeiShen};
+use leishen_bench::known_attack_world;
+
+fn bench_detector(c: &mut Criterion) {
+    let (world, attacks) = known_attack_world();
+    let labels = world.detector_labels();
+    let view = world.view(&labels);
+    let detector = LeiShen::new(DetectorConfig::paper());
+    let config = DetectorConfig::paper();
+
+    // bZx-1 (protocol-backed, routed) and Harvest (longest trace).
+    for (name, idx) in [("bzx1", 0usize), ("harvest", 4)] {
+        let record = world.chain.replay(attacks[idx].tx).expect("recorded").clone();
+
+        c.bench_function(&format!("{name}/full_pipeline"), |b| {
+            b.iter(|| std::hint::black_box(detector.analyze(&record, &view)))
+        });
+
+        c.bench_function(&format!("{name}/identify_flash_loans"), |b| {
+            b.iter(|| std::hint::black_box(leishen::identify_flash_loans(&record)))
+        });
+
+        let tagged = tag_transfers(&record.trace.transfers, view.labels(), view.creations());
+        c.bench_function(&format!("{name}/tagging"), |b| {
+            b.iter(|| {
+                std::hint::black_box(tag_transfers(
+                    &record.trace.transfers,
+                    view.labels(),
+                    view.creations(),
+                ))
+            })
+        });
+
+        let app = simplify(&tagged, view.weth(), &config);
+        c.bench_function(&format!("{name}/simplify"), |b| {
+            b.iter(|| std::hint::black_box(simplify(&tagged, view.weth(), &config)))
+        });
+
+        let trades = identify_trades(&app);
+        c.bench_function(&format!("{name}/identify_trades"), |b| {
+            b.iter(|| std::hint::black_box(identify_trades(&app)))
+        });
+
+        let borrower =
+            leishen::tagging::tag_of(attacks[idx].contract, view.labels(), view.creations());
+        c.bench_function(&format!("{name}/pattern_matching"), |b| {
+            b.iter(|| std::hint::black_box(patterns::match_all(&trades, &borrower, &config)))
+        });
+    }
+}
+
+criterion_group! {
+    name = benches;
+    // CI-friendly settings: the distributions here are tight, so
+    // short measurement windows give stable numbers.
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_detector
+}
+criterion_main!(benches);

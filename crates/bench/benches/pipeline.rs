@@ -1,0 +1,59 @@
+//! Criterion: sustained wild-scan throughput — the whole pipeline over a
+//! mixed corpus slice, the workload behind the paper's 272,984-transaction
+//! scan.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion, Throughput};
+use leishen::{DetectorConfig, LeiShen};
+use leishen_bench::wild_world;
+
+fn bench_pipeline(c: &mut Criterion) {
+    let (world, corpus) = wild_world(7, 0.0005);
+    let labels = world.detector_labels();
+    let view = world.view(&labels);
+    let detector = LeiShen::new(DetectorConfig::paper());
+    let records: Vec<_> = corpus
+        .iter()
+        .map(|t| world.chain.replay(t.tx).expect("recorded").clone())
+        .collect();
+
+    let mut group = c.benchmark_group("wild_scan");
+    group.throughput(Throughput::Elements(records.len() as u64));
+    group.bench_function("corpus_sweep", |b| {
+        b.iter(|| {
+            let mut attacks = 0usize;
+            for record in &records {
+                if detector.analyze(record, &view).is_attack() {
+                    attacks += 1;
+                }
+            }
+            std::hint::black_box(attacks)
+        })
+    });
+    group.finish();
+
+    // Per-transaction figure comparable to the paper's 10 ms budget.
+    let heaviest = records
+        .iter()
+        .max_by_key(|r| r.trace.transfers.len())
+        .expect("non-empty corpus")
+        .clone();
+    c.bench_function("heaviest_tx", |b| {
+        b.iter_batched(
+            || heaviest.clone(),
+            |record| std::hint::black_box(detector.analyze(&record, &view)),
+            BatchSize::SmallInput,
+        )
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // CI-friendly settings: the distributions here are tight, so
+    // short measurement windows give stable numbers.
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_pipeline
+}
+criterion_main!(benches);

@@ -1,0 +1,106 @@
+//! Criterion: substrate micro-benchmarks — AMM swap execution, journal
+//! snapshot/revert, 256-bit amount math. These bound the cost of the
+//! replay side of the pipeline (the paper's modified-Geth stage).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use defi::{LabelService, UniswapV2Factory, UniswapV2Pair};
+use ethsim::{math, Address, Chain, ChainConfig, TokenId};
+
+fn setup_pair() -> (Chain, UniswapV2Pair, Address) {
+    let mut chain = Chain::new(ChainConfig::default());
+    let mut labels = LabelService::new();
+    let deployer = chain.create_eoa("deployer");
+    let trader = chain.create_eoa("trader");
+    let factory = UniswapV2Factory::deploy_canonical(&mut chain, &mut labels, deployer).unwrap();
+    let mut usdc = None;
+    chain
+        .execute(deployer, deployer, "t", |ctx| {
+            let c = ctx.create_contract(deployer)?;
+            usdc = Some(ctx.register_token("USDC", 6, c));
+            Ok(())
+        })
+        .unwrap();
+    let usdc = usdc.unwrap();
+    let pair = UniswapV2Pair::deploy(&mut chain, &factory, TokenId::ETH, usdc, "UNI").unwrap();
+    let e18 = 10u128.pow(18);
+    chain.state_mut().credit_eth(deployer, 1_000_000 * e18).unwrap();
+    chain.state_mut().credit_eth(trader, 100_000 * e18).unwrap();
+    chain
+        .execute(deployer, pair.address, "seed", |ctx| {
+            ctx.mint_token(usdc, deployer, 400_000_000 * 1_000_000)?;
+            pair.add_liquidity(ctx, deployer, 100_000 * e18, 200_000_000 * 1_000_000)?;
+            Ok(())
+        })
+        .unwrap();
+    (chain, pair, trader)
+}
+
+fn bench_substrate(c: &mut Criterion) {
+    c.bench_function("math/mul_div_256bit", |b| {
+        let x = 10u128.pow(30) + 12345;
+        let y = 10u128.pow(28) + 67;
+        let d = 10u128.pow(22) + 9;
+        b.iter(|| math::mul_div(std::hint::black_box(x), y, d).unwrap())
+    });
+
+    c.bench_function("math/sqrt_mul", |b| {
+        let x = 10u128.pow(22) + 1;
+        let y = 10u128.pow(13) + 7;
+        b.iter(|| math::sqrt_mul(std::hint::black_box(x), y))
+    });
+
+    c.bench_function("amm/swap_tx", |b| {
+        let (mut chain, pair, trader) = setup_pair();
+        let e18 = 10u128.pow(18);
+        b.iter(|| {
+            chain
+                .execute(trader, pair.address, "swap", |ctx| {
+                    pair.swap_exact_in(ctx, trader, TokenId::ETH, e18 / 1000, 0)?;
+                    Ok(())
+                })
+                .unwrap()
+        })
+    });
+
+    c.bench_function("state/snapshot_revert_100_writes", |b| {
+        let mut chain = Chain::new(ChainConfig::default());
+        let a = chain.create_eoa("a");
+        chain.state_mut().credit_eth(a, u128::MAX / 2).unwrap();
+        chain.state_mut().commit();
+        b.iter(|| {
+            let state = chain.state_mut();
+            let snap = state.snapshot();
+            for i in 0..100u64 {
+                state.set_storage(a, ethsim::SKey::Field(i as u16), i as u128);
+            }
+            state.revert_to(snap);
+        })
+    });
+
+    c.bench_function("replay/flash_loan_tx_execution", |b| {
+        let (mut chain, pair, trader) = setup_pair();
+        let e18 = 10u128.pow(18);
+        let fee = math::mul_div_ceil(100 * e18, 3, 997).unwrap();
+        b.iter(|| {
+            chain
+                .execute(trader, pair.address, "flash", |ctx| {
+                    pair.flash_swap(ctx, trader, TokenId::ETH, 100 * e18, |ctx| {
+                        ctx.transfer_eth(trader, pair.address, 100 * e18 + fee)
+                    })
+                })
+                .unwrap()
+        })
+    });
+}
+
+criterion_group! {
+    name = benches;
+    // CI-friendly settings: the distributions here are tight, so
+    // short measurement windows give stable numbers.
+    config = Criterion::default()
+        .sample_size(20)
+        .warm_up_time(std::time::Duration::from_millis(500))
+        .measurement_time(std::time::Duration::from_secs(2));
+    targets = bench_substrate
+}
+criterion_main!(benches);

@@ -1,0 +1,143 @@
+//! The whole reproduction on one screen: runs the known-attack study and
+//! the wild scan, and prints every headline number next to the paper's.
+//!
+//! ```sh
+//! cargo run -p leishen-bench --release --bin scorecard
+//! ```
+
+use std::collections::HashMap;
+
+use leishen::heuristics::initiated_by_aggregator;
+use leishen::patterns::PatternKind;
+use leishen::{DetectorConfig, LeiShen};
+use leishen_baselines::{DefiRanger, ExplorerLeiShen};
+use leishen_bench::{cli_f64, cli_u64, known_attack_world, measure_latencies, percentile, print_table, wild_world};
+use leishen_scenarios::generator::AGGREGATOR_APPS;
+
+fn main() {
+    let seed = cli_u64("--seed", 42);
+    let scale = cli_f64("--scale", 0.002);
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    let mut row = |metric: &str, paper: &str, measured: String| {
+        let ok = paper == measured;
+        rows.push(vec![
+            metric.to_string(),
+            paper.to_string(),
+            measured,
+            if ok { "exact".into() } else { "~".into() },
+        ]);
+    };
+
+    // ---- known attacks (Tables I & IV) ----
+    eprintln!("running the 22 known attacks...");
+    let (world, attacks) = known_attack_world();
+    let labels = world.detector_labels();
+    let view = world.view(&labels);
+    let detector = LeiShen::new(DetectorConfig::paper());
+    let ranger = DefiRanger::new();
+    let explorer = ExplorerLeiShen::new(DetectorConfig::paper());
+    let (mut ls, mut dr, mut ex, mut patterns_ok) = (0, 0, 0, 0);
+    for attack in &attacks {
+        let record = world.chain.replay(attack.tx).expect("recorded");
+        let analysis = detector.analyze(record, &view);
+        ls += analysis.is_attack() as usize;
+        dr += ranger.is_attack(record) as usize;
+        ex += explorer.is_attack(record) as usize;
+        let ok = attack
+            .spec
+            .patterns
+            .iter()
+            .all(|k| analysis.matches.iter().any(|m| m.kind == *k))
+            || !attack.spec.expect_leishen;
+        patterns_ok += ok as usize;
+    }
+    row("Table I pattern assignments (of 22)", "22", patterns_ok.to_string());
+    row("Table IV LeiShen detections", "15", ls.to_string());
+    row("Table IV DeFiRanger detections", "9", dr.to_string());
+    row("Table IV Explorer+LeiShen detections", "4", ex.to_string());
+
+    // ---- wild scan (Table V, §VI-C, Fig. 8) ----
+    eprintln!("running the wild scan (seed={seed}, scale={scale})...");
+    let (world, corpus) = wild_world(seed, scale);
+    let labels = world.detector_labels();
+    let view = world.view(&labels);
+    let mut per: HashMap<PatternKind, (usize, usize)> = HashMap::new();
+    let (mut detected, mut tp) = (0usize, 0usize);
+    let (mut mbs_tp_h, mut mbs_fp_h) = (0usize, 0usize);
+    for gtx in &corpus {
+        let record = world.chain.replay(gtx.tx).expect("recorded");
+        let analysis = detector.analyze(record, &view);
+        if !analysis.is_attack() {
+            continue;
+        }
+        detected += 1;
+        tp += gtx.class.is_attack() as usize;
+        let mut kinds: Vec<PatternKind> = analysis.matches.iter().map(|m| m.kind).collect();
+        kinds.sort();
+        kinds.dedup();
+        let dropped = initiated_by_aggregator(
+            record.from,
+            AGGREGATOR_APPS,
+            view.labels(),
+            view.creations(),
+        );
+        for kind in kinds {
+            let slot = per.entry(kind).or_insert((0, 0));
+            let is_tp = gtx.class.pattern_is_true(kind);
+            if is_tp {
+                slot.0 += 1;
+            } else {
+                slot.1 += 1;
+            }
+            if kind == PatternKind::Mbs && !dropped {
+                if is_tp {
+                    mbs_tp_h += 1;
+                } else {
+                    mbs_fp_h += 1;
+                }
+            }
+        }
+    }
+    let fmt_pattern = |k: PatternKind| {
+        let (t, f) = per.get(&k).copied().unwrap_or((0, 0));
+        format!("{}/{}/{}", t + f, t, f)
+    };
+    row("Table V total detected", "180", detected.to_string());
+    row("Table V true attacks", "142", tp.to_string());
+    row(
+        "Table V overall precision",
+        "78.9%",
+        format!("{:.1}%", 100.0 * tp as f64 / detected.max(1) as f64),
+    );
+    row("Table V KRP N/TP/FP", "21/21/0", fmt_pattern(PatternKind::Krp));
+    row("Table V SBS N/TP/FP", "79/68/11", fmt_pattern(PatternKind::Sbs));
+    row("Table V MBS N/TP/FP", "107/60/47", fmt_pattern(PatternKind::Mbs));
+    row(
+        "§VI-C MBS precision w/ heuristic",
+        "80.0%",
+        format!(
+            "{:.1}%",
+            100.0 * mbs_tp_h as f64 / (mbs_tp_h + mbs_fp_h).max(1) as f64
+        ),
+    );
+
+    let unknown_total = corpus
+        .iter()
+        .filter(|t| t.class.is_attack() && !t.known)
+        .count();
+    row("Fig. 8 unknown attacks", "109", unknown_total.to_string());
+
+    // ---- latency (§VI-A) ----
+    let mut lat = measure_latencies(&world, corpus.iter().map(|t| t.tx), DetectorConfig::paper());
+    let p75_ms = percentile(&mut lat, 75.0) / 1000.0;
+    rows.push(vec![
+        "§VI-A p75 detection latency".into(),
+        "≤ 16 ms".into(),
+        format!("{p75_ms:.2} ms"),
+        if p75_ms <= 16.0 { "within".into() } else { "OVER".into() },
+    ]);
+
+    println!("\nLeiShen reproduction scorecard\n");
+    print_table(&["metric", "paper", "measured", ""], &rows);
+    println!("\nsee EXPERIMENTS.md for per-table detail and caveats.");
+}

@@ -1,0 +1,50 @@
+//! Regenerates **Table IV**: detection of the 22 known attacks by
+//! DeFiRanger, Explorer+LeiShen, and LeiShen.
+//!
+//! ```sh
+//! cargo run -p leishen-bench --bin table4
+//! ```
+
+use leishen::{DetectorConfig, LeiShen};
+use leishen_baselines::{DefiRanger, ExplorerLeiShen};
+use leishen_bench::{known_attack_world, print_table};
+
+fn main() {
+    let (world, attacks) = known_attack_world();
+    let labels = world.detector_labels();
+    let view = world.view(&labels);
+    let leishen = LeiShen::new(DetectorConfig::paper());
+    let ranger = DefiRanger::new();
+    let explorer = ExplorerLeiShen::new(DetectorConfig::paper());
+
+    let mark = |b: bool| if b { "Y".to_string() } else { String::new() };
+    let mut rows = Vec::new();
+    let (mut dr_n, mut ex_n, mut ls_n) = (0, 0, 0);
+    for attack in &attacks {
+        let record = world.chain.replay(attack.tx).expect("recorded");
+        let dr = ranger.is_attack(record);
+        let ex = explorer.is_attack(record);
+        let ls = leishen.analyze(record, &view).is_attack();
+        dr_n += dr as usize;
+        ex_n += ex as usize;
+        ls_n += ls as usize;
+        let agree = dr == attack.spec.expect_defiranger
+            && ex == attack.spec.expect_explorer
+            && ls == attack.spec.expect_leishen;
+        rows.push(vec![
+            attack.spec.id.to_string(),
+            attack.spec.name.to_string(),
+            mark(dr),
+            mark(ex),
+            mark(ls),
+            if agree { "ok".into() } else { "MISMATCH".into() },
+        ]);
+    }
+    println!("Table IV — detection results on known flpAttacks\n");
+    print_table(
+        &["ID", "Attack", "DeFiRanger", "Explorer+LeiShen", "LeiShen", "vs paper"],
+        &rows,
+    );
+    println!("\ntotals: DeFiRanger {dr_n} (paper 9), Explorer+LeiShen {ex_n} (paper 4), LeiShen {ls_n} (paper 15)");
+    println!("LeiShen − DeFiRanger = {} (paper: six more)", ls_n - dr_n);
+}

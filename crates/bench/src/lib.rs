@@ -1,0 +1,155 @@
+//! Shared harness code for the table/figure regeneration binaries and the
+//! Criterion benches.
+//!
+//! Every binary regenerates one table or figure from the paper's
+//! evaluation (see `DESIGN.md`'s experiment index):
+//!
+//! | binary    | regenerates |
+//! |-----------|-------------|
+//! | `fig1`    | weekly flash-loan transactions per provider |
+//! | `table1`  | the 22 known attacks with volatility + patterns |
+//! | `table2`  | flash-loan identification signatures |
+//! | `table4`  | known-attack detection across the three detectors |
+//! | `table5`  | wild-scan detections, TP/FP and precision per pattern |
+//! | `table6`  | top-3 most attacked applications |
+//! | `table7`  | attack profit statistics |
+//! | `fig6`    | bZx-1 app-level transfer construction |
+//! | `fig8`    | monthly unknown flpAttacks |
+//! | `latency` | per-transaction detection latency (§VI-A) |
+//! | `ablation`| threshold sweeps (§VII) |
+
+use std::time::Instant;
+
+use leishen::{DetectorConfig, LeiShen};
+use leishen_scenarios::generator::{generate, GeneratorConfig};
+use leishen_scenarios::{run_all_attacks, ExecutedAttack, GeneratedTx, World};
+
+/// A world with all 22 known attacks executed.
+pub fn known_attack_world() -> (World, Vec<ExecutedAttack>) {
+    let mut world = World::new();
+    let attacks = run_all_attacks(&mut world);
+    (world, attacks)
+}
+
+/// A world with the wild corpus generated.
+pub fn wild_world(seed: u64, scale: f64) -> (World, Vec<GeneratedTx>) {
+    let mut world = World::new();
+    let corpus = generate(
+        &mut world,
+        &GeneratorConfig {
+            seed,
+            scale,
+            with_attacks: true,
+        },
+    );
+    (world, corpus)
+}
+
+/// Parses `--seed N` / `--scale F` style CLI options with defaults.
+pub fn cli_f64(flag: &str, default: f64) -> f64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Parses a `--flag N` u64 option.
+pub fn cli_u64(flag: &str, default: u64) -> u64 {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Whether a bare `--flag` is present.
+pub fn cli_flag(flag: &str) -> bool {
+    std::env::args().any(|a| a == flag)
+}
+
+/// Prints an aligned text table.
+pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let line = |cells: &[String]| {
+        let mut s = String::new();
+        for (i, cell) in cells.iter().enumerate() {
+            s.push_str(&format!("{:<w$}  ", cell, w = widths[i]));
+        }
+        println!("{}", s.trim_end());
+    };
+    line(&headers.iter().map(|h| h.to_string()).collect::<Vec<_>>());
+    println!(
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("--")
+    );
+    for row in rows {
+        line(row);
+    }
+}
+
+/// Times the detector over a set of transactions and returns latencies in
+/// microseconds (per transaction).
+pub fn measure_latencies(
+    world: &World,
+    txs: impl Iterator<Item = ethsim::TxId>,
+    config: DetectorConfig,
+) -> Vec<f64> {
+    let labels = world.detector_labels();
+    let view = world.view(&labels);
+    let detector = LeiShen::new(config);
+    let mut out = Vec::new();
+    for tx in txs {
+        let record = world.chain.replay(tx).expect("recorded");
+        let start = Instant::now();
+        let analysis = detector.analyze(record, &view);
+        let elapsed = start.elapsed().as_secs_f64() * 1e6;
+        std::hint::black_box(&analysis);
+        out.push(elapsed);
+    }
+    out
+}
+
+/// Percentile of a sample (p in 0..=100), by nearest-rank.
+pub fn percentile(samples: &mut [f64], p: f64) -> f64 {
+    if samples.is_empty() {
+        return 0.0;
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let rank = ((p / 100.0) * samples.len() as f64).ceil().max(1.0) as usize - 1;
+    samples[rank.min(samples.len() - 1)]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let mut v = vec![5.0, 1.0, 3.0, 2.0, 4.0];
+        assert_eq!(percentile(&mut v, 50.0), 3.0);
+        assert_eq!(percentile(&mut v, 100.0), 5.0);
+        assert_eq!(percentile(&mut v, 1.0), 1.0);
+        assert_eq!(percentile(&mut [], 50.0), 0.0);
+    }
+
+    #[test]
+    fn cli_defaults() {
+        assert_eq!(cli_f64("--nope", 1.5), 1.5);
+        assert_eq!(cli_u64("--nope", 7), 7);
+        assert!(!cli_flag("--definitely-not-set"));
+    }
+}

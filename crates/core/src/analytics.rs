@@ -1,0 +1,393 @@
+//! Price-volatility and profit analytics (paper §III-D, Table I, Table VII).
+//!
+//! * **Volatility**: for every token pair traded at least twice inside one
+//!   transaction, `((rate_max − rate_min)/rate_min) · 100%` — the column of
+//!   Table I (from 0.5% for Harvest to 6.5·10²⁸% for Balancer).
+//! * **Profit**: the borrower's per-token net flows over the account-level
+//!   transfers, valued by a USD price table (the paper uses "average asset
+//!   prices on the attack day"), and the yield rate (profit / borrowed
+//!   value) of Table VII.
+
+use std::collections::{HashMap, HashSet};
+
+use ethsim::{Address, TokenId, Transfer};
+use serde::{Deserialize, Serialize};
+
+use crate::trades::Trade;
+
+/// Price volatility observed on one token pair within one transaction.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PairVolatility {
+    /// First token of the pair (canonical: lower id).
+    pub token_a: TokenId,
+    /// Second token of the pair.
+    pub token_b: TokenId,
+    /// Minimum observed rate (units of `b` per unit of `a`).
+    pub rate_min: f64,
+    /// Maximum observed rate.
+    pub rate_max: f64,
+    /// Number of trades observed on the pair.
+    pub samples: usize,
+}
+
+impl PairVolatility {
+    /// Volatility as a fraction: `(max − min) / min`.
+    pub fn volatility(&self) -> f64 {
+        if self.rate_min <= 0.0 {
+            0.0
+        } else {
+            (self.rate_max - self.rate_min) / self.rate_min
+        }
+    }
+
+    /// Volatility in percent, the unit Table I reports.
+    pub fn volatility_pct(&self) -> f64 {
+        self.volatility() * 100.0
+    }
+}
+
+/// Computes per-pair volatility over a transaction's identified trades.
+/// Pairs traded fewer than two times are omitted (the paper draws price
+/// movements only "for these token pairs that appeared at least two
+/// times").
+pub fn pair_volatility(trades: &[Trade]) -> Vec<PairVolatility> {
+    let mut acc: HashMap<(TokenId, TokenId), (f64, f64, usize)> = HashMap::new();
+    for trade in trades {
+        for leg in trade.views() {
+            if leg.sell_amount == 0 || leg.buy_amount == 0 {
+                continue;
+            }
+            // Canonical direction: rate = b per a with a < b by id.
+            let (a, b, rate) = if leg.sell_token < leg.buy_token {
+                (
+                    leg.sell_token,
+                    leg.buy_token,
+                    leg.buy_amount as f64 / leg.sell_amount as f64,
+                )
+            } else {
+                (
+                    leg.buy_token,
+                    leg.sell_token,
+                    leg.sell_amount as f64 / leg.buy_amount as f64,
+                )
+            };
+            let e = acc.entry((a, b)).or_insert((f64::INFINITY, 0.0, 0));
+            e.0 = e.0.min(rate);
+            e.1 = e.1.max(rate);
+            e.2 += 1;
+        }
+    }
+    let mut out: Vec<PairVolatility> = acc
+        .into_iter()
+        .filter(|(_, (_, _, n))| *n >= 2)
+        .map(|((a, b), (min, max, n))| PairVolatility {
+            token_a: a,
+            token_b: b,
+            rate_min: min,
+            rate_max: max,
+            samples: n,
+        })
+        .collect();
+    out.sort_by(|x, y| {
+        y.volatility()
+            .partial_cmp(&x.volatility())
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    out
+}
+
+/// USD prices per **raw token unit** (callers divide per-whole-token prices
+/// by `10^decimals` once, so ledger math stays unit-consistent).
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct UsdPriceTable {
+    per_raw_unit: HashMap<TokenId, f64>,
+}
+
+impl UsdPriceTable {
+    /// Creates an empty table.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets a token's price given USD per whole token and its decimals.
+    pub fn set_whole(&mut self, token: TokenId, usd_per_whole: f64, decimals: u8) {
+        self.per_raw_unit
+            .insert(token, usd_per_whole / 10f64.powi(decimals as i32));
+    }
+
+    /// USD value of a raw amount (0 for unpriced tokens).
+    pub fn value(&self, token: TokenId, raw_amount: u128) -> f64 {
+        self.per_raw_unit.get(&token).copied().unwrap_or(0.0) * raw_amount as f64
+    }
+
+    /// USD value of a signed raw amount.
+    pub fn value_signed(&self, token: TokenId, raw_amount: i128) -> f64 {
+        self.per_raw_unit.get(&token).copied().unwrap_or(0.0) * raw_amount as f64
+    }
+
+    /// Whether the table has a price for `token`.
+    pub fn has(&self, token: TokenId) -> bool {
+        self.per_raw_unit.contains_key(&token)
+    }
+}
+
+/// Per-token net flows (received − sent) of a set of accounts over a
+/// transfer list.
+pub fn net_flows(
+    transfers: &[Transfer],
+    accounts: &HashSet<Address>,
+) -> HashMap<TokenId, i128> {
+    let mut flows: HashMap<TokenId, i128> = HashMap::new();
+    for t in transfers {
+        let incoming = accounts.contains(&t.receiver);
+        let outgoing = accounts.contains(&t.sender);
+        if incoming == outgoing {
+            continue; // internal or unrelated
+        }
+        let delta = if incoming {
+            t.amount as i128
+        } else {
+            -(t.amount as i128)
+        };
+        *flows.entry(t.token).or_insert(0) += delta;
+    }
+    flows.retain(|_, v| *v != 0);
+    flows
+}
+
+/// USD profit of `accounts` over `transfers` (Table VII's net profit).
+pub fn profit_of(
+    transfers: &[Transfer],
+    accounts: &HashSet<Address>,
+    prices: &UsdPriceTable,
+) -> f64 {
+    net_flows(transfers, accounts)
+        .into_iter()
+        .map(|(token, flow)| prices.value_signed(token, flow))
+        .sum()
+}
+
+/// A burst of repeat attacks by one initiator (paper §VI-D1: "attackers
+/// generally invoke the same attack contract multiple times… these
+/// repeated attacks happen in a short period", e.g. 25 attacks in ten
+/// minutes).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct AttackCluster {
+    /// The shared initiating EOA.
+    pub initiator: Address,
+    /// Indices into the input report slice, in time order.
+    pub reports: Vec<usize>,
+    /// Seconds between the first and last attack of the cluster.
+    pub span_secs: u64,
+}
+
+impl AttackCluster {
+    /// Number of attacks in the burst.
+    pub fn len(&self) -> usize {
+        self.reports.len()
+    }
+
+    /// Whether the cluster is empty (never produced by
+    /// [`cluster_reports`]).
+    pub fn is_empty(&self) -> bool {
+        self.reports.is_empty()
+    }
+}
+
+/// Groups attack reports into repeat-attack bursts: reports from the same
+/// initiator whose consecutive timestamps are at most `window_secs` apart.
+/// Returns clusters of two or more, largest first.
+pub fn cluster_reports(
+    reports: &[crate::report::AttackReport],
+    window_secs: u64,
+) -> Vec<AttackCluster> {
+    // Sort indices by (initiator, timestamp).
+    let mut order: Vec<usize> = (0..reports.len()).collect();
+    order.sort_by_key(|&i| (reports[i].initiator, reports[i].timestamp));
+
+    let mut clusters = Vec::new();
+    let mut current: Vec<usize> = Vec::new();
+    let flush = |current: &mut Vec<usize>, clusters: &mut Vec<AttackCluster>| {
+        if current.len() >= 2 {
+            let first = reports[current[0]].timestamp;
+            let last = reports[*current.last().expect("non-empty")].timestamp;
+            clusters.push(AttackCluster {
+                initiator: reports[current[0]].initiator,
+                reports: current.clone(),
+                span_secs: last.saturating_sub(first),
+            });
+        }
+        current.clear();
+    };
+    for &i in &order {
+        match current.last() {
+            Some(&prev)
+                if reports[prev].initiator == reports[i].initiator
+                    && reports[i].timestamp.saturating_sub(reports[prev].timestamp)
+                        <= window_secs =>
+            {
+                current.push(i);
+            }
+            _ => {
+                flush(&mut current, &mut clusters);
+                current.push(i);
+            }
+        }
+    }
+    flush(&mut current, &mut clusters);
+    clusters.sort_by_key(|c| std::cmp::Reverse(c.reports.len()));
+    clusters
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tagging::Tag;
+    use crate::trades::TradeKind;
+
+    fn trade(seq: u32, sell: u128, st: u32, buy: u128, bt: u32) -> Trade {
+        Trade {
+            seq,
+            kind: TradeKind::Swap,
+            buyer: Tag::App("E".into()),
+            seller: Tag::App("Uni".into()),
+            sells: vec![(sell, TokenId::from_index(st))],
+            buys: vec![(buy, TokenId::from_index(bt))],
+        }
+    }
+
+    #[test]
+    fn volatility_over_both_directions() {
+        // buy 100 of token1 for 4900 of token0 (rate 49), sell 100 for
+        // 6130 (rate 61.3): volatility 25.1%
+        let trades = vec![trade(0, 4_900, 0, 100, 1), trade(1, 100, 1, 6_130, 0)];
+        let vols = pair_volatility(&trades);
+        assert_eq!(vols.len(), 1);
+        let v = &vols[0];
+        assert_eq!(v.samples, 2);
+        // canonical: token0 < token1 so rate = token1 per token0
+        assert!(v.rate_min < v.rate_max);
+        assert!((v.volatility_pct() - 25.1).abs() < 0.5, "{}", v.volatility_pct());
+    }
+
+    #[test]
+    fn single_trade_pairs_are_omitted() {
+        let trades = vec![trade(0, 10, 0, 10, 1), trade(1, 10, 2, 10, 3)];
+        assert!(pair_volatility(&trades).is_empty());
+    }
+
+    #[test]
+    fn sorted_by_volatility_desc() {
+        let trades = vec![
+            trade(0, 100, 0, 100, 1),
+            trade(1, 100, 0, 50, 1), // pair (0,1): rates 1.0, 0.5 -> 100%
+            trade(2, 100, 2, 100, 3),
+            trade(3, 100, 2, 99, 3), // pair (2,3): ~1%
+        ];
+        let vols = pair_volatility(&trades);
+        assert_eq!(vols.len(), 2);
+        assert!(vols[0].volatility() > vols[1].volatility());
+    }
+
+    #[test]
+    fn price_table_and_profit() {
+        let mut prices = UsdPriceTable::new();
+        let eth = TokenId::ETH;
+        let usdc = TokenId::from_index(1);
+        prices.set_whole(eth, 2_000.0, 18);
+        prices.set_whole(usdc, 1.0, 6);
+        assert!(prices.has(eth));
+        assert!(!prices.has(TokenId::from_index(9)));
+        let e18 = 10u128.pow(18);
+        assert!((prices.value(eth, e18) - 2_000.0).abs() < 1e-6);
+
+        let attacker = Address::from_u64(1);
+        let contract = Address::from_u64(2);
+        let victim = Address::from_u64(3);
+        let accounts: HashSet<Address> = [attacker, contract].into_iter().collect();
+        let transfers = vec![
+            Transfer {
+                seq: 0,
+                sender: victim,
+                receiver: contract,
+                amount: 71 * e18,
+                token: eth,
+            },
+            Transfer {
+                seq: 1,
+                sender: contract,
+                receiver: attacker,
+                amount: 71 * e18,
+                token: eth,
+            }, // internal: ignored
+            Transfer {
+                seq: 2,
+                sender: contract,
+                receiver: victim,
+                amount: 1_000_000,
+                token: usdc,
+            },
+        ];
+        let flows = net_flows(&transfers, &accounts);
+        assert_eq!(flows[&eth], (71 * e18) as i128);
+        assert_eq!(flows[&usdc], -1_000_000);
+        let profit = profit_of(&transfers, &accounts, &prices);
+        assert!((profit - (71.0 * 2_000.0 - 1.0)).abs() < 1e-6, "{profit}");
+    }
+
+    #[test]
+    fn clustering_groups_bursts_by_initiator_and_window() {
+        use crate::report::AttackReport;
+        let report = |initiator: u64, ts: u64| AttackReport {
+            tx: ethsim::TxId(ts),
+            block: 0,
+            timestamp: ts,
+            initiator: Address::from_u64(initiator),
+            flash_loans: vec![],
+            patterns: vec![],
+            volatilities: vec![],
+            profit_usd: None,
+        };
+        let reports = vec![
+            report(1, 100),
+            report(1, 200),
+            report(1, 10_000), // same attacker, far later: separate
+            report(2, 150),
+            report(2, 160),
+            report(2, 170),
+            report(3, 500), // singleton: no cluster
+        ];
+        let clusters = cluster_reports(&reports, 600);
+        assert_eq!(clusters.len(), 2);
+        assert_eq!(clusters[0].initiator, Address::from_u64(2));
+        assert_eq!(clusters[0].len(), 3);
+        assert_eq!(clusters[0].span_secs, 20);
+        assert_eq!(clusters[1].initiator, Address::from_u64(1));
+        assert_eq!(clusters[1].len(), 2);
+        assert!(!clusters[0].is_empty());
+    }
+
+    #[test]
+    fn zero_flows_are_dropped() {
+        let a = Address::from_u64(1);
+        let b = Address::from_u64(2);
+        let accounts: HashSet<Address> = [a].into_iter().collect();
+        let transfers = vec![
+            Transfer {
+                seq: 0,
+                sender: a,
+                receiver: b,
+                amount: 5,
+                token: TokenId::ETH,
+            },
+            Transfer {
+                seq: 1,
+                sender: b,
+                receiver: a,
+                amount: 5,
+                token: TokenId::ETH,
+            },
+        ];
+        assert!(net_flows(&transfers, &accounts).is_empty());
+    }
+}

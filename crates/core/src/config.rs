@@ -1,0 +1,96 @@
+//! Detector configuration — every threshold the paper names, in one place.
+//!
+//! Defaults are the paper's published values; the §VII limitations
+//! discussion ("If we set these parameters in a more relaxed way, e.g.,
+//! considering a KRP attack with at least three buy trades instead of five,
+//! the number of detected flpAttacks would be higher… however, the false
+//! positive rate would increase") is reproduced by the `ablation` bench,
+//! which sweeps these fields.
+
+use serde::{Deserialize, Serialize};
+
+/// Thresholds and tolerances of the LeiShen pipeline.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// Minimum number of buy trades in a KRP series (paper: `N ≥ 5`,
+    /// "the minimum value in real-world flpAttacks conforming to this
+    /// attack pattern").
+    pub krp_min_buys: usize,
+    /// Minimum price volatility between the SBS buy legs (paper: 28%,
+    /// expressed as a fraction: 0.28).
+    pub sbs_min_volatility: f64,
+    /// Relative tolerance when matching `trade₁.amountBuy =
+    /// trade₃.amountSell` in SBS (real attacks resell exactly what they
+    /// bought; a small tolerance absorbs token transfer-fee dust).
+    pub sbs_amount_tolerance: f64,
+    /// Minimum number of buy/sell rounds in an MBS series (paper: `N ≥ 3`).
+    pub mbs_min_rounds: usize,
+    /// Maximum relative amount difference for merging inter-app transfers
+    /// (paper: "we set the difference in the number of assets between
+    /// inter-app transfers to be less than 0.1%").
+    pub merge_tolerance: f64,
+    /// **Experimental, off by default**: enable the Keep Dumping Price
+    /// (KDP) pattern — dump-then-cheap-rebuy, the §VII future-work
+    /// direction (would classify MY FARM PET). Never enabled in the
+    /// paper-reproduction figures.
+    pub experimental_kdp: bool,
+    /// Minimum relative price drop between the dump and the rebuy for KDP
+    /// (fraction; 0.5 = the rebuy must be at least 50% cheaper).
+    pub kdp_min_drop: f64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            krp_min_buys: 5,
+            sbs_min_volatility: 0.28,
+            sbs_amount_tolerance: 0.001,
+            mbs_min_rounds: 3,
+            merge_tolerance: 0.001,
+            experimental_kdp: false,
+            kdp_min_drop: 0.5,
+        }
+    }
+}
+
+impl DetectorConfig {
+    /// The paper's published configuration (same as `Default`).
+    pub fn paper() -> Self {
+        Self::default()
+    }
+
+    /// The §VII "relaxed" configuration: KRP accepts 3 buys — more
+    /// detections, more false positives.
+    pub fn relaxed() -> Self {
+        DetectorConfig {
+            krp_min_buys: 3,
+            sbs_min_volatility: 0.10,
+            mbs_min_rounds: 2,
+            ..Self::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let c = DetectorConfig::default();
+        assert_eq!(c.krp_min_buys, 5);
+        assert!((c.sbs_min_volatility - 0.28).abs() < 1e-12);
+        assert_eq!(c.mbs_min_rounds, 3);
+        assert!((c.merge_tolerance - 0.001).abs() < 1e-12);
+        assert_eq!(c, DetectorConfig::paper());
+    }
+
+    #[test]
+    fn relaxed_is_looser_everywhere() {
+        let r = DetectorConfig::relaxed();
+        let p = DetectorConfig::paper();
+        assert!(r.krp_min_buys < p.krp_min_buys);
+        assert!(r.sbs_min_volatility < p.sbs_min_volatility);
+        assert!(r.mbs_min_rounds < p.mbs_min_rounds);
+    }
+}

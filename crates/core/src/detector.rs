@@ -1,0 +1,466 @@
+//! The LeiShen pipeline (paper Fig. 5): transfer-history extraction →
+//! app-level transfer construction → attack-pattern identification.
+
+use std::collections::HashSet;
+
+use ethsim::{Address, CreationIndex, CreationRecord, TokenId, TxRecord};
+
+use crate::analytics::{pair_volatility, profit_of, PairVolatility, UsdPriceTable};
+use crate::config::DetectorConfig;
+use crate::flashloan::{identify_flash_loans, FlashLoanEvent};
+use crate::labels::Labels;
+use crate::patterns::{match_all, PatternMatch};
+use crate::report::AttackReport;
+use crate::simplify::simplify;
+use crate::tagging::{tag_of, tag_transfers, Tag, TaggedTransfer};
+use crate::trades::{identify_trades, Trade};
+
+/// The detector's read-only view of chain context: the label cloud, the
+/// creation dataset, and (optionally) which token is WETH.
+#[derive(Clone, Debug)]
+pub struct ChainView<'a> {
+    labels: &'a Labels,
+    creations: CreationIndex,
+    weth: Option<TokenId>,
+}
+
+impl<'a> ChainView<'a> {
+    /// Builds a view from the label cloud and the creation dataset.
+    pub fn new(
+        labels: &'a Labels,
+        creation_records: &[CreationRecord],
+        weth: Option<TokenId>,
+    ) -> Self {
+        ChainView {
+            labels,
+            creations: CreationIndex::new(creation_records),
+            weth,
+        }
+    }
+
+    /// The label cloud.
+    pub fn labels(&self) -> &Labels {
+        self.labels
+    }
+
+    /// The creation index.
+    pub fn creations(&self) -> &CreationIndex {
+        &self.creations
+    }
+
+    /// The WETH token, when known.
+    pub fn weth(&self) -> Option<TokenId> {
+        self.weth
+    }
+}
+
+/// Full intermediate output of one analysis — every pipeline stage exposed,
+/// so callers (and the paper's figures) can inspect each step.
+#[derive(Clone, Debug)]
+pub struct Analysis {
+    /// Identified flash loans (empty ⇒ not a flash-loan transaction; the
+    /// pipeline stops after identification in that case).
+    pub flash_loans: Vec<FlashLoanEvent>,
+    /// Account-level transfer count (stage 1 input size).
+    pub account_transfer_count: usize,
+    /// Tagged account-level transfers (stage 2a).
+    pub tagged: Vec<TaggedTransfer>,
+    /// Application-level transfers after simplification (stage 2b).
+    pub app_transfers: Vec<TaggedTransfer>,
+    /// Identified trades (stage 3a).
+    pub trades: Vec<Trade>,
+    /// Matched attack patterns (stage 3b).
+    pub matches: Vec<PatternMatch>,
+    /// Borrower tags the patterns were evaluated for.
+    pub borrower_tags: Vec<Tag>,
+}
+
+impl Analysis {
+    /// Whether the transaction is reported as a flpAttack.
+    pub fn is_attack(&self) -> bool {
+        !self.flash_loans.is_empty() && !self.matches.is_empty()
+    }
+}
+
+/// The LeiShen detector.
+///
+/// ```
+/// use leishen::{DetectorConfig, LeiShen};
+/// let detector = LeiShen::new(DetectorConfig::paper());
+/// assert_eq!(detector.config().mbs_min_rounds, 3);
+/// ```
+#[derive(Clone, Debug, Default)]
+pub struct LeiShen {
+    config: DetectorConfig,
+}
+
+impl LeiShen {
+    /// Creates a detector with the given thresholds.
+    pub fn new(config: DetectorConfig) -> Self {
+        LeiShen { config }
+    }
+
+    /// The active configuration.
+    pub fn config(&self) -> &DetectorConfig {
+        &self.config
+    }
+
+    /// Runs the full pipeline on one replayed transaction.
+    ///
+    /// Reverted transactions and transactions without a Table II flash-loan
+    /// signature short-circuit with an empty analysis (LeiShen only takes
+    /// flash-loan transactions as input).
+    pub fn analyze(&self, tx: &TxRecord, view: &ChainView<'_>) -> Analysis {
+        let flash_loans = if tx.status.is_success() {
+            identify_flash_loans(tx)
+        } else {
+            Vec::new()
+        };
+        if flash_loans.is_empty() {
+            return Analysis {
+                flash_loans,
+                account_transfer_count: tx.trace.transfers.len(),
+                tagged: Vec::new(),
+                app_transfers: Vec::new(),
+                trades: Vec::new(),
+                matches: Vec::new(),
+                borrower_tags: Vec::new(),
+            };
+        }
+
+        // Stage 2: account tagging + simplification.
+        let tagged = tag_transfers(&tx.trace.transfers, view.labels, &view.creations);
+        let app_transfers = simplify(&tagged, view.weth, &self.config);
+
+        // Stage 3: trades + patterns, per distinct borrower tag. The tx
+        // initiator is always considered a borrower identity as well — the
+        // borrower contract acts on its behalf, and the two usually share a
+        // creation-tree tag anyway.
+        let trades = identify_trades(&app_transfers);
+        let mut borrower_tags: Vec<Tag> = Vec::new();
+        for loan in &flash_loans {
+            let t = tag_of(loan.borrower, view.labels, &view.creations);
+            if !borrower_tags.contains(&t) {
+                borrower_tags.push(t);
+            }
+        }
+        let initiator_tag = tag_of(tx.from, view.labels, &view.creations);
+        if !borrower_tags.contains(&initiator_tag) {
+            borrower_tags.push(initiator_tag);
+        }
+        let mut matches = Vec::new();
+        for tag in &borrower_tags {
+            for m in match_all(&trades, tag, &self.config) {
+                if !matches.contains(&m) {
+                    matches.push(m);
+                }
+            }
+        }
+
+        Analysis {
+            flash_loans,
+            account_transfer_count: tx.trace.transfers.len(),
+            tagged,
+            app_transfers,
+            trades,
+            matches,
+            borrower_tags,
+        }
+    }
+
+    /// Analyzes a transaction and, when it is an attack, produces the full
+    /// report (volatility always included; profit when `prices` given).
+    pub fn detect(
+        &self,
+        tx: &TxRecord,
+        view: &ChainView<'_>,
+        prices: Option<&UsdPriceTable>,
+    ) -> Option<AttackReport> {
+        let analysis = self.analyze(tx, view);
+        if !analysis.is_attack() {
+            return None;
+        }
+        let volatilities: Vec<PairVolatility> = pair_volatility(&analysis.trades);
+        let profit_usd = prices.map(|p| {
+            let accounts = borrower_accounts(tx, view, &analysis);
+            profit_of(&tx.trace.transfers, &accounts, p)
+        });
+        Some(AttackReport {
+            tx: tx.id,
+            block: tx.block,
+            timestamp: tx.timestamp,
+            initiator: tx.from,
+            flash_loans: analysis.flash_loans,
+            patterns: analysis.matches,
+            volatilities,
+            profit_usd,
+        })
+    }
+}
+
+/// All addresses in the transaction that share a borrower tag — the
+/// attacker's account cluster for profit accounting.
+fn borrower_accounts(
+    tx: &TxRecord,
+    view: &ChainView<'_>,
+    analysis: &Analysis,
+) -> HashSet<Address> {
+    let mut accounts = HashSet::new();
+    accounts.insert(tx.from);
+    for loan in &analysis.flash_loans {
+        accounts.insert(loan.borrower);
+    }
+    let borrower_tags: HashSet<&Tag> = analysis.borrower_tags.iter().collect();
+    for t in &tx.trace.transfers {
+        for addr in [t.sender, t.receiver] {
+            if addr.is_zero() || accounts.contains(&addr) {
+                continue;
+            }
+            let tag = tag_of(addr, view.labels(), view.creations());
+            if borrower_tags.contains(&tag) {
+                accounts.insert(addr);
+            }
+        }
+    }
+    accounts
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ethsim::{Chain, ChainConfig};
+
+    /// A minimal hand-rolled flash-loan attack on the substrate: borrow
+    /// from a fake Uniswap pair (proper swap/uniswapV2Call frames), run an
+    /// SBS-shaped trade triple against two labeled apps, repay.
+    fn build_attack_world() -> (Chain, Labels, TokenId) {
+        let mut chain = Chain::new(ChainConfig::default());
+        let mut labels = Labels::new();
+        let uni_deployer = chain.create_eoa("uni deployer");
+        let comp_deployer = chain.create_eoa("comp deployer");
+        labels.set(uni_deployer, "Uniswap");
+        labels.set(comp_deployer, "Compound");
+        // Contracts created by labeled deployers inherit tags via the tree.
+        let mut pair = None;
+        let mut market = None;
+        chain
+            .execute(uni_deployer, uni_deployer, "deploy", |ctx| {
+                pair = Some(ctx.create_contract(uni_deployer)?);
+                Ok(())
+            })
+            .unwrap();
+        chain
+            .execute(comp_deployer, comp_deployer, "deploy", |ctx| {
+                market = Some(ctx.create_contract(comp_deployer)?);
+                Ok(())
+            })
+            .unwrap();
+        let pair = pair.unwrap();
+        let market = market.unwrap();
+        let mut wbtc = None;
+        chain
+            .execute(uni_deployer, uni_deployer, "deployToken", |ctx| {
+                let c = ctx.create_contract(uni_deployer)?;
+                let t = ctx.register_token("WBTC", 8, c);
+                ctx.mint_token(t, market, 500_00000000)?;
+                ctx.mint_token(t, pair, 500_00000000)?;
+                wbtc = Some(t);
+                Ok(())
+            })
+            .unwrap();
+        chain.state_mut().credit_eth(pair, 1_000_000).unwrap();
+        chain.state_mut().credit_eth(market, 1_000_000).unwrap();
+        (chain, labels, wbtc.unwrap())
+    }
+
+    #[test]
+    fn end_to_end_sbs_attack_detected() {
+        let (mut chain, labels, wbtc) = build_attack_world();
+        let attacker = chain.create_eoa("attacker");
+        // Resolve contracts by walking creations: first two are pair/market.
+        let pair = chain.state().creations()[0].created;
+        let market = chain.state().creations()[1].created;
+        let mut contract = None;
+        chain
+            .execute(attacker, attacker, "deploy", |ctx| {
+                contract = Some(ctx.create_contract(attacker)?);
+                Ok(())
+            })
+            .unwrap();
+        let c = contract.unwrap();
+
+        let eth = TokenId::ETH;
+        let tx = chain
+            .execute(attacker, c, "attack", |ctx| {
+                // flash loan: 100k wei ETH from the "pair"
+                ctx.call(c, pair, "swap", 0, |ctx| {
+                    ctx.transfer_eth(pair, c, 100_000)?;
+                    ctx.call(pair, c, "uniswapV2Call", 0, |ctx| {
+                        // trade1: buy 112 WBTC-sats from Compound @ ~491
+                        ctx.transfer_eth(c, market, 55_000)?;
+                        ctx.transfer_token(wbtc, market, c, 112)?;
+                        // trade2 (pump): Compound buys from Uniswap @ ~1105
+                        ctx.transfer_eth(market, pair, 22_100)?;
+                        ctx.transfer_token(wbtc, pair, market, 20)?;
+                        // trade3: sell 112 back to Uniswap @ ~613
+                        ctx.transfer_token(wbtc, c, pair, 112)?;
+                        ctx.transfer_eth(pair, c, 68_656)?;
+                        Ok(())
+                    })?;
+                    // repay 100_000 + fee
+                    ctx.transfer_eth(c, pair, 100_301)?;
+                    Ok(())
+                })?;
+                // take profit home
+                let bal = ctx.balance(eth, c);
+                ctx.transfer_eth(c, attacker, bal)?;
+                Ok(())
+            })
+            .unwrap();
+
+        let record = chain.replay(tx).unwrap().clone();
+        assert!(record.status.is_success());
+        let view = ChainView::new(&labels, chain.state().creations(), None);
+        let detector = LeiShen::new(DetectorConfig::default());
+        let analysis = detector.analyze(&record, &view);
+        assert_eq!(analysis.flash_loans.len(), 1);
+        assert!(
+            analysis.is_attack(),
+            "trades: {:?}\nmatches: {:?}\napp: {:?}",
+            analysis.trades,
+            analysis.matches,
+            analysis.app_transfers
+        );
+        assert!(analysis
+            .matches
+            .iter()
+            .any(|m| m.kind == crate::patterns::PatternKind::Sbs));
+
+        // Full report with profit accounting.
+        let mut prices = UsdPriceTable::new();
+        prices.set_whole(eth, 1.0, 0); // 1 USD per wei for the toy scale
+        let report = detector.detect(&record, &view, Some(&prices)).unwrap();
+        let profit = report.profit_usd.unwrap();
+        // attacker spent 55,000 + 100,301 and received 100,000 + 68,656
+        assert!(
+            (profit - 13_355.0).abs() < 1.0,
+            "expected ~13,355, got {profit}"
+        );
+        assert!(!report.volatilities.is_empty());
+    }
+
+    #[test]
+    fn chain_view_exposes_its_parts() {
+        let mut labels = Labels::new();
+        labels.set(Address::from_u64(1), "Uniswap");
+        let records = [ethsim::CreationRecord {
+            creator: Address::from_u64(1),
+            created: Address::from_u64(2),
+            block: 0,
+        }];
+        let view = ChainView::new(&labels, &records, Some(TokenId::from_index(3)));
+        assert_eq!(view.labels().get(Address::from_u64(1)), Some("Uniswap"));
+        assert_eq!(view.creations().parent(Address::from_u64(2)), Some(Address::from_u64(1)));
+        assert_eq!(view.weth(), Some(TokenId::from_index(3)));
+    }
+
+    #[test]
+    fn analysis_requires_both_loans_and_matches() {
+        let base = Analysis {
+            flash_loans: vec![],
+            account_transfer_count: 0,
+            tagged: vec![],
+            app_transfers: vec![],
+            trades: vec![],
+            matches: vec![],
+            borrower_tags: vec![],
+        };
+        assert!(!base.is_attack(), "neither");
+        let with_loan = Analysis {
+            flash_loans: vec![crate::flashloan::FlashLoanEvent {
+                provider: crate::flashloan::Provider::Aave,
+                lender: Address::from_u64(1),
+                borrower: Address::from_u64(2),
+                token: None,
+                amount: None,
+            }],
+            ..base.clone()
+        };
+        assert!(!with_loan.is_attack(), "loan without pattern");
+        let with_match = Analysis {
+            matches: vec![crate::patterns::PatternMatch {
+                kind: crate::patterns::PatternKind::Krp,
+                target_token: TokenId::from_index(1),
+                quote_token: TokenId::ETH,
+                trade_seqs: vec![],
+                volatility: 1.0,
+                counterparty: "X".into(),
+            }],
+            ..base.clone()
+        };
+        assert!(!with_match.is_attack(), "pattern without loan");
+        let both = Analysis {
+            matches: with_match.matches.clone(),
+            ..with_loan
+        };
+        assert!(both.is_attack());
+    }
+
+    #[test]
+    fn non_flash_loan_tx_short_circuits() {
+        let mut chain = Chain::new(ChainConfig::default());
+        let labels = Labels::new();
+        let a = chain.create_eoa("a");
+        chain.state_mut().credit_eth(a, 10).unwrap();
+        let b = chain.create_eoa("b");
+        let tx = chain
+            .execute(a, b, "send", |ctx| ctx.transfer_eth(a, b, 5))
+            .unwrap();
+        let record = chain.replay(tx).unwrap().clone();
+        let view = ChainView::new(&labels, chain.state().creations(), None);
+        let analysis = LeiShen::default().analyze(&record, &view);
+        assert!(analysis.flash_loans.is_empty());
+        assert!(!analysis.is_attack());
+        assert!(analysis.tagged.is_empty(), "pipeline short-circuits");
+        assert!(LeiShen::default().detect(&record, &view, None).is_none());
+    }
+
+    #[test]
+    fn reverted_tx_is_ignored() {
+        let mut chain = Chain::new(ChainConfig::default());
+        let labels = Labels::new();
+        let a = chain.create_eoa("a");
+        let b = chain.create_eoa("b");
+        let tx = chain
+            .execute(a, b, "fail", |_| Err(ethsim::SimError::revert("nope")))
+            .unwrap();
+        let record = chain.replay(tx).unwrap().clone();
+        let view = ChainView::new(&labels, chain.state().creations(), None);
+        assert!(!LeiShen::default().analyze(&record, &view).is_attack());
+    }
+
+    #[test]
+    fn benign_flash_loan_is_not_an_attack() {
+        // Borrow and repay with no manipulation: flash loan found, no
+        // pattern matched.
+        let (mut chain, labels, _) = build_attack_world();
+        let pair = chain.state().creations()[0].created;
+        let user = chain.create_eoa("user");
+        chain.state_mut().credit_eth(user, 1_000).unwrap();
+        let tx = chain
+            .execute(user, pair, "flash", |ctx| {
+                ctx.call(user, pair, "swap", 0, |ctx| {
+                    ctx.transfer_eth(pair, user, 100_000)?;
+                    ctx.call(pair, user, "uniswapV2Call", 0, |_| Ok(()))?;
+                    ctx.transfer_eth(user, pair, 100_301)?;
+                    Ok(())
+                })
+            })
+            .unwrap();
+        let record = chain.replay(tx).unwrap().clone();
+        let view = ChainView::new(&labels, chain.state().creations(), None);
+        let analysis = LeiShen::default().analyze(&record, &view);
+        assert_eq!(analysis.flash_loans.len(), 1);
+        assert!(!analysis.is_attack());
+    }
+}

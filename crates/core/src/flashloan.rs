@@ -1,0 +1,347 @@
+//! Flash-loan transaction identification (paper §V-A, Table II).
+//!
+//! | Provider | Function(s)                                | Event(s) |
+//! |----------|--------------------------------------------|----------|
+//! | Uniswap  | `swap` then `uniswapV2Call`                | —        |
+//! | AAVE     | `flashLoan`                                | `FlashLoan` |
+//! | dYdX     | `Operate`,`Withdraw`,`callFunction`,`Deposit` | `LogOperation`,`LogWithdraw`,`LogCall`,`LogDeposit` |
+//!
+//! A transaction may take flash loans from more than one provider (seven of
+//! the 44 studied attacks did; Beanstalk borrowed five assets from three
+//! providers at once), so identification returns *all* loans found.
+
+use ethsim::{Address, TokenId, TxRecord};
+use serde::{Deserialize, Serialize};
+
+/// The three flash-loan providers LeiShen monitors.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Provider {
+    /// Uniswap V2 flash swaps.
+    Uniswap,
+    /// AAVE lending-pool flash loans.
+    Aave,
+    /// dYdX SoloMargin operate/withdraw/call/deposit.
+    Dydx,
+}
+
+impl std::fmt::Display for Provider {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Provider::Uniswap => write!(f, "Uniswap"),
+            Provider::Aave => write!(f, "AAVE"),
+            Provider::Dydx => write!(f, "dYdX"),
+        }
+    }
+}
+
+/// One identified flash loan inside a transaction.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct FlashLoanEvent {
+    /// Which provider signature matched.
+    pub provider: Provider,
+    /// The lending contract.
+    pub lender: Address,
+    /// The borrowing contract (the account whose trades the patterns
+    /// inspect).
+    pub borrower: Address,
+    /// Borrowed asset, when recoverable from the trace.
+    pub token: Option<TokenId>,
+    /// Borrowed amount, when recoverable from the trace.
+    pub amount: Option<u128>,
+}
+
+/// Scans a replayed transaction for the Table II signatures and returns
+/// every flash loan found (empty ⇒ not a flash-loan transaction).
+///
+/// ```
+/// # use ethsim::{Chain, ChainConfig};
+/// # use leishen::identify_flash_loans;
+/// let mut chain = Chain::new(ChainConfig::default());
+/// let a = chain.create_eoa("a");
+/// let tx = chain.execute(a, a, "noop", |_| Ok(())).unwrap();
+/// assert!(identify_flash_loans(chain.replay(tx).unwrap()).is_empty());
+/// ```
+pub fn identify_flash_loans(tx: &TxRecord) -> Vec<FlashLoanEvent> {
+    let mut out = Vec::new();
+    identify_uniswap(tx, &mut out);
+    identify_aave(tx, &mut out);
+    identify_dydx(tx, &mut out);
+    out
+}
+
+/// Uniswap: a `swap` frame on some pair `P`, followed later by a
+/// `uniswapV2Call` frame *from* `P` into the borrower.
+fn identify_uniswap(tx: &TxRecord, out: &mut Vec<FlashLoanEvent>) {
+    for cb in tx.trace.frames.iter().filter(|f| f.function == "uniswapV2Call") {
+        let lender = cb.caller;
+        let borrower = cb.callee;
+        let swap_before = tx
+            .trace
+            .frames
+            .iter()
+            .any(|f| f.function == "swap" && f.callee == lender && f.seq < cb.seq);
+        if !swap_before {
+            continue;
+        }
+        // The borrowed asset is the transfer lender -> borrower between the
+        // swap frame and the callback frame.
+        let loan_leg = tx
+            .trace
+            .transfers
+            .iter()
+            .find(|t| t.sender == lender && t.receiver == borrower && t.seq < cb.seq);
+        out.push(FlashLoanEvent {
+            provider: Provider::Uniswap,
+            lender,
+            borrower,
+            token: loan_leg.map(|t| t.token),
+            amount: loan_leg.map(|t| t.amount),
+        });
+    }
+}
+
+/// AAVE: a `flashLoan` frame plus a `FlashLoan` event from the same pool.
+fn identify_aave(tx: &TxRecord, out: &mut Vec<FlashLoanEvent>) {
+    for log in tx.trace.logs.iter().filter(|l| l.name == "FlashLoan") {
+        let lender = log.emitter;
+        let called = tx
+            .trace
+            .frames
+            .iter()
+            .any(|f| f.function == "flashLoan" && f.callee == lender);
+        if !called {
+            continue;
+        }
+        let borrower = log
+            .param("target")
+            .and_then(|v| v.as_addr())
+            .unwrap_or(Address::ZERO);
+        out.push(FlashLoanEvent {
+            provider: Provider::Aave,
+            lender,
+            borrower,
+            token: log.param("reserve").and_then(|v| v.as_token()),
+            amount: log.param("amount").and_then(|v| v.as_amount()),
+        });
+    }
+}
+
+/// dYdX: the four logs `LogOperation`, `LogWithdraw`, `LogCall`,
+/// `LogDeposit` emitted in sequence by the same SoloMargin contract.
+fn identify_dydx(tx: &TxRecord, out: &mut Vec<FlashLoanEvent>) {
+    for op in tx.trace.logs.iter().filter(|l| l.name == "LogOperation") {
+        let solo = op.emitter;
+        let mut needed = ["LogWithdraw", "LogCall", "LogDeposit"].iter();
+        let mut next = needed.next();
+        let mut withdraw_log = None;
+        for log in tx.trace.logs.iter().filter(|l| l.seq > op.seq) {
+            if log.emitter != solo {
+                continue;
+            }
+            if let Some(want) = next {
+                if log.name == **want {
+                    if log.name == "LogWithdraw" {
+                        withdraw_log = Some(log);
+                    }
+                    next = needed.next();
+                    if next.is_none() {
+                        break;
+                    }
+                }
+            }
+        }
+        if next.is_some() {
+            continue; // sequence incomplete
+        }
+        let borrower = withdraw_log
+            .and_then(|l| l.param("account"))
+            .and_then(|v| v.as_addr())
+            .unwrap_or(Address::ZERO);
+        out.push(FlashLoanEvent {
+            provider: Provider::Dydx,
+            lender: solo,
+            borrower,
+            token: withdraw_log
+                .and_then(|l| l.param("market"))
+                .and_then(|v| v.as_token()),
+            amount: withdraw_log
+                .and_then(|l| l.param("amount"))
+                .and_then(|v| v.as_amount()),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ethsim::{CallFrame, EventLog, LogValue, Transfer, TxId, TxStatus, TxTrace};
+
+    fn record(trace: TxTrace) -> TxRecord {
+        TxRecord {
+            id: TxId(0),
+            block: 1,
+            timestamp: 0,
+            from: Address::from_u64(1),
+            to: Address::from_u64(2),
+            function: "attack".into(),
+            status: TxStatus::Success,
+            trace,
+        }
+    }
+
+    fn frame(seq: u32, caller: Address, callee: Address, function: &str) -> CallFrame {
+        CallFrame {
+            seq,
+            depth: 0,
+            caller,
+            callee,
+            function: function.into(),
+            value: 0,
+        }
+    }
+
+    #[test]
+    fn uniswap_signature() {
+        let pair = Address::from_u64(10);
+        let borrower = Address::from_u64(20);
+        let mut trace = TxTrace::default();
+        trace.frames.push(frame(0, borrower, pair, "swap"));
+        trace.transfers.push(Transfer {
+            seq: 1,
+            sender: pair,
+            receiver: borrower,
+            amount: 777,
+            token: TokenId::ETH,
+        });
+        trace.frames.push(frame(2, pair, borrower, "uniswapV2Call"));
+        let loans = identify_flash_loans(&record(trace));
+        assert_eq!(loans.len(), 1);
+        assert_eq!(loans[0].provider, Provider::Uniswap);
+        assert_eq!(loans[0].lender, pair);
+        assert_eq!(loans[0].borrower, borrower);
+        assert_eq!(loans[0].amount, Some(777));
+    }
+
+    #[test]
+    fn plain_swap_is_not_a_flash_loan() {
+        let pair = Address::from_u64(10);
+        let trader = Address::from_u64(20);
+        let mut trace = TxTrace::default();
+        trace.frames.push(frame(0, trader, pair, "swap"));
+        assert!(identify_flash_loans(&record(trace)).is_empty());
+    }
+
+    #[test]
+    fn callback_without_prior_swap_is_not_a_flash_loan() {
+        let pair = Address::from_u64(10);
+        let borrower = Address::from_u64(20);
+        let mut trace = TxTrace::default();
+        trace.frames.push(frame(0, pair, borrower, "uniswapV2Call"));
+        assert!(identify_flash_loans(&record(trace)).is_empty());
+    }
+
+    #[test]
+    fn aave_signature() {
+        let pool = Address::from_u64(30);
+        let borrower = Address::from_u64(40);
+        let mut trace = TxTrace::default();
+        trace.frames.push(frame(0, borrower, pool, "flashLoan"));
+        trace.logs.push(EventLog {
+            seq: 1,
+            emitter: pool,
+            name: "FlashLoan".into(),
+            params: vec![
+                ("target".into(), LogValue::Addr(borrower)),
+                ("reserve".into(), LogValue::Token(TokenId::from_index(3))),
+                ("amount".into(), LogValue::Amount(5_000)),
+            ],
+        });
+        let loans = identify_flash_loans(&record(trace));
+        assert_eq!(loans.len(), 1);
+        assert_eq!(loans[0].provider, Provider::Aave);
+        assert_eq!(loans[0].token, Some(TokenId::from_index(3)));
+        assert_eq!(loans[0].amount, Some(5_000));
+    }
+
+    #[test]
+    fn aave_event_without_call_is_ignored() {
+        let pool = Address::from_u64(30);
+        let mut trace = TxTrace::default();
+        trace.logs.push(EventLog {
+            seq: 0,
+            emitter: pool,
+            name: "FlashLoan".into(),
+            params: vec![],
+        });
+        assert!(identify_flash_loans(&record(trace)).is_empty());
+    }
+
+    #[test]
+    fn dydx_needs_all_four_logs_in_order() {
+        let solo = Address::from_u64(50);
+        let borrower = Address::from_u64(60);
+        let log = |seq: u32, name: &str| EventLog {
+            seq,
+            emitter: solo,
+            name: name.into(),
+            params: vec![
+                ("account".into(), LogValue::Addr(borrower)),
+                ("market".into(), LogValue::Token(TokenId::ETH)),
+                ("amount".into(), LogValue::Amount(10_000)),
+            ],
+        };
+        // complete sequence
+        let mut trace = TxTrace::default();
+        for (i, n) in ["LogOperation", "LogWithdraw", "LogCall", "LogDeposit"]
+            .iter()
+            .enumerate()
+        {
+            trace.logs.push(log(i as u32, n));
+        }
+        let loans = identify_flash_loans(&record(trace));
+        assert_eq!(loans.len(), 1);
+        assert_eq!(loans[0].provider, Provider::Dydx);
+        assert_eq!(loans[0].borrower, borrower);
+        assert_eq!(loans[0].amount, Some(10_000));
+
+        // missing LogDeposit -> no loan
+        let mut trace = TxTrace::default();
+        for (i, n) in ["LogOperation", "LogWithdraw", "LogCall"].iter().enumerate() {
+            trace.logs.push(log(i as u32, n));
+        }
+        assert!(identify_flash_loans(&record(trace)).is_empty());
+
+        // out of order -> no loan
+        let mut trace = TxTrace::default();
+        for (i, n) in ["LogOperation", "LogCall", "LogWithdraw", "LogDeposit"]
+            .iter()
+            .enumerate()
+        {
+            trace.logs.push(log(i as u32, n));
+        }
+        assert!(identify_flash_loans(&record(trace)).is_empty());
+    }
+
+    #[test]
+    fn multiple_providers_in_one_tx() {
+        // Beanstalk-style: borrow from several providers at once.
+        let pair = Address::from_u64(10);
+        let pool = Address::from_u64(30);
+        let borrower = Address::from_u64(40);
+        let mut trace = TxTrace::default();
+        trace.frames.push(frame(0, borrower, pair, "swap"));
+        trace.frames.push(frame(1, pair, borrower, "uniswapV2Call"));
+        trace.frames.push(frame(2, borrower, pool, "flashLoan"));
+        trace.logs.push(EventLog {
+            seq: 3,
+            emitter: pool,
+            name: "FlashLoan".into(),
+            params: vec![("target".into(), LogValue::Addr(borrower))],
+        });
+        let loans = identify_flash_loans(&record(trace));
+        assert_eq!(loans.len(), 2);
+        let providers: Vec<_> = loans.iter().map(|l| l.provider).collect();
+        assert!(providers.contains(&Provider::Uniswap));
+        assert!(providers.contains(&Provider::Aave));
+    }
+}

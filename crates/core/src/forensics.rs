@@ -1,0 +1,259 @@
+//! Post-attack profit tracing (paper §VI-D2).
+//!
+//! "Almost all attackers transfer their attack profit with the method of
+//! money laundering. Specifically, some attackers transfer profits through
+//! multi-level intermediary accounts, which are also controlled by the
+//! attacker. And some attackers utilize coin-mixing services, e.g.,
+//! Tornado Cash, to avoid tracking."
+//!
+//! [`trace_exits`] follows an attacker cluster's outgoing funds across a
+//! window of subsequent transactions: addresses that receive from the
+//! cluster and forward onwards are treated as intermediaries; terminal
+//! sinks are classified as direct cash-outs, multi-level laundering chains,
+//! or coin-mixer deposits (by the sink's application tag).
+
+use std::collections::{HashMap, HashSet};
+
+use ethsim::{Address, CreationIndex, TokenId, TxRecord};
+use serde::{Deserialize, Serialize};
+
+use crate::labels::Labels;
+use crate::tagging::{tag_of, Tag};
+
+/// How the funds left the attacker's reach.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ExitKind {
+    /// One hop from the cluster to an unrelated account.
+    Direct,
+    /// Two or more intermediary hops before the terminal sink.
+    MultiLevel {
+        /// Number of intermediary accounts traversed.
+        hops: u32,
+    },
+    /// Deposited into a labeled coin-mixing service.
+    CoinMixer,
+}
+
+/// One traced profit exit.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct ExitReport {
+    /// Terminal receiving account (for mixers, the mixer contract).
+    pub sink: Address,
+    /// Application tag of the sink.
+    pub sink_tag: Tag,
+    /// Exit classification.
+    pub kind: ExitKind,
+    /// Amount arriving at the sink (raw units).
+    pub amount: u128,
+    /// Asset.
+    pub token: TokenId,
+    /// The full path from the cluster boundary to the sink
+    /// (intermediaries + sink).
+    pub path: Vec<Address>,
+}
+
+/// Follows funds leaving `cluster` through `txs` (chronological) and
+/// classifies every terminal sink.
+///
+/// An address is an *intermediary* when it first receives traced funds and
+/// later forwards funds onward within the window; an address that receives
+/// and never forwards is a *sink*. Deposits into accounts tagged with one
+/// of `mixer_apps` are classified [`ExitKind::CoinMixer`] immediately.
+pub fn trace_exits(
+    txs: &[&TxRecord],
+    cluster: &HashSet<Address>,
+    labels: &Labels,
+    creations: &CreationIndex,
+    mixer_apps: &[&str],
+) -> Vec<ExitReport> {
+    // hop count at which each traced address received funds (cluster = 0)
+    let mut depth: HashMap<Address, u32> = cluster.iter().map(|a| (*a, 0)).collect();
+    // (receiver, token) -> (amount, path to receiver)
+    let mut pending: HashMap<(Address, TokenId), (u128, Vec<Address>)> = HashMap::new();
+    let mut exits = Vec::new();
+
+    for tx in txs {
+        for t in &tx.trace.transfers {
+            let Some(&d) = depth.get(&t.sender) else {
+                continue;
+            };
+            if t.receiver.is_zero() || cluster.contains(&t.receiver) {
+                continue; // burns and intra-cluster shuffles
+            }
+            // sender forwards: whatever it was holding is now "in flight"
+            let prior_path = pending
+                .get(&(t.sender, t.token))
+                .map(|(_, p)| p.clone())
+                .unwrap_or_default();
+            let mut path = prior_path;
+            path.push(t.receiver);
+
+            let tag = tag_of(t.receiver, labels, creations);
+            let is_mixer = tag
+                .app_name()
+                .map(|a| mixer_apps.contains(&a))
+                .unwrap_or(false);
+            if is_mixer {
+                exits.push(ExitReport {
+                    sink: t.receiver,
+                    sink_tag: tag,
+                    kind: ExitKind::CoinMixer,
+                    amount: t.amount,
+                    token: t.token,
+                    path,
+                });
+                continue;
+            }
+            let _ = d;
+            depth.entry(t.receiver).or_insert(d + 1);
+            // The receiver holds the funds until (unless) it forwards.
+            let entry = pending.entry((t.receiver, t.token)).or_insert((0, path));
+            entry.0 = entry.0.saturating_add(t.amount);
+        }
+        // When a traced holder forwards, its pending entry is consumed.
+        for t in &tx.trace.transfers {
+            if depth.contains_key(&t.sender) && !cluster.contains(&t.sender) {
+                if let Some(entry) = pending.get_mut(&(t.sender, t.token)) {
+                    entry.0 = entry.0.saturating_sub(t.amount);
+                }
+            }
+        }
+    }
+
+    // Anything still pending is a terminal sink.
+    for ((addr, token), (amount, path)) in pending {
+        if amount == 0 {
+            continue;
+        }
+        let hops = depth.get(&addr).copied().unwrap_or(1);
+        exits.push(ExitReport {
+            sink: addr,
+            sink_tag: tag_of(addr, labels, creations),
+            kind: if hops <= 1 {
+                ExitKind::Direct
+            } else {
+                ExitKind::MultiLevel { hops: hops - 1 }
+            },
+            amount,
+            token,
+            path,
+        });
+    }
+    exits.sort_by_key(|e| std::cmp::Reverse(e.amount));
+    exits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ethsim::{Transfer, TxId, TxStatus, TxTrace};
+
+    fn tx(transfers: &[(u64, u64, u128)]) -> TxRecord {
+        let mut trace = TxTrace::default();
+        for (i, (s, r, a)) in transfers.iter().copied().enumerate() {
+            trace.transfers.push(Transfer {
+                seq: i as u32,
+                sender: Address::from_u64(s),
+                receiver: Address::from_u64(r),
+                amount: a,
+                token: TokenId::ETH,
+            });
+        }
+        TxRecord {
+            id: TxId(0),
+            block: 0,
+            timestamp: 0,
+            from: Address::from_u64(1),
+            to: Address::from_u64(1),
+            function: "f".into(),
+            status: TxStatus::Success,
+            trace,
+        }
+    }
+
+    fn cluster(ids: &[u64]) -> HashSet<Address> {
+        ids.iter().map(|i| Address::from_u64(*i)).collect()
+    }
+
+    #[test]
+    fn direct_exit_is_one_hop() {
+        let txs = [tx(&[(1, 10, 500)])];
+        let refs: Vec<&TxRecord> = txs.iter().collect();
+        let labels = Labels::new();
+        let idx = CreationIndex::new(&[]);
+        let exits = trace_exits(&refs, &cluster(&[1]), &labels, &idx, &["Tornado Cash"]);
+        assert_eq!(exits.len(), 1);
+        assert_eq!(exits[0].kind, ExitKind::Direct);
+        assert_eq!(exits[0].amount, 500);
+        assert_eq!(exits[0].sink, Address::from_u64(10));
+    }
+
+    #[test]
+    fn multi_level_chain_is_traced_to_terminal() {
+        // 1 -> 10 -> 11 -> 12 across three txs; 12 never forwards.
+        let txs = [
+            tx(&[(1, 10, 500)]),
+            tx(&[(10, 11, 500)]),
+            tx(&[(11, 12, 499)]),
+        ];
+        let refs: Vec<&TxRecord> = txs.iter().collect();
+        let labels = Labels::new();
+        let idx = CreationIndex::new(&[]);
+        let exits = trace_exits(&refs, &cluster(&[1]), &labels, &idx, &[]);
+        // terminal sink is 12 with 2 intermediaries (10, 11)
+        let terminal = exits
+            .iter()
+            .find(|e| e.sink == Address::from_u64(12))
+            .expect("terminal traced");
+        assert_eq!(terminal.kind, ExitKind::MultiLevel { hops: 2 });
+        assert_eq!(terminal.path.len(), 3);
+        assert_eq!(terminal.amount, 499);
+    }
+
+    #[test]
+    fn mixer_deposits_are_classified() {
+        let mixer = Address::from_u64(77);
+        let mut labels = Labels::new();
+        labels.set(mixer, "Tornado Cash");
+        let txs = [tx(&[(1, 77, 100)])];
+        let refs: Vec<&TxRecord> = txs.iter().collect();
+        let idx = CreationIndex::new(&[]);
+        let exits = trace_exits(&refs, &cluster(&[1]), &labels, &idx, &["Tornado Cash"]);
+        assert_eq!(exits.len(), 1);
+        assert_eq!(exits[0].kind, ExitKind::CoinMixer);
+        assert_eq!(exits[0].sink, mixer);
+    }
+
+    #[test]
+    fn intra_cluster_and_burns_are_ignored() {
+        let txs = [tx(&[(1, 2, 100), (1, 0, 50)])];
+        let refs: Vec<&TxRecord> = txs.iter().collect();
+        let labels = Labels::new();
+        let idx = CreationIndex::new(&[]);
+        let exits = trace_exits(&refs, &cluster(&[1, 2]), &labels, &idx, &[]);
+        assert!(exits.is_empty());
+    }
+
+    #[test]
+    fn untraced_senders_do_not_trigger() {
+        let txs = [tx(&[(50, 60, 100)])];
+        let refs: Vec<&TxRecord> = txs.iter().collect();
+        let labels = Labels::new();
+        let idx = CreationIndex::new(&[]);
+        assert!(trace_exits(&refs, &cluster(&[1]), &labels, &idx, &[]).is_empty());
+    }
+
+    #[test]
+    fn partial_forwarding_leaves_residual_sink() {
+        // 10 receives 500, forwards 300 to 11: both are sinks (200 + 300).
+        let txs = [tx(&[(1, 10, 500)]), tx(&[(10, 11, 300)])];
+        let refs: Vec<&TxRecord> = txs.iter().collect();
+        let labels = Labels::new();
+        let idx = CreationIndex::new(&[]);
+        let exits = trace_exits(&refs, &cluster(&[1]), &labels, &idx, &[]);
+        let by_sink: HashMap<Address, u128> =
+            exits.iter().map(|e| (e.sink, e.amount)).collect();
+        assert_eq!(by_sink[&Address::from_u64(10)], 200);
+        assert_eq!(by_sink[&Address::from_u64(11)], 300);
+    }
+}

@@ -1,0 +1,132 @@
+//! Keep Dumping Price (KDP) — an **experimental** fourth pattern.
+//!
+//! The paper's §VII acknowledges that "more attack patterns beyond the
+//! scope of 22 flpAttacks may be missed". One shape its three patterns
+//! cannot express is the *inverse* manipulation: dump a (minted or
+//! borrowed) token to crash its price, then re-accumulate cheaply — the
+//! MY FARM PET incident's structure, which Table I leaves unclassified.
+//!
+//! KDP matches when the borrower **sells** the target token, later **buys
+//! it back** at a price at least [`DetectorConfig::kdp_min_drop`] below the
+//! sale price, and ends up a *net dumper* (sold more than re-accumulated —
+//! this excludes the mirror image of ordinary profitable round trips,
+//! where the "dump" of the quote token is just the payment leg). It is
+//! disabled by default ([`DetectorConfig::experimental_kdp`]) and excluded
+//! from every paper-reproduction figure; the `ablation` bench reports what
+//! enabling it changes.
+
+use crate::config::DetectorConfig;
+use crate::patterns::{borrower_pairs, buys_of, sells_of, PatternKind, PatternMatch};
+use crate::tagging::Tag;
+use crate::trades::TradeLeg;
+
+/// Detects KDP instances across all token pairs.
+pub fn detect(
+    legs: &[TradeLeg<'_>],
+    borrower: &Tag,
+    config: &DetectorConfig,
+) -> Vec<PatternMatch> {
+    let mut out = Vec::new();
+    for (quote, target) in borrower_pairs(legs, borrower) {
+        let sells = sells_of(legs, Some(borrower), quote, target);
+        let buys = buys_of(legs, Some(borrower), quote, target);
+        let mut found = false;
+        for dump in &sells {
+            if found {
+                break;
+            }
+            let Some(dump_rate) = dump.sell_rate() else { continue };
+            for rebuy in &buys {
+                if rebuy.seq <= dump.seq {
+                    continue;
+                }
+                if rebuy.buy_amount >= dump.sell_amount {
+                    continue; // not a net dump: the mirror of a pump/dump
+                }
+                let Some(rebuy_rate) = rebuy.buy_rate() else { continue };
+                if rebuy_rate >= dump_rate {
+                    continue; // must re-accumulate cheaper
+                }
+                let drop = (dump_rate - rebuy_rate) / dump_rate;
+                if drop >= config.kdp_min_drop {
+                    out.push(PatternMatch {
+                        kind: PatternKind::Kdp,
+                        target_token: target,
+                        quote_token: quote,
+                        trade_seqs: vec![dump.seq, rebuy.seq],
+                        volatility: drop,
+                        counterparty: dump.seller.to_string(),
+                    });
+                    found = true;
+                    break;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::all_legs;
+    use crate::patterns::testutil::{app, buy, sell, tk};
+
+    fn kdp_config() -> DetectorConfig {
+        DetectorConfig {
+            experimental_kdp: true,
+            ..DetectorConfig::paper()
+        }
+    }
+
+    #[test]
+    fn dump_then_cheap_rebuy_matches() {
+        let e = app("E");
+        let v = app("MY FARM PET");
+        // dump 2M PET @0.2 DAI, rebuy 500k @0.1
+        let trades = vec![
+            sell(0, &e, &v, 2_000_000, 1, 400_000, 0),
+            buy(1, &e, &v, 50_000, 0, 500_000, 1),
+        ];
+        let m = detect(&all_legs(&trades), &e, &kdp_config());
+        assert_eq!(m.len(), 1);
+        assert_eq!(m[0].kind, PatternKind::Kdp);
+        assert_eq!(m[0].target_token, tk(1));
+        assert!((m[0].volatility - 0.5).abs() < 1e-9, "{}", m[0].volatility);
+    }
+
+    #[test]
+    fn rebuy_at_higher_price_is_benign() {
+        let e = app("E");
+        let v = app("V");
+        // sells at 0.1, rebuys at 0.2 (ordinary loss-making churn)
+        let trades = vec![
+            sell(0, &e, &v, 1_000_000, 1, 100_000, 0),
+            buy(1, &e, &v, 100_000, 0, 500_000, 1),
+        ];
+        assert!(detect(&all_legs(&trades), &e, &kdp_config()).is_empty());
+    }
+
+    #[test]
+    fn small_drops_are_below_threshold() {
+        let e = app("E");
+        let v = app("V");
+        // 10% drop < the 50% default
+        let trades = vec![
+            sell(0, &e, &v, 1_000_000, 1, 200_000, 0),
+            buy(1, &e, &v, 180_000, 0, 1_000_000, 1),
+        ];
+        assert!(detect(&all_legs(&trades), &e, &kdp_config()).is_empty());
+    }
+
+    #[test]
+    fn buy_before_dump_does_not_match() {
+        let e = app("E");
+        let v = app("V");
+        let trades = vec![
+            buy(0, &e, &v, 50_000, 0, 500_000, 1),
+            sell(1, &e, &v, 2_000_000, 1, 400_000, 0),
+        ];
+        assert!(detect(&all_legs(&trades), &e, &kdp_config()).is_empty());
+    }
+}

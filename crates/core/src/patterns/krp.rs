@@ -1,0 +1,175 @@
+//! Keep Raising Price (KRP) — paper §IV-B1, Fig. 4(a).
+//!
+//! The borrower buys the target token in `trade₁…trade_N` and sells it in
+//! `trade_{N+1}`, subject to:
+//!
+//! * (a) all buys share one seller (`trade₁.seller = trade_i.seller`);
+//! * (b) the buy price rises: `rate(trade₁) < rate(trade_N)`;
+//! * (c) `N ≥ 5` (the minimum over real-world KRP attacks; bZx-2 used 18).
+
+use crate::config::DetectorConfig;
+use crate::patterns::{borrower_pairs, buys_of, sells_of, PatternKind, PatternMatch};
+use crate::tagging::Tag;
+use crate::trades::TradeLeg;
+
+/// Detects KRP instances across all token pairs.
+pub fn detect(
+    legs: &[TradeLeg<'_>],
+    borrower: &Tag,
+    config: &DetectorConfig,
+) -> Vec<PatternMatch> {
+    let mut out = Vec::new();
+    for (quote, target) in borrower_pairs(legs, borrower) {
+        let buys = buys_of(legs, Some(borrower), quote, target);
+        let sells = sells_of(legs, Some(borrower), quote, target);
+        if sells.is_empty() {
+            continue;
+        }
+        // Group buys by seller (condition a).
+        let mut sellers: Vec<&Tag> = Vec::new();
+        for b in &buys {
+            if !sellers.contains(&b.seller) {
+                sellers.push(b.seller);
+            }
+        }
+        'sellers: for seller in sellers {
+            let series: Vec<&&TradeLeg<'_>> =
+                buys.iter().filter(|b| b.seller == seller).collect();
+            for sell in &sells {
+                let prefix: Vec<&&&TradeLeg<'_>> =
+                    series.iter().filter(|b| b.seq < sell.seq).collect();
+                if prefix.len() < config.krp_min_buys {
+                    continue;
+                }
+                let first_rate = prefix.first().and_then(|l| l.buy_rate());
+                let last_rate = prefix.last().and_then(|l| l.buy_rate());
+                let (Some(first), Some(last)) = (first_rate, last_rate) else {
+                    continue;
+                };
+                if first < last {
+                    let mut seqs: Vec<u32> = prefix.iter().map(|l| l.seq).collect();
+                    seqs.push(sell.seq);
+                    out.push(PatternMatch {
+                        kind: PatternKind::Krp,
+                        target_token: target,
+                        quote_token: quote,
+                        trade_seqs: seqs,
+                        volatility: (last - first) / first,
+                        counterparty: seller.to_string(),
+                    });
+                    continue 'sellers; // one match per (pair, seller)
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::testutil::{app, buy, sell, tk};
+    use crate::patterns::all_legs;
+    use crate::trades::Trade;
+
+    /// bZx-2 shape: N buys of the target at rising prices, then a sell.
+    fn krp_trades(n: u32, borrower: &Tag, seller: &Tag) -> Vec<Trade> {
+        let mut trades = Vec::new();
+        for i in 0..n {
+            // constant 20 ETH in, decreasing sUSD out => rising price
+            trades.push(buy(i, borrower, seller, 20_000, 0, 5_000 - 100 * i as u128, 1));
+        }
+        trades.push(sell(
+            n,
+            borrower,
+            &app("bZx"),
+            (5_000 - 50 * n as u128) * n as u128,
+            1,
+            30_000 * n as u128,
+            0,
+        ));
+        trades
+    }
+
+    #[test]
+    fn detects_bzx2_style_series() {
+        let e = app("root:E");
+        let uni = app("Uniswap");
+        let trades = krp_trades(18, &e, &uni);
+        let legs = all_legs(&trades);
+        let matches = detect(&legs, &e, &DetectorConfig::default());
+        assert_eq!(matches.len(), 1);
+        let m = &matches[0];
+        assert_eq!(m.kind, PatternKind::Krp);
+        assert_eq!(m.target_token, tk(1));
+        assert_eq!(m.trade_seqs.len(), 19);
+        assert!(m.volatility > 0.0);
+        assert_eq!(m.counterparty, "Uniswap");
+    }
+
+    #[test]
+    fn respects_minimum_buy_count() {
+        let e = app("E");
+        let uni = app("Uniswap");
+        let cfg = DetectorConfig::default();
+        // 4 buys < 5 -> no match
+        assert!(detect(&all_legs(&krp_trades(4, &e, &uni)), &e, &cfg).is_empty());
+        // exactly 5 -> match
+        assert_eq!(detect(&all_legs(&krp_trades(5, &e, &uni)), &e, &cfg).len(), 1);
+        // relaxed config accepts 3
+        assert_eq!(
+            detect(&all_legs(&krp_trades(3, &e, &uni)), &e, &DetectorConfig::relaxed()).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn requires_rising_price() {
+        let e = app("E");
+        let uni = app("Uniswap");
+        let mut trades = Vec::new();
+        for i in 0..8u32 {
+            // increasing output => *falling* price
+            trades.push(buy(i, &e, &uni, 20_000, 0, 5_000 + 100 * i as u128, 1));
+        }
+        trades.push(sell(8, &e, &uni, 40_000, 1, 200_000, 0));
+        assert!(detect(&all_legs(&trades), &e, &DetectorConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn requires_single_seller_for_buys() {
+        let e = app("E");
+        let mut trades = Vec::new();
+        for i in 0..8u32 {
+            let seller = app(if i % 2 == 0 { "Uni" } else { "Sushi" });
+            trades.push(buy(i, &e, &seller, 20_000, 0, 5_000 - 100 * i as u128, 1));
+        }
+        trades.push(sell(8, &e, &app("Uni"), 30_000, 1, 200_000, 0));
+        // 4 buys per seller < 5
+        assert!(detect(&all_legs(&trades), &e, &DetectorConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn requires_final_sell_after_buys() {
+        let e = app("E");
+        let uni = app("Uni");
+        let mut trades = Vec::new();
+        // the sell comes FIRST -> prefix of buys before it is empty
+        trades.push(sell(0, &e, &uni, 30_000, 1, 200_000, 0));
+        for i in 1..9u32 {
+            trades.push(buy(i, &e, &uni, 20_000, 0, 5_000 - 100 * i as u128, 1));
+        }
+        assert!(detect(&all_legs(&trades), &e, &DetectorConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn other_accounts_buys_do_not_count() {
+        let e = app("E");
+        let someone = app("S");
+        let uni = app("Uni");
+        let mut trades = krp_trades(6, &someone, &uni);
+        trades.push(sell(100, &e, &uni, 10, 1, 10, 0));
+        // E never bought; S's buys are not E's
+        assert!(detect(&all_legs(&trades), &e, &DetectorConfig::default()).is_empty());
+    }
+}

@@ -1,0 +1,195 @@
+//! Multi-Round Buying and Selling (MBS) — paper §IV-B3, Fig. 4(c).
+//!
+//! The borrower repeats buy-then-sell rounds on the target token,
+//! subject to:
+//!
+//! * (a) one counterparty: `trade₁.seller = trade₂.seller`;
+//! * (b) each round is profitable: buy price < sell price;
+//! * (c) at least `N ≥ 3` rounds (Harvest Finance ran exactly 3).
+
+use crate::config::DetectorConfig;
+use crate::patterns::{borrower_pairs, buys_of, sells_of, PatternKind, PatternMatch};
+use crate::tagging::Tag;
+use crate::trades::TradeLeg;
+
+/// Detects MBS instances across all token pairs.
+pub fn detect(
+    legs: &[TradeLeg<'_>],
+    borrower: &Tag,
+    config: &DetectorConfig,
+) -> Vec<PatternMatch> {
+    let mut out = Vec::new();
+    for (quote, target) in borrower_pairs(legs, borrower) {
+        let buys = buys_of(legs, Some(borrower), quote, target);
+        let sells = sells_of(legs, Some(borrower), quote, target);
+        // Candidate counterparties (condition a: shared seller).
+        let mut sellers: Vec<&Tag> = Vec::new();
+        for l in buys.iter().chain(sells.iter()) {
+            if !sellers.contains(&l.seller) {
+                sellers.push(l.seller);
+            }
+        }
+        for seller in sellers {
+            // Interleave this seller's buys and sells by sequence.
+            let mut events: Vec<(bool, &&TradeLeg<'_>)> = buys
+                .iter()
+                .filter(|l| l.seller == seller)
+                .map(|l| (true, l))
+                .chain(sells.iter().filter(|l| l.seller == seller).map(|l| (false, l)))
+                .collect();
+            events.sort_by_key(|(_, l)| l.seq);
+
+            let mut pending_buy: Option<&TradeLeg<'_>> = None;
+            let mut rounds: Vec<(u32, u32)> = Vec::new();
+            let mut min_rate = f64::INFINITY;
+            let mut max_rate = f64::NEG_INFINITY;
+            for (is_buy, leg) in events {
+                if is_buy {
+                    pending_buy = Some(leg);
+                } else if let Some(b) = pending_buy.take() {
+                    let (Some(buy_price), Some(sell_price)) = (b.buy_rate(), leg.sell_rate())
+                    else {
+                        continue;
+                    };
+                    if buy_price < sell_price {
+                        rounds.push((b.seq, leg.seq));
+                        min_rate = min_rate.min(buy_price);
+                        max_rate = max_rate.max(sell_price);
+                    }
+                }
+            }
+            if rounds.len() >= config.mbs_min_rounds {
+                out.push(PatternMatch {
+                    kind: PatternKind::Mbs,
+                    target_token: target,
+                    quote_token: quote,
+                    trade_seqs: rounds.iter().flat_map(|(b, s)| [*b, *s]).collect(),
+                    volatility: if min_rate > 0.0 {
+                        (max_rate - min_rate) / min_rate
+                    } else {
+                        0.0
+                    },
+                    counterparty: seller.to_string(),
+                });
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::all_legs;
+    use crate::patterns::testutil::{app, buy, sell, tk};
+    use crate::trades::Trade;
+
+    /// Harvest shape: rounds of deposit/withdraw against one vault with a
+    /// small per-round gain. Token 0 = USDC (quote), token 1 = fUSDC.
+    fn harvest_trades(rounds: u32, borrower: &Tag, vault: &Tag) -> Vec<Trade> {
+        let mut trades = Vec::new();
+        for r in 0..rounds {
+            // buy ~51.4M fUSDC with ~50.0M USDC (price 0.9713)
+            trades.push(buy(
+                2 * r,
+                borrower,
+                vault,
+                49_977_468,
+                0,
+                51_456_280,
+                1,
+            ));
+            // sell the fUSDC back for 50.3M USDC (price 0.9775)
+            trades.push(sell(
+                2 * r + 1,
+                borrower,
+                vault,
+                51_456_280,
+                1,
+                50_298_684,
+                0,
+            ));
+        }
+        trades
+    }
+
+    #[test]
+    fn detects_harvest_three_rounds() {
+        let e = app("root:E");
+        let vault = app("Harvest Finance");
+        let trades = harvest_trades(3, &e, &vault);
+        let matches = detect(&all_legs(&trades), &e, &DetectorConfig::default());
+        assert_eq!(matches.len(), 1);
+        let m = &matches[0];
+        assert_eq!(m.kind, PatternKind::Mbs);
+        assert_eq!(m.target_token, tk(1));
+        assert_eq!(m.trade_seqs.len(), 6);
+        assert_eq!(m.counterparty, "Harvest Finance");
+        // Harvest's volatility was ~0.5%
+        assert!(m.volatility > 0.001 && m.volatility < 0.05, "{}", m.volatility);
+    }
+
+    #[test]
+    fn two_rounds_are_not_enough() {
+        let e = app("E");
+        let vault = app("V");
+        let trades = harvest_trades(2, &e, &vault);
+        assert!(detect(&all_legs(&trades), &e, &DetectorConfig::default()).is_empty());
+        // relaxed config (2 rounds) accepts
+        assert_eq!(
+            detect(&all_legs(&trades), &e, &DetectorConfig::relaxed()).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn unprofitable_rounds_do_not_count() {
+        let e = app("E");
+        let vault = app("V");
+        let mut trades = Vec::new();
+        for r in 0..4u32 {
+            trades.push(buy(2 * r, &e, &vault, 50_000_000, 0, 50_000_000, 1));
+            // sells at a LOSS
+            trades.push(sell(2 * r + 1, &e, &vault, 50_000_000, 1, 49_000_000, 0));
+        }
+        assert!(detect(&all_legs(&trades), &e, &DetectorConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn rounds_against_different_sellers_do_not_combine() {
+        let e = app("E");
+        let mut trades = Vec::new();
+        for r in 0..3u32 {
+            let vault = app(if r % 2 == 0 { "V1" } else { "V2" });
+            trades.push(buy(2 * r, &e, &vault, 50_000_000, 0, 51_000_000, 1));
+            trades.push(sell(2 * r + 1, &e, &vault, 51_000_000, 1, 50_500_000, 0));
+        }
+        // V1 has 2 rounds, V2 has 1 — neither reaches 3.
+        assert!(detect(&all_legs(&trades), &e, &DetectorConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn interleaved_unrelated_trades_do_not_break_rounds() {
+        let e = app("E");
+        let vault = app("V");
+        let other = app("Other");
+        let mut trades = harvest_trades(3, &e, &vault);
+        // noise on an unrelated pair, interleaved sequence numbers
+        trades.push(buy(100, &e, &other, 5, 2, 5, 3));
+        let matches = detect(&all_legs(&trades), &e, &DetectorConfig::default());
+        assert_eq!(matches.len(), 1);
+    }
+
+    #[test]
+    fn sell_before_any_buy_is_ignored() {
+        let e = app("E");
+        let vault = app("V");
+        let mut trades = vec![sell(0, &e, &vault, 10, 1, 100, 0)];
+        trades.extend(harvest_trades(2, &e, &vault).into_iter().map(|mut t| {
+            t.seq += 1;
+            t
+        }));
+        // leading sell has no pending buy; still only 2 rounds
+        assert!(detect(&all_legs(&trades), &e, &DetectorConfig::default()).is_empty());
+    }
+}

@@ -1,0 +1,248 @@
+//! The three flpAttack patterns (paper §IV-B, Fig. 4).
+//!
+//! Each matcher consumes the borrower's identified trades and reports
+//! every `(quote, target)` token pair on which its pattern holds:
+//!
+//! * [`krp`] — Keep Raising Price,
+//! * [`sbs`] — Symmetrical Buying and Selling,
+//! * [`mbs`] — Multi-Round Buying and Selling.
+//!
+//! Rates follow the paper's convention: a *buy* of the target token has
+//! price `amountSell / amountBuy` (quote per target); a *sell* has price
+//! `amountBuy / amountSell`.
+//!
+//! One deliberate reading of the paper: SBS's middle (pump) trade is
+//! matched for **any** buyer, not just the borrower. In bZx-1 the pump is
+//! executed *by bZx* (financed margin trade) at the borrower's direction;
+//! the paper both classifies bZx-1 as SBS and stresses that the bZx↔Uniswap
+//! trade is essential (§VI-B), which is only consistent if the pump leg may
+//! belong to an intermediate application. The symmetric legs (trade₁,
+//! trade₃) remain strictly the borrower's.
+
+pub mod kdp;
+pub mod krp;
+pub mod mbs;
+pub mod sbs;
+
+use ethsim::TokenId;
+use serde::{Deserialize, Serialize};
+
+use crate::config::DetectorConfig;
+use crate::tagging::Tag;
+use crate::trades::{Trade, TradeLeg};
+
+/// Which attack pattern matched.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum PatternKind {
+    /// Keep Raising Price.
+    Krp,
+    /// Symmetrical Buying and Selling.
+    Sbs,
+    /// Multi-Round Buying and Selling.
+    Mbs,
+    /// Keep Dumping Price — experimental, opt-in
+    /// ([`DetectorConfig::experimental_kdp`]); never part of the paper's
+    /// three patterns.
+    Kdp,
+}
+
+impl std::fmt::Display for PatternKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PatternKind::Krp => write!(f, "KRP"),
+            PatternKind::Sbs => write!(f, "SBS"),
+            PatternKind::Mbs => write!(f, "MBS"),
+            PatternKind::Kdp => write!(f, "KDP*"),
+        }
+    }
+}
+
+/// One matched pattern instance.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct PatternMatch {
+    /// Matched pattern.
+    pub kind: PatternKind,
+    /// The manipulated (target) token.
+    pub target_token: TokenId,
+    /// The token the target is priced in.
+    pub quote_token: TokenId,
+    /// `seq`s of the trades forming the pattern, in order.
+    pub trade_seqs: Vec<u32>,
+    /// Price volatility across the pattern's trades, as a fraction
+    /// (1.25 ⇒ 125%).
+    pub volatility: f64,
+    /// Display name of the principal counterparty (the repeated seller).
+    pub counterparty: String,
+}
+
+/// Runs all three matchers and returns every match.
+pub fn match_all(
+    trades: &[Trade],
+    borrower: &Tag,
+    config: &DetectorConfig,
+) -> Vec<PatternMatch> {
+    let legs = all_legs(trades);
+    let mut out = Vec::new();
+    out.extend(krp::detect(&legs, borrower, config));
+    out.extend(sbs::detect(&legs, borrower, config));
+    out.extend(mbs::detect(&legs, borrower, config));
+    if config.experimental_kdp {
+        out.extend(kdp::detect(&legs, borrower, config));
+    }
+    out
+}
+
+/// Flattens trades into single-pair legs sorted by sequence.
+pub fn all_legs(trades: &[Trade]) -> Vec<TradeLeg<'_>> {
+    let mut legs: Vec<TradeLeg<'_>> = trades.iter().flat_map(Trade::views).collect();
+    legs.sort_by_key(|l| l.seq);
+    legs
+}
+
+/// Distinct `(quote, target)` pairs traded by `borrower` (both directions
+/// projected onto the target side).
+pub(crate) fn borrower_pairs(legs: &[TradeLeg<'_>], borrower: &Tag) -> Vec<(TokenId, TokenId)> {
+    let mut pairs = Vec::new();
+    let mut push = |q: TokenId, t: TokenId| {
+        if !pairs.contains(&(q, t)) {
+            pairs.push((q, t));
+        }
+    };
+    for l in legs.iter().filter(|l| l.buyer == borrower) {
+        push(l.sell_token, l.buy_token); // bought target priced in sold quote
+        push(l.buy_token, l.sell_token); // sold target priced in bought quote
+    }
+    pairs
+}
+
+/// Buy legs of `target` priced in `quote` by `buyer` (sorted by seq on
+/// input order).
+pub(crate) fn buys_of<'a, 'b>(
+    legs: &'b [TradeLeg<'a>],
+    buyer: Option<&Tag>,
+    quote: TokenId,
+    target: TokenId,
+) -> Vec<&'b TradeLeg<'a>> {
+    legs.iter()
+        .filter(|l| l.buy_token == target && l.sell_token == quote && l.buy_amount > 0 && l.sell_amount > 0)
+        .filter(|l| buyer.is_none_or(|b| l.buyer == b))
+        .collect()
+}
+
+/// Sell legs of `target` priced in `quote` by `buyer`.
+pub(crate) fn sells_of<'a, 'b>(
+    legs: &'b [TradeLeg<'a>],
+    buyer: Option<&Tag>,
+    quote: TokenId,
+    target: TokenId,
+) -> Vec<&'b TradeLeg<'a>> {
+    legs.iter()
+        .filter(|l| l.sell_token == target && l.buy_token == quote && l.buy_amount > 0 && l.sell_amount > 0)
+        .filter(|l| buyer.is_none_or(|b| l.buyer == b))
+        .collect()
+}
+
+#[cfg(test)]
+pub(crate) mod testutil {
+    use super::*;
+    use crate::trades::TradeKind;
+
+    pub fn app(s: &str) -> Tag {
+        Tag::App(s.into())
+    }
+
+    pub fn tk(i: u32) -> TokenId {
+        TokenId::from_index(i)
+    }
+
+    /// A buy of `target` with `quote`: buyer gives `sell`, receives `buy`.
+    pub fn buy(
+        seq: u32,
+        buyer: &Tag,
+        seller: &Tag,
+        sell: u128,
+        quote: u32,
+        buy: u128,
+        target: u32,
+    ) -> Trade {
+        Trade {
+            seq,
+            kind: TradeKind::Swap,
+            buyer: buyer.clone(),
+            seller: seller.clone(),
+            sells: vec![(sell, tk(quote))],
+            buys: vec![(buy, tk(target))],
+        }
+    }
+
+    /// A sell of `target` for `quote`.
+    pub fn sell(
+        seq: u32,
+        buyer: &Tag,
+        seller: &Tag,
+        sell: u128,
+        target: u32,
+        buy: u128,
+        quote: u32,
+    ) -> Trade {
+        Trade {
+            seq,
+            kind: TradeKind::Swap,
+            buyer: buyer.clone(),
+            seller: seller.clone(),
+            sells: vec![(sell, tk(target))],
+            buys: vec![(buy, tk(quote))],
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::testutil::*;
+    use super::*;
+
+    #[test]
+    fn legs_are_seq_sorted() {
+        let e = app("E");
+        let u = app("Uni");
+        let trades = vec![buy(5, &e, &u, 10, 0, 1, 1), buy(2, &e, &u, 10, 0, 2, 1)];
+        let legs = all_legs(&trades);
+        assert_eq!(legs[0].seq, 2);
+        assert_eq!(legs[1].seq, 5);
+    }
+
+    #[test]
+    fn borrower_pairs_are_both_directions_deduped() {
+        let e = app("E");
+        let u = app("Uni");
+        let trades = vec![
+            buy(0, &e, &u, 10, 0, 1, 1),
+            sell(1, &e, &u, 1, 1, 10, 0),
+            // someone else's trade is ignored
+            buy(2, &u, &e, 7, 3, 1, 4),
+        ];
+        let legs = all_legs(&trades);
+        let pairs = borrower_pairs(&legs, &e);
+        assert_eq!(pairs.len(), 2);
+        assert!(pairs.contains(&(tk(0), tk(1))));
+        assert!(pairs.contains(&(tk(1), tk(0))));
+    }
+
+    #[test]
+    fn buys_and_sells_filter_by_buyer() {
+        let e = app("E");
+        let u = app("Uni");
+        let trades = vec![buy(0, &e, &u, 10, 0, 1, 1), buy(1, &u, &e, 10, 0, 1, 1)];
+        let legs = all_legs(&trades);
+        assert_eq!(buys_of(&legs, Some(&e), tk(0), tk(1)).len(), 1);
+        assert_eq!(buys_of(&legs, None, tk(0), tk(1)).len(), 2);
+        assert!(sells_of(&legs, Some(&e), tk(0), tk(1)).is_empty());
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(PatternKind::Krp.to_string(), "KRP");
+        assert_eq!(PatternKind::Sbs.to_string(), "SBS");
+        assert_eq!(PatternKind::Mbs.to_string(), "MBS");
+    }
+}

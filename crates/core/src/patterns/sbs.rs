@@ -1,0 +1,211 @@
+//! Symmetrical Buying and Selling (SBS) — paper §IV-B2, Fig. 4(b).
+//!
+//! Three trades: the borrower buys the target in `trade₁`, the price is
+//! pumped by a middle buy `trade₂` (possibly executed by an intermediate
+//! application at the borrower's direction, as bZx does in bZx-1), and the
+//! borrower sells in `trade₃`, subject to:
+//!
+//! * (a) symmetry: `trade₁.amountBuy = trade₃.amountSell`;
+//! * (b) rate ordering: `rate₁ < sellRate₃ < rate₂`;
+//! * (c) volatility: `(rate₂ − rate₁)/rate₁ ≥ 28%`.
+
+use crate::config::DetectorConfig;
+use crate::patterns::{borrower_pairs, buys_of, sells_of, PatternKind, PatternMatch};
+use crate::tagging::Tag;
+use crate::trades::TradeLeg;
+
+/// Detects SBS instances across all token pairs.
+pub fn detect(
+    legs: &[TradeLeg<'_>],
+    borrower: &Tag,
+    config: &DetectorConfig,
+) -> Vec<PatternMatch> {
+    let mut out = Vec::new();
+    for (quote, target) in borrower_pairs(legs, borrower) {
+        let own_buys = buys_of(legs, Some(borrower), quote, target);
+        let any_buys = buys_of(legs, None, quote, target);
+        let own_sells = sells_of(legs, Some(borrower), quote, target);
+        let mut found = false;
+        for t3 in &own_sells {
+            if found {
+                break;
+            }
+            for t1 in &own_buys {
+                if found {
+                    break;
+                }
+                if t1.seq >= t3.seq {
+                    continue;
+                }
+                if !amounts_match(t1.buy_amount, t3.sell_amount, config.sbs_amount_tolerance) {
+                    continue;
+                }
+                let (Some(rate1), Some(sell_rate3)) = (t1.buy_rate(), t3.sell_rate()) else {
+                    continue;
+                };
+                for t2 in &any_buys {
+                    if t2.seq <= t1.seq || t2.seq >= t3.seq {
+                        continue;
+                    }
+                    let Some(rate2) = t2.buy_rate() else { continue };
+                    let ordered = rate1 < sell_rate3 && sell_rate3 < rate2;
+                    let volatility = (rate2 - rate1) / rate1;
+                    if ordered && volatility >= config.sbs_min_volatility {
+                        out.push(PatternMatch {
+                            kind: PatternKind::Sbs,
+                            target_token: target,
+                            quote_token: quote,
+                            trade_seqs: vec![t1.seq, t2.seq, t3.seq],
+                            volatility,
+                            counterparty: t1.seller.to_string(),
+                        });
+                        found = true; // one instance per pair
+                        break;
+                    }
+                }
+            }
+        }
+    }
+    out
+}
+
+fn amounts_match(a: u128, b: u128, tolerance: f64) -> bool {
+    if a == b {
+        return true;
+    }
+    if a == 0 || b == 0 {
+        return false;
+    }
+    let hi = a.max(b) as f64;
+    let lo = a.min(b) as f64;
+    (hi - lo) / hi <= tolerance
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::patterns::all_legs;
+    use crate::patterns::testutil::{app, buy, sell, tk};
+    use crate::trades::Trade;
+
+    /// bZx-1 shape: buy 112 WBTC @49.1, bZx pumps @110.5, sell 112 @61.3.
+    /// Token 0 = ETH (quote), token 1 = WBTC (target).
+    fn bzx1_trades(borrower: &Tag) -> Vec<Trade> {
+        let compound = app("Compound");
+        let bzx = app("bZx");
+        let uni = app("Uniswap");
+        vec![
+            buy(0, borrower, &compound, 5_500_000, 0, 112_000, 1), // 49.1 ETH/WBTC
+            buy(1, &bzx, &uni, 5_637_000, 0, 51_000, 1),           // 110.5 — the pump
+            sell(2, borrower, &uni, 112_000, 1, 6_871_000, 0),     // 61.3
+        ]
+    }
+
+    #[test]
+    fn detects_bzx1() {
+        let e = app("root:E");
+        let trades = bzx1_trades(&e);
+        let legs = all_legs(&trades);
+        let matches = detect(&legs, &e, &DetectorConfig::default());
+        assert_eq!(matches.len(), 1);
+        let m = &matches[0];
+        assert_eq!(m.kind, PatternKind::Sbs);
+        assert_eq!(m.target_token, tk(1));
+        assert_eq!(m.quote_token, tk(0));
+        assert_eq!(m.trade_seqs, vec![0, 1, 2]);
+        // (110.5 - 49.1)/49.1 ≈ 125%
+        assert!((m.volatility - 1.25).abs() < 0.02, "{}", m.volatility);
+    }
+
+    #[test]
+    fn symmetry_condition_is_enforced() {
+        let e = app("E");
+        let mut trades = bzx1_trades(&e);
+        // Sell a different amount than bought: 90 instead of 112.
+        trades[2] = sell(2, &e, &app("Uniswap"), 90_000, 1, 5_500_000, 0);
+        assert!(detect(&all_legs(&trades), &e, &DetectorConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn small_tolerance_admits_dust() {
+        let e = app("E");
+        let mut trades = bzx1_trades(&e);
+        // 0.05% less than bought — inside the 0.1% tolerance.
+        trades[2] = sell(2, &e, &app("Uniswap"), 111_950, 1, 6_868_000, 0);
+        assert_eq!(detect(&all_legs(&trades), &e, &DetectorConfig::default()).len(), 1);
+    }
+
+    #[test]
+    fn volatility_threshold_is_enforced() {
+        let e = app("E");
+        let compound = app("Compound");
+        let bzx = app("bZx");
+        let uni = app("Uniswap");
+        // Pump of only ~12%: 49.1 -> 55.0 (< 28%).
+        let trades = vec![
+            buy(0, &e, &compound, 4_910_000, 0, 100_000, 1),
+            buy(1, &bzx, &uni, 550_000, 0, 10_000, 1),
+            sell(2, &e, &uni, 100_000, 1, 5_200_000, 0),
+        ];
+        assert!(detect(&all_legs(&trades), &e, &DetectorConfig::default()).is_empty());
+        // Relaxed config (10%) accepts it.
+        assert_eq!(
+            detect(&all_legs(&trades), &e, &DetectorConfig::relaxed()).len(),
+            1
+        );
+    }
+
+    #[test]
+    fn rate_ordering_is_enforced() {
+        let e = app("E");
+        let compound = app("Compound");
+        let bzx = app("bZx");
+        let uni = app("Uniswap");
+        // Sell rate ABOVE the pump rate: 49.1 < 120 but 120 > 110.5 pump.
+        let trades = vec![
+            buy(0, &e, &compound, 4_910_000, 0, 100_000, 1),
+            buy(1, &bzx, &uni, 11_050_000, 0, 100_000, 1),
+            sell(2, &e, &uni, 100_000, 1, 12_000_000, 0),
+        ];
+        assert!(detect(&all_legs(&trades), &e, &DetectorConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn trade_order_must_be_buy_pump_sell() {
+        let e = app("E");
+        let mut trades = bzx1_trades(&e);
+        // Move the pump after the sell.
+        trades[1].seq = 5;
+        assert!(detect(&all_legs(&trades), &e, &DetectorConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn borrower_must_own_the_symmetric_legs() {
+        let e = app("E");
+        let other = app("Other");
+        let trades = bzx1_trades(&other);
+        assert!(detect(&all_legs(&trades), &e, &DetectorConfig::default()).is_empty());
+    }
+
+    #[test]
+    fn pump_by_borrower_itself_also_matches() {
+        let e = app("E");
+        let compound = app("Compound");
+        let uni = app("Uniswap");
+        let trades = vec![
+            buy(0, &e, &compound, 5_500_000, 0, 112_000, 1),
+            buy(1, &e, &uni, 5_637_000, 0, 51_000, 1),
+            sell(2, &e, &uni, 112_000, 1, 6_871_000, 0),
+        ];
+        assert_eq!(detect(&all_legs(&trades), &e, &DetectorConfig::default()).len(), 1);
+    }
+
+    #[test]
+    fn amounts_match_edges() {
+        assert!(amounts_match(100, 100, 0.0));
+        assert!(amounts_match(100_000, 99_950, 0.001));
+        assert!(!amounts_match(100_000, 99_000, 0.001));
+        assert!(!amounts_match(0, 5, 0.5));
+        assert!(amounts_match(0, 0, 0.0));
+    }
+}

@@ -1,0 +1,152 @@
+//! Attack reports — LeiShen's output ("a detailed report regarding attack
+//! patterns", paper §V).
+
+use ethsim::{Address, TxId};
+use serde::{Deserialize, Serialize};
+
+use crate::analytics::PairVolatility;
+use crate::flashloan::FlashLoanEvent;
+use crate::patterns::{PatternKind, PatternMatch};
+
+/// The detector's verdict for one flash-loan transaction flagged as a
+/// flpAttack.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct AttackReport {
+    /// The analyzed transaction.
+    pub tx: TxId,
+    /// Block the transaction executed in.
+    pub block: u64,
+    /// Block timestamp (unix seconds).
+    pub timestamp: u64,
+    /// The externally owned account that initiated the transaction.
+    pub initiator: Address,
+    /// Flash loans identified in the transaction (Table II signatures).
+    pub flash_loans: Vec<FlashLoanEvent>,
+    /// Matched attack patterns.
+    pub patterns: Vec<PatternMatch>,
+    /// Per-pair price volatility within the transaction (Table I metric).
+    pub volatilities: Vec<PairVolatility>,
+    /// Attacker's net USD profit, when a price table was supplied.
+    pub profit_usd: Option<f64>,
+}
+
+impl AttackReport {
+    /// Whether a given pattern kind matched.
+    pub fn has_pattern(&self, kind: PatternKind) -> bool {
+        self.patterns.iter().any(|p| p.kind == kind)
+    }
+
+    /// The distinct pattern kinds that matched, in KRP/SBS/MBS order.
+    pub fn pattern_kinds(&self) -> Vec<PatternKind> {
+        let mut kinds: Vec<PatternKind> = self.patterns.iter().map(|p| p.kind).collect();
+        kinds.sort();
+        kinds.dedup();
+        kinds
+    }
+
+    /// Largest pairwise volatility observed, as a fraction.
+    pub fn max_volatility(&self) -> f64 {
+        self.volatilities
+            .first()
+            .map(PairVolatility::volatility)
+            .unwrap_or(0.0)
+    }
+}
+
+impl std::fmt::Display for AttackReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "flpAttack {} block {} patterns [", self.tx, self.block)?;
+        for (i, k) in self.pattern_kinds().iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{k}")?;
+        }
+        write!(f, "]")?;
+        if let Some(p) = self.profit_usd {
+            write!(f, " profit ${p:.0}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ethsim::TokenId;
+
+    fn pm(kind: PatternKind) -> PatternMatch {
+        PatternMatch {
+            kind,
+            target_token: TokenId::from_index(1),
+            quote_token: TokenId::ETH,
+            trade_seqs: vec![0, 1],
+            volatility: 1.25,
+            counterparty: "Uniswap".into(),
+        }
+    }
+
+    fn report() -> AttackReport {
+        AttackReport {
+            tx: TxId(7),
+            block: 100,
+            timestamp: 0,
+            initiator: Address::from_u64(1),
+            flash_loans: vec![],
+            patterns: vec![pm(PatternKind::Mbs), pm(PatternKind::Sbs), pm(PatternKind::Mbs)],
+            volatilities: vec![],
+            profit_usd: Some(350_000.0),
+        }
+    }
+
+    #[test]
+    fn pattern_queries() {
+        let r = report();
+        assert!(r.has_pattern(PatternKind::Sbs));
+        assert!(r.has_pattern(PatternKind::Mbs));
+        assert!(!r.has_pattern(PatternKind::Krp));
+        assert_eq!(r.pattern_kinds(), vec![PatternKind::Sbs, PatternKind::Mbs]);
+    }
+
+    #[test]
+    fn display_mentions_patterns_and_profit() {
+        let s = report().to_string();
+        assert!(s.contains("SBS"));
+        assert!(s.contains("MBS"));
+        assert!(s.contains("$350000"));
+    }
+
+    #[test]
+    fn max_volatility_defaults_to_zero() {
+        assert_eq!(report().max_volatility(), 0.0);
+    }
+
+    #[test]
+    fn max_volatility_reads_the_top_pair() {
+        let mut r = report();
+        r.volatilities = vec![
+            crate::analytics::PairVolatility {
+                token_a: TokenId::ETH,
+                token_b: TokenId::from_index(1),
+                rate_min: 1.0,
+                rate_max: 2.25,
+                samples: 3,
+            },
+            crate::analytics::PairVolatility {
+                token_a: TokenId::ETH,
+                token_b: TokenId::from_index(2),
+                rate_min: 1.0,
+                rate_max: 1.1,
+                samples: 2,
+            },
+        ];
+        assert!((r.max_volatility() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn display_without_profit_omits_dollar_figure() {
+        let mut r = report();
+        r.profit_usd = None;
+        assert!(!r.to_string().contains('$'));
+    }
+}

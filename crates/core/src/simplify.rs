@@ -1,0 +1,304 @@
+//! Asset-transfer simplification (paper §V-B2).
+//!
+//! Converts tagged account-level transfers into application-level transfers
+//! with three rules, applied in the paper's order:
+//!
+//! 1. **Remove intra-app transfers** — `tag_sender == tag_receiver`; asset
+//!    flows inside one application carry no trading information.
+//! 2. **Remove WETH-related transfers** — either side tagged
+//!    `"Wrapped Ether"`; the WETH token is unified with native ETH in all
+//!    remaining transfers (WETH wraps ETH 1:1).
+//! 3. **Merge inter-app transfers** — two consecutive transfers of the same
+//!    token, nearly the same amount (< 0.1%), through an intermediary
+//!    (`tagT_i.receiver == tagT_{i+1}.sender`) collapse into one transfer
+//!    that ignores the intermediary; intermediaries are typically yield
+//!    aggregators charging a sub-tolerance routing fee.
+
+use ethsim::TokenId;
+
+use crate::config::DetectorConfig;
+use crate::tagging::{Tag, TaggedTransfer};
+
+/// The Wrapped Ether application tag matched by rule 2.
+pub const WETH_TAG: &str = "Wrapped Ether";
+
+/// Applies all three simplification rules, producing application-level
+/// transfers. `weth_token`, when known, is rewritten to [`TokenId::ETH`]
+/// *before* the rules run so that merges across a wrap boundary work.
+pub fn simplify(
+    tagged: &[TaggedTransfer],
+    weth_token: Option<TokenId>,
+    config: &DetectorConfig,
+) -> Vec<TaggedTransfer> {
+    let unified = unify_weth_token(tagged, weth_token);
+    let step1 = remove_intra_app(&unified);
+    let step2 = remove_weth_related(&step1);
+    merge_inter_app(&step2, config.merge_tolerance)
+}
+
+/// Rewrites the WETH token id to ETH (rule 2's token unification).
+pub fn unify_weth_token(
+    tagged: &[TaggedTransfer],
+    weth_token: Option<TokenId>,
+) -> Vec<TaggedTransfer> {
+    let Some(weth) = weth_token else {
+        return tagged.to_vec();
+    };
+    tagged
+        .iter()
+        .map(|t| {
+            let mut t = t.clone();
+            if t.token == weth {
+                t.token = TokenId::ETH;
+            }
+            t
+        })
+        .collect()
+}
+
+/// Rule 1: drop transfers whose sender and receiver share a tag.
+/// Untaggable accounts never merge (each `Tag::Unknown` is address-scoped),
+/// and BlackHole↔BlackHole cannot occur.
+pub fn remove_intra_app(tagged: &[TaggedTransfer]) -> Vec<TaggedTransfer> {
+    tagged
+        .iter()
+        .filter(|t| t.sender != t.receiver)
+        .cloned()
+        .collect()
+}
+
+/// Rule 2: drop transfers touching the Wrapped Ether contract.
+pub fn remove_weth_related(tagged: &[TaggedTransfer]) -> Vec<TaggedTransfer> {
+    let is_weth = |tag: &Tag| tag.app_name() == Some(WETH_TAG);
+    tagged
+        .iter()
+        .filter(|t| !is_weth(&t.sender) && !is_weth(&t.receiver))
+        .cloned()
+        .collect()
+}
+
+/// Rule 3: merge consecutive pass-through transfers, iterating so that
+/// multi-level intermediary chains collapse fully.
+pub fn merge_inter_app(tagged: &[TaggedTransfer], tolerance: f64) -> Vec<TaggedTransfer> {
+    let mut out: Vec<TaggedTransfer> = Vec::with_capacity(tagged.len());
+    for t in tagged {
+        if let Some(prev) = out.last() {
+            if mergeable(prev, t, tolerance) {
+                let prev = out.pop().expect("last checked");
+                out.push(TaggedTransfer {
+                    seq: prev.seq,
+                    sender: prev.sender,
+                    receiver: t.receiver.clone(),
+                    // keep what the final counterparty actually received
+                    amount: t.amount,
+                    token: t.token,
+                });
+                continue;
+            }
+        }
+        out.push(t.clone());
+    }
+    out
+}
+
+fn mergeable(a: &TaggedTransfer, b: &TaggedTransfer, tolerance: f64) -> bool {
+    if a.token != b.token || a.receiver != b.sender {
+        return false;
+    }
+    // Mint/burn legs (BlackHole endpoints) are trade-action primitives
+    // (Table III), never pass-throughs: a deposit's mint followed by a
+    // withdrawal's burn of the same amount must not collapse.
+    if a.sender.is_black_hole()
+        || a.receiver.is_black_hole()
+        || b.sender.is_black_hole()
+        || b.receiver.is_black_hole()
+    {
+        return false;
+    }
+    // A round trip back to the sender is two trade legs, not a routing hop.
+    if a.sender == b.receiver {
+        return false;
+    }
+    if a.amount == 0 || b.amount == 0 {
+        return a.amount == b.amount;
+    }
+    let hi = a.amount.max(b.amount) as f64;
+    let lo = a.amount.min(b.amount) as f64;
+    (hi - lo) / hi < tolerance
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ethsim::Address;
+
+    fn t(seq: u32, sender: Tag, receiver: Tag, amount: u128, token: u32) -> TaggedTransfer {
+        TaggedTransfer {
+            seq,
+            sender,
+            receiver,
+            amount,
+            token: TokenId::from_index(token),
+        }
+    }
+
+    fn app(s: &str) -> Tag {
+        Tag::App(s.into())
+    }
+
+    #[test]
+    fn intra_app_removed() {
+        let list = vec![
+            t(0, app("Uniswap"), app("Uniswap"), 10, 1),
+            t(1, app("Uniswap"), app("bZx"), 10, 1),
+            t(2, Tag::Root(Address::from_u64(1)), Tag::Root(Address::from_u64(1)), 5, 2),
+        ];
+        let out = remove_intra_app(&list);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].seq, 1);
+    }
+
+    #[test]
+    fn weth_related_removed_and_token_unified() {
+        let weth = TokenId::from_index(7);
+        let list = vec![
+            t(0, app("bZx"), app(WETH_TAG), 10, 7),
+            t(1, app(WETH_TAG), app("bZx"), 10, 0),
+            t(2, app("bZx"), app("Uniswap"), 10, 7),
+        ];
+        let unified = unify_weth_token(&list, Some(weth));
+        assert!(unified.iter().all(|x| x.token == TokenId::ETH));
+        let out = remove_weth_related(&unified);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].seq, 2);
+        assert_eq!(out[0].token, TokenId::ETH);
+    }
+
+    #[test]
+    fn merge_collapses_intermediary() {
+        // Fig. 6: bZx -(51 WBTC)-> Kyber -(50.97 WBTC)-> Uniswap
+        let list = vec![
+            t(0, app("bZx"), app("Kyber"), 51_000_000, 3),
+            t(1, app("Kyber"), app("Uniswap"), 50_980_000, 3),
+        ];
+        let out = merge_inter_app(&list, 0.001);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].sender, app("bZx"));
+        assert_eq!(out[0].receiver, app("Uniswap"));
+        assert_eq!(out[0].amount, 50_980_000, "final-hop amount kept");
+    }
+
+    #[test]
+    fn merge_requires_same_token_adjacency_and_tolerance() {
+        // different token
+        let l1 = vec![
+            t(0, app("A"), app("B"), 100, 1),
+            t(1, app("B"), app("C"), 100, 2),
+        ];
+        assert_eq!(merge_inter_app(&l1, 0.001).len(), 2);
+        // amount off by 1%
+        let l2 = vec![
+            t(0, app("A"), app("B"), 100_000, 1),
+            t(1, app("B"), app("C"), 99_000, 1),
+        ];
+        assert_eq!(merge_inter_app(&l2, 0.001).len(), 2);
+        // not chained
+        let l3 = vec![
+            t(0, app("A"), app("B"), 100, 1),
+            t(1, app("A"), app("C"), 100, 1),
+        ];
+        assert_eq!(merge_inter_app(&l3, 0.001).len(), 2);
+    }
+
+    #[test]
+    fn merge_collapses_multi_level_chains() {
+        // A -> B -> C -> D through two intermediaries.
+        let list = vec![
+            t(0, app("A"), app("B"), 100_000, 1),
+            t(1, app("B"), app("C"), 99_970, 1),
+            t(2, app("C"), app("D"), 99_940, 1),
+        ];
+        let out = merge_inter_app(&list, 0.001);
+        assert_eq!(out.len(), 1);
+        assert_eq!(out[0].sender, app("A"));
+        assert_eq!(out[0].receiver, app("D"));
+    }
+
+    #[test]
+    fn mint_then_burn_of_same_amount_does_not_merge() {
+        // A deposit's mint followed by a withdrawal's burn — two trade
+        // legs, not a pass-through.
+        let list = vec![
+            TaggedTransfer {
+                seq: 0,
+                sender: Tag::BlackHole,
+                receiver: app("E"),
+                amount: 100,
+                token: TokenId::from_index(1),
+            },
+            TaggedTransfer {
+                seq: 1,
+                sender: app("E"),
+                receiver: Tag::BlackHole,
+                amount: 100,
+                token: TokenId::from_index(1),
+            },
+        ];
+        assert_eq!(merge_inter_app(&list, 0.001).len(), 2);
+    }
+
+    #[test]
+    fn round_trip_to_sender_does_not_merge() {
+        let list = vec![
+            t(0, app("A"), app("B"), 100, 1),
+            t(1, app("B"), app("A"), 100, 1),
+        ];
+        assert_eq!(merge_inter_app(&list, 0.001).len(), 2);
+    }
+
+    #[test]
+    fn zero_amounts_merge_only_with_zero() {
+        let list = vec![
+            t(0, app("A"), app("B"), 0, 1),
+            t(1, app("B"), app("C"), 0, 1),
+        ];
+        assert_eq!(merge_inter_app(&list, 0.001).len(), 1);
+        let list2 = vec![
+            t(0, app("A"), app("B"), 0, 1),
+            t(1, app("B"), app("C"), 5, 1),
+        ];
+        assert_eq!(merge_inter_app(&list2, 0.001).len(), 2);
+    }
+
+    #[test]
+    fn full_pipeline_order_matters() {
+        // WETH unification first lets an ETH-vs-WETH pass-through merge.
+        let weth = TokenId::from_index(9);
+        let list = vec![
+            // intra-app noise
+            t(0, app("Uniswap"), app("Uniswap"), 1, 1),
+            // A sends WETH to router, router sends ETH to B (post-unwrap);
+            // the unwrap leg itself touches Wrapped Ether and is dropped.
+            t(1, app("A"), app("Router"), 100_000, 9),
+            t(2, app("Router"), app(WETH_TAG), 100_000, 9),
+            t(3, app(WETH_TAG), app("Router"), 100_000, 0),
+            t(4, app("Router"), app("B"), 99_990, 0),
+        ];
+        let out = simplify(&list, Some(weth), &DetectorConfig::default());
+        assert_eq!(out.len(), 1, "{out:?}");
+        assert_eq!(out[0].sender, app("A"));
+        assert_eq!(out[0].receiver, app("B"));
+        assert_eq!(out[0].token, TokenId::ETH);
+    }
+
+    #[test]
+    fn simplify_preserves_seq_order() {
+        let list = vec![
+            t(5, app("A"), app("B"), 10, 1),
+            t(9, app("B"), app("A"), 20, 2),
+        ];
+        let out = simplify(&list, None, &DetectorConfig::default());
+        assert_eq!(out.len(), 2);
+        assert!(out[0].seq < out[1].seq);
+    }
+}

@@ -1,0 +1,498 @@
+//! Trade-action identification (paper §V-C, Table III).
+//!
+//! From application-level transfers, LeiShen recognizes three key trade
+//! actions, each from a window of two or three *consecutive* transfers:
+//!
+//! * **Swap** — `A→B` then `B→A` in different tokens (plus the
+//!   three-transfer form where `B` returns two tokens);
+//! * **Mint liquidity** — deposits to `B` plus a mint (transfer *from* the
+//!   BlackHole) of a new token to `A`;
+//! * **Remove liquidity** — a burn (transfer *to* the BlackHole) from `A`
+//!   plus `B` returning one or two tokens.
+//!
+//! Three-transfer forms are tried before two-transfer forms, and matched
+//! windows are consumed, so one transfer never participates in two trades.
+
+use ethsim::TokenId;
+use serde::{Deserialize, Serialize};
+
+use crate::tagging::{Tag, TaggedTransfer};
+
+/// Which Table III action a trade is.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum TradeKind {
+    /// Token-for-token exchange.
+    Swap,
+    /// Deposit assets, mint a new token.
+    MintLiquidity,
+    /// Burn a token, take assets back.
+    RemoveLiquidity,
+}
+
+impl std::fmt::Display for TradeKind {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TradeKind::Swap => write!(f, "swap"),
+            TradeKind::MintLiquidity => write!(f, "mint-liquidity"),
+            TradeKind::RemoveLiquidity => write!(f, "remove-liquidity"),
+        }
+    }
+}
+
+/// One identified trade: the paper's tuple
+/// `(buyer, seller, amountSell, tokenSell, amountBuy, tokenBuy)`,
+/// generalized to one-or-two legs per side for the three-transfer forms.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Trade {
+    /// Sequence of the first transfer in the window (orders trades).
+    pub seq: u32,
+    /// Action kind.
+    pub kind: TradeKind,
+    /// The application making the trade (`A` in Table III).
+    pub buyer: Tag,
+    /// The counterparty application (`B`).
+    pub seller: Tag,
+    /// Assets the buyer gave: `(amount, token)` per leg.
+    pub sells: Vec<(u128, TokenId)>,
+    /// Assets the buyer received: `(amount, token)` per leg.
+    pub buys: Vec<(u128, TokenId)>,
+}
+
+impl Trade {
+    /// Amount of `token` the buyer received, if any leg matches.
+    pub fn buy_of(&self, token: TokenId) -> Option<u128> {
+        self.buys.iter().find(|(_, t)| *t == token).map(|(a, _)| *a)
+    }
+
+    /// Amount of `token` the buyer gave, if any leg matches.
+    pub fn sell_of(&self, token: TokenId) -> Option<u128> {
+        self.sells.iter().find(|(_, t)| *t == token).map(|(a, _)| *a)
+    }
+
+    /// Iterates all `(sell_leg, buy_leg)` combinations as single-pair
+    /// views — the unit the attack patterns reason over.
+    pub fn views(&self) -> impl Iterator<Item = TradeLeg<'_>> + '_ {
+        self.sells.iter().flat_map(move |&(sa, st)| {
+            self.buys.iter().map(move |&(ba, bt)| TradeLeg {
+                seq: self.seq,
+                buyer: &self.buyer,
+                seller: &self.seller,
+                sell_amount: sa,
+                sell_token: st,
+                buy_amount: ba,
+                buy_token: bt,
+            })
+        })
+    }
+}
+
+/// A single-pair projection of a trade: the buyer gave `sell_amount` of
+/// `sell_token` and received `buy_amount` of `buy_token`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TradeLeg<'a> {
+    /// Ordering sequence inherited from the trade.
+    pub seq: u32,
+    /// Trading application.
+    pub buyer: &'a Tag,
+    /// Counterparty application.
+    pub seller: &'a Tag,
+    /// Amount given.
+    pub sell_amount: u128,
+    /// Token given.
+    pub sell_token: TokenId,
+    /// Amount received.
+    pub buy_amount: u128,
+    /// Token received.
+    pub buy_token: TokenId,
+}
+
+impl TradeLeg<'_> {
+    /// Price paid per bought token: `amountSell / amountBuy`
+    /// (`None` when the buy amount is zero).
+    pub fn buy_rate(&self) -> Option<f64> {
+        if self.buy_amount == 0 {
+            None
+        } else {
+            Some(self.sell_amount as f64 / self.buy_amount as f64)
+        }
+    }
+
+    /// Price received per sold token: `amountBuy / amountSell`
+    /// (`None` when the sell amount is zero).
+    pub fn sell_rate(&self) -> Option<f64> {
+        if self.sell_amount == 0 {
+            None
+        } else {
+            Some(self.buy_amount as f64 / self.sell_amount as f64)
+        }
+    }
+}
+
+/// Identifies all trades in an application-level transfer list.
+pub fn identify_trades(transfers: &[TaggedTransfer]) -> Vec<Trade> {
+    let mut trades = Vec::new();
+    let mut i = 0;
+    while i < transfers.len() {
+        if i + 2 < transfers.len() {
+            if let Some(trade) =
+                match_three(&transfers[i], &transfers[i + 1], &transfers[i + 2])
+            {
+                trades.push(trade);
+                i += 3;
+                continue;
+            }
+        }
+        if i + 1 < transfers.len() {
+            if let Some(trade) = match_two(&transfers[i], &transfers[i + 1]) {
+                trades.push(trade);
+                i += 2;
+                continue;
+            }
+        }
+        i += 1;
+    }
+    trades
+}
+
+fn is_app(tag: &Tag) -> bool {
+    !tag.is_black_hole()
+}
+
+fn distinct3(a: TokenId, b: TokenId, c: TokenId) -> bool {
+    a != b && b != c && a != c
+}
+
+fn match_three(t1: &TaggedTransfer, t2: &TaggedTransfer, t3: &TaggedTransfer) -> Option<Trade> {
+    // Swap, 3-transfer: A->B (t1), B->A (t2), B->A (t3), distinct tokens.
+    if is_app(&t1.sender)
+        && is_app(&t1.receiver)
+        && t2.sender == t1.receiver
+        && t2.receiver == t1.sender
+        && t3.sender == t1.receiver
+        && t3.receiver == t1.sender
+        && distinct3(t1.token, t2.token, t3.token)
+    {
+        return Some(Trade {
+            seq: t1.seq,
+            kind: TradeKind::Swap,
+            buyer: t1.sender.clone(),
+            seller: t1.receiver.clone(),
+            sells: vec![(t1.amount, t1.token)],
+            buys: vec![(t2.amount, t2.token), (t3.amount, t3.token)],
+        });
+    }
+    // Mint, 3-transfer: A->B (t1), A->B (t2), BlackHole->A (t3).
+    if is_app(&t1.sender)
+        && is_app(&t1.receiver)
+        && t2.sender == t1.sender
+        && t2.receiver == t1.receiver
+        && t3.sender.is_black_hole()
+        && t3.receiver == t1.sender
+        && distinct3(t1.token, t2.token, t3.token)
+    {
+        return Some(Trade {
+            seq: t1.seq,
+            kind: TradeKind::MintLiquidity,
+            buyer: t1.sender.clone(),
+            seller: t1.receiver.clone(),
+            sells: vec![(t1.amount, t1.token), (t2.amount, t2.token)],
+            buys: vec![(t3.amount, t3.token)],
+        });
+    }
+    // Remove, 3-transfer: A->BlackHole (t1), B->A (t2), B->A (t3).
+    if is_app(&t1.sender)
+        && t1.receiver.is_black_hole()
+        && is_app(&t2.sender)
+        && t2.receiver == t1.sender
+        && t3.sender == t2.sender
+        && t3.receiver == t1.sender
+        && distinct3(t1.token, t2.token, t3.token)
+    {
+        return Some(Trade {
+            seq: t1.seq,
+            kind: TradeKind::RemoveLiquidity,
+            buyer: t1.sender.clone(),
+            seller: t2.sender.clone(),
+            sells: vec![(t1.amount, t1.token)],
+            buys: vec![(t2.amount, t2.token), (t3.amount, t3.token)],
+        });
+    }
+    None
+}
+
+fn match_two(t1: &TaggedTransfer, t2: &TaggedTransfer) -> Option<Trade> {
+    // Swap: A->B (t1), B->A (t2), different tokens.
+    if is_app(&t1.sender)
+        && is_app(&t1.receiver)
+        && t2.sender == t1.receiver
+        && t2.receiver == t1.sender
+        && t1.token != t2.token
+    {
+        return Some(Trade {
+            seq: t1.seq,
+            kind: TradeKind::Swap,
+            buyer: t1.sender.clone(),
+            seller: t1.receiver.clone(),
+            sells: vec![(t1.amount, t1.token)],
+            buys: vec![(t2.amount, t2.token)],
+        });
+    }
+    // Mint: A->B (t1), BlackHole->A (t2) — order reversible.
+    if is_app(&t1.sender)
+        && is_app(&t1.receiver)
+        && t2.sender.is_black_hole()
+        && t2.receiver == t1.sender
+        && t1.token != t2.token
+    {
+        return Some(Trade {
+            seq: t1.seq,
+            kind: TradeKind::MintLiquidity,
+            buyer: t1.sender.clone(),
+            seller: t1.receiver.clone(),
+            sells: vec![(t1.amount, t1.token)],
+            buys: vec![(t2.amount, t2.token)],
+        });
+    }
+    if t1.sender.is_black_hole()
+        && is_app(&t2.sender)
+        && is_app(&t2.receiver)
+        && t2.sender == t1.receiver
+        && t1.token != t2.token
+    {
+        return Some(Trade {
+            seq: t1.seq,
+            kind: TradeKind::MintLiquidity,
+            buyer: t2.sender.clone(),
+            seller: t2.receiver.clone(),
+            sells: vec![(t2.amount, t2.token)],
+            buys: vec![(t1.amount, t1.token)],
+        });
+    }
+    // Remove: A->BlackHole (t1), B->A (t2) — order reversible.
+    if is_app(&t1.sender)
+        && t1.receiver.is_black_hole()
+        && is_app(&t2.sender)
+        && t2.receiver == t1.sender
+        && t1.token != t2.token
+    {
+        return Some(Trade {
+            seq: t1.seq,
+            kind: TradeKind::RemoveLiquidity,
+            buyer: t1.sender.clone(),
+            seller: t2.sender.clone(),
+            sells: vec![(t1.amount, t1.token)],
+            buys: vec![(t2.amount, t2.token)],
+        });
+    }
+    if is_app(&t1.sender)
+        && is_app(&t1.receiver)
+        && t2.sender == t1.receiver
+        && t2.receiver.is_black_hole()
+        && t1.token != t2.token
+    {
+        return Some(Trade {
+            seq: t1.seq,
+            kind: TradeKind::RemoveLiquidity,
+            buyer: t2.sender.clone(),
+            seller: t1.sender.clone(),
+            sells: vec![(t2.amount, t2.token)],
+            buys: vec![(t1.amount, t1.token)],
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn app(s: &str) -> Tag {
+        Tag::App(s.into())
+    }
+    fn tk(i: u32) -> TokenId {
+        TokenId::from_index(i)
+    }
+    fn t(seq: u32, sender: Tag, receiver: Tag, amount: u128, token: u32) -> TaggedTransfer {
+        TaggedTransfer {
+            seq,
+            sender,
+            receiver,
+            amount,
+            token: tk(token),
+        }
+    }
+
+    #[test]
+    fn swap_two_transfers() {
+        let list = vec![
+            t(0, app("A"), app("B"), 5_500, 0),
+            t(1, app("B"), app("A"), 112, 1),
+        ];
+        let trades = identify_trades(&list);
+        assert_eq!(trades.len(), 1);
+        let tr = &trades[0];
+        assert_eq!(tr.kind, TradeKind::Swap);
+        assert_eq!(tr.buyer, app("A"));
+        assert_eq!(tr.seller, app("B"));
+        assert_eq!(tr.sell_of(tk(0)), Some(5_500));
+        assert_eq!(tr.buy_of(tk(1)), Some(112));
+    }
+
+    #[test]
+    fn swap_three_transfers_two_outputs() {
+        let list = vec![
+            t(0, app("A"), app("B"), 100, 0),
+            t(1, app("B"), app("A"), 40, 1),
+            t(2, app("B"), app("A"), 60, 2),
+        ];
+        let trades = identify_trades(&list);
+        assert_eq!(trades.len(), 1);
+        assert_eq!(trades[0].kind, TradeKind::Swap);
+        assert_eq!(trades[0].buys.len(), 2);
+        assert_eq!(trades[0].views().count(), 2);
+    }
+
+    #[test]
+    fn mint_liquidity_both_orders() {
+        let forward = vec![
+            t(0, app("A"), app("Vault"), 1_000, 1),
+            t(1, Tag::BlackHole, app("A"), 990, 2),
+        ];
+        let reversed = vec![
+            t(0, Tag::BlackHole, app("A"), 990, 2),
+            t(1, app("A"), app("Vault"), 1_000, 1),
+        ];
+        for list in [forward, reversed] {
+            let trades = identify_trades(&list);
+            assert_eq!(trades.len(), 1, "{list:?}");
+            let tr = &trades[0];
+            assert_eq!(tr.kind, TradeKind::MintLiquidity);
+            assert_eq!(tr.buyer, app("A"));
+            assert_eq!(tr.seller, app("Vault"));
+            assert_eq!(tr.buy_of(tk(2)), Some(990));
+        }
+    }
+
+    #[test]
+    fn mint_liquidity_three_transfers() {
+        let list = vec![
+            t(0, app("A"), app("Pool"), 100, 1),
+            t(1, app("A"), app("Pool"), 200, 2),
+            t(2, Tag::BlackHole, app("A"), 50, 3),
+        ];
+        let trades = identify_trades(&list);
+        assert_eq!(trades.len(), 1);
+        let tr = &trades[0];
+        assert_eq!(tr.kind, TradeKind::MintLiquidity);
+        assert_eq!(tr.sells.len(), 2);
+        assert_eq!(tr.buy_of(tk(3)), Some(50));
+    }
+
+    #[test]
+    fn remove_liquidity_both_orders_and_three() {
+        let forward = vec![
+            t(0, app("A"), Tag::BlackHole, 50, 3),
+            t(1, app("Pool"), app("A"), 100, 1),
+        ];
+        let trades = identify_trades(&forward);
+        assert_eq!(trades.len(), 1);
+        assert_eq!(trades[0].kind, TradeKind::RemoveLiquidity);
+        assert_eq!(trades[0].seller, app("Pool"));
+
+        let reversed = vec![
+            t(0, app("Pool"), app("A"), 100, 1),
+            t(1, app("A"), Tag::BlackHole, 50, 3),
+        ];
+        let trades = identify_trades(&reversed);
+        assert_eq!(trades.len(), 1);
+        assert_eq!(trades[0].kind, TradeKind::RemoveLiquidity);
+        assert_eq!(trades[0].buyer, app("A"));
+
+        let three = vec![
+            t(0, app("A"), Tag::BlackHole, 50, 3),
+            t(1, app("Pool"), app("A"), 100, 1),
+            t(2, app("Pool"), app("A"), 200, 2),
+        ];
+        let trades = identify_trades(&three);
+        assert_eq!(trades.len(), 1);
+        assert_eq!(trades[0].buys.len(), 2);
+    }
+
+    #[test]
+    fn same_token_back_and_forth_is_not_a_swap() {
+        let list = vec![
+            t(0, app("A"), app("B"), 100, 1),
+            t(1, app("B"), app("A"), 100, 1),
+        ];
+        assert!(identify_trades(&list).is_empty());
+    }
+
+    #[test]
+    fn unmatched_transfers_are_skipped_not_fused() {
+        // borrow leg, then a swap, then repay leg
+        let list = vec![
+            t(0, app("dYdX"), app("E"), 10_000, 0), // borrow
+            t(1, app("E"), app("Compound"), 5_500, 0),
+            t(2, app("Compound"), app("E"), 112, 1),
+            t(3, app("E"), app("dYdX"), 10_000, 0), // repay
+        ];
+        let trades = identify_trades(&list);
+        assert_eq!(trades.len(), 1);
+        assert_eq!(trades[0].seller, app("Compound"));
+    }
+
+    #[test]
+    fn three_transfer_form_takes_priority() {
+        // A->B, B->A, B->A should be ONE swap3, not swap2 + dangling.
+        let list = vec![
+            t(0, app("A"), app("B"), 100, 0),
+            t(1, app("B"), app("A"), 40, 1),
+            t(2, app("B"), app("A"), 60, 2),
+            t(3, app("A"), app("B"), 10, 1),
+            t(4, app("B"), app("A"), 5, 0),
+        ];
+        let trades = identify_trades(&list);
+        assert_eq!(trades.len(), 2);
+        assert_eq!(trades[0].buys.len(), 2);
+        assert_eq!(trades[1].kind, TradeKind::Swap);
+    }
+
+    #[test]
+    fn consecutive_swaps_all_found() {
+        let mut list = Vec::new();
+        for i in 0..6u32 {
+            list.push(t(2 * i, app("E"), app("Uni"), 20, 0));
+            list.push(t(2 * i + 1, app("Uni"), app("E"), 100 - i as u128, 1));
+        }
+        let trades = identify_trades(&list);
+        assert_eq!(trades.len(), 6);
+        assert!(trades.iter().all(|tr| tr.kind == TradeKind::Swap));
+    }
+
+    #[test]
+    fn leg_rates() {
+        let list = vec![
+            t(0, app("A"), app("B"), 200, 0),
+            t(1, app("B"), app("A"), 100, 1),
+        ];
+        let trades = identify_trades(&list);
+        let view = trades[0].views().next().unwrap();
+        assert_eq!(view.buy_rate(), Some(2.0));
+        assert_eq!(view.sell_rate(), Some(0.5));
+    }
+
+    #[test]
+    fn blackhole_cannot_be_a_swap_party() {
+        let list = vec![
+            t(0, Tag::BlackHole, app("B"), 100, 0),
+            t(1, app("B"), Tag::BlackHole, 50, 1),
+        ];
+        // This matches neither swap (blackhole party) nor the mint/remove
+        // templates (receiver/sender roles wrong).
+        let trades = identify_trades(&list);
+        assert!(
+            trades.iter().all(|t| t.kind != TradeKind::Swap),
+            "{trades:?}"
+        );
+    }
+}

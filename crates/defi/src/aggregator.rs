@@ -1,0 +1,248 @@
+//! Yield aggregators.
+//!
+//! Aggregators "bridge users and DeFi applications" (paper §II-B). They
+//! matter to LeiShen twice:
+//!
+//! 1. **Routing** — when an aggregator routes a trade, the user's tokens
+//!    pass *through* the aggregator, producing two consecutive transfers of
+//!    nearly the same amount with the aggregator as intermediary. LeiShen's
+//!    third simplification rule merges these (tolerance 0.1%, because "the
+//!    intermediary generally charges a small fee", §V-B2). Our routing fee
+//!    is 5 bps, inside the tolerance.
+//! 2. **Strategies** — an aggregator's investment strategy can legitimately
+//!    buy and sell the same token for several rounds, which "can also show
+//!    the behavior of Multi-Round Buying and Selling" (§VI-C): the paper's
+//!    dominant MBS false-positive source, and the reason the
+//!    aggregator-initiator heuristic lifts MBS precision from 56.1% to 80%.
+
+use ethsim::{math, Address, Chain, LogValue, Result, SimError, TokenId, TxContext};
+
+use crate::amm::UniswapV2Pair;
+use crate::labels::LabelService;
+
+/// A yield aggregator: router plus strategy runner.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct YieldAggregator {
+    /// Aggregator contract account.
+    pub address: Address,
+    /// The EOA that operates strategies (labeled with the aggregator's
+    /// app name, so the initiator heuristic can recognize it).
+    pub operator: Address,
+    /// Routing fee in basis points — deliberately below LeiShen's 0.1%
+    /// merge tolerance.
+    pub fee_bps: u32,
+}
+
+impl YieldAggregator {
+    /// Deploys an aggregator, labeling operator and contract with
+    /// `app_label` (e.g. "Kyber", "Yearn").
+    ///
+    /// # Errors
+    /// Propagates substrate errors.
+    pub fn deploy(
+        chain: &mut Chain,
+        labels: &mut LabelService,
+        operator: Address,
+        app_label: &str,
+    ) -> Result<YieldAggregator> {
+        let mut address = None;
+        chain.execute(operator, operator, "deployAggregator", |ctx| {
+            address = Some(ctx.create_contract(operator)?);
+            Ok(())
+        })?;
+        let address = address.expect("deploy closure ran");
+        labels.set(operator, app_label);
+        labels.set(address, app_label);
+        Ok(YieldAggregator {
+            address,
+            operator,
+            fee_bps: 5,
+        })
+    }
+
+    /// Routes a swap through the aggregator: `user → aggregator → pair →
+    /// aggregator → user`, with the aggregator keeping `fee_bps` of the
+    /// output. The resulting transfer stream contains the inter-app
+    /// pass-through LeiShen's merge rule collapses.
+    ///
+    /// # Errors
+    /// Reverts on swap failure or insufficient user balance.
+    pub fn route_swap(
+        &self,
+        ctx: &mut TxContext<'_>,
+        user: Address,
+        pair: &UniswapV2Pair,
+        token_in: TokenId,
+        amount_in: u128,
+    ) -> Result<u128> {
+        let agg = *self;
+        let pair = *pair;
+        ctx.call(user, self.address, "trade", 0, |ctx| {
+            let token_out = pair.other(token_in);
+            ctx.transfer_token(token_in, user, agg.address, amount_in)?;
+            let out = pair.swap_exact_in(ctx, agg.address, token_in, amount_in, 0)?;
+            let fee = math::mul_div(out, agg.fee_bps as u128, 10_000)?;
+            let forwarded = math::sub(out, fee)?;
+            ctx.transfer_token(token_out, agg.address, user, forwarded)?;
+            ctx.emit_log(
+                agg.address,
+                "Routed",
+                vec![
+                    ("user".into(), LogValue::Addr(user)),
+                    ("tokenIn".into(), LogValue::Token(token_in)),
+                    ("amountIn".into(), LogValue::Amount(amount_in)),
+                    ("tokenOut".into(), LogValue::Token(token_out)),
+                    ("amountOut".into(), LogValue::Amount(forwarded)),
+                ],
+            );
+            Ok(forwarded)
+        })
+    }
+
+    /// Runs a multi-round rebalancing strategy: `rounds` cycles of buying
+    /// `pair.other(base)` with `amount_per_round` of `base` and selling the
+    /// proceeds straight back. Economically a (fee-losing) no-op that
+    /// harvests positions; *structurally* indistinguishable from the MBS
+    /// attack pattern — the paper's main false-positive source.
+    ///
+    /// # Errors
+    /// Reverts on swap failures or balance shortfalls.
+    pub fn strategy_rebalance(
+        &self,
+        ctx: &mut TxContext<'_>,
+        pair: &UniswapV2Pair,
+        base: TokenId,
+        amount_per_round: u128,
+        rounds: u32,
+    ) -> Result<()> {
+        if rounds == 0 {
+            return Err(SimError::revert("zero rounds"));
+        }
+        let agg = *self;
+        let pair = *pair;
+        ctx.call(self.operator, self.address, "rebalance", 0, |ctx| {
+            for _ in 0..rounds {
+                let bought = pair.swap_exact_in(ctx, agg.address, base, amount_per_round, 0)?;
+                pair.swap_exact_in(ctx, agg.address, pair.other(base), bought, 0)?;
+            }
+            ctx.emit_log(
+                agg.address,
+                "Rebalanced",
+                vec![("rounds".into(), LogValue::Amount(rounds as u128))],
+            );
+            Ok(())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::amm::UniswapV2Factory;
+    use ethsim::ChainConfig;
+
+    const E18: u128 = 1_000_000_000_000_000_000;
+    const E6: u128 = 1_000_000;
+
+    fn setup() -> (Chain, YieldAggregator, UniswapV2Pair, Address, TokenId) {
+        let mut chain = Chain::new(ChainConfig::default());
+        let mut labels = LabelService::new();
+        let deployer = chain.create_eoa("uniswap deployer");
+        let operator = chain.create_eoa("kyber operator");
+        let user = chain.create_eoa("user");
+        let factory =
+            UniswapV2Factory::deploy_canonical(&mut chain, &mut labels, deployer).unwrap();
+        let mut usdc = None;
+        chain
+            .execute(deployer, deployer, "deployToken", |ctx| {
+                let c = ctx.create_contract(deployer)?;
+                usdc = Some(ctx.register_token("USDC", 6, c));
+                Ok(())
+            })
+            .unwrap();
+        let usdc = usdc.unwrap();
+        let pair =
+            UniswapV2Pair::deploy(&mut chain, &factory, TokenId::ETH, usdc, "UNI ETH/USDC")
+                .unwrap();
+        let agg = YieldAggregator::deploy(&mut chain, &mut labels, operator, "Kyber").unwrap();
+        chain.state_mut().credit_eth(user, 1_000 * E18).unwrap();
+        let whale = chain.create_eoa("whale");
+        chain.state_mut().credit_eth(whale, 10_000 * E18).unwrap();
+        chain
+            .execute(whale, pair.address, "seed", |ctx| {
+                ctx.mint_token(usdc, whale, 20_000_000 * E6)?;
+                ctx.mint_token(usdc, agg.address, 1_000_000 * E6)?;
+                pair.add_liquidity(ctx, whale, 10_000 * E18, 20_000_000 * E6)?;
+                Ok(())
+            })
+            .unwrap();
+        (chain, agg, pair, user, usdc)
+    }
+
+    #[test]
+    fn route_swap_passes_through_with_sub_tolerance_fee() {
+        let (mut chain, agg, pair, user, usdc) = setup();
+        let tx = chain
+            .execute(user, agg.address, "trade", |ctx| {
+                let out = agg.route_swap(ctx, user, &pair, TokenId::ETH, 10 * E18)?;
+                assert!(out > 0);
+                assert_eq!(ctx.balance(usdc, user), out);
+                Ok(())
+            })
+            .unwrap();
+        let rec = chain.replay(tx).unwrap();
+        // Find the pair->agg and agg->user USDC transfers; difference < 0.1%.
+        let t_pair_agg = rec
+            .trace
+            .transfers
+            .iter()
+            .find(|t| t.sender == pair.address && t.receiver == agg.address && t.token == usdc)
+            .expect("pair->agg leg");
+        let t_agg_user = rec
+            .trace
+            .transfers
+            .iter()
+            .find(|t| t.sender == agg.address && t.receiver == user && t.token == usdc)
+            .expect("agg->user leg");
+        let diff = t_pair_agg.amount - t_agg_user.amount;
+        assert!(
+            (diff as f64) / (t_pair_agg.amount as f64) < 0.001,
+            "fee under LeiShen's 0.1% merge tolerance"
+        );
+    }
+
+    #[test]
+    fn strategy_rebalance_produces_mbs_shaped_trades() {
+        let (mut chain, agg, pair, _, usdc) = setup();
+        chain
+            .state_mut()
+            .credit_eth(agg.address, 500 * E18)
+            .unwrap();
+        let tx = chain
+            .execute(agg.operator, agg.address, "rebalance", |ctx| {
+                agg.strategy_rebalance(ctx, &pair, TokenId::ETH, 50 * E18, 3)
+            })
+            .unwrap();
+        let rec = chain.replay(tx).unwrap();
+        assert!(rec.status.is_success());
+        // 3 rounds × 2 swaps × 2 transfers each = 12 transfers
+        let usdc_buys = rec
+            .trace
+            .transfers
+            .iter()
+            .filter(|t| t.sender == pair.address && t.token == usdc)
+            .count();
+        assert_eq!(usdc_buys, 3, "one USDC-buy per round");
+    }
+
+    #[test]
+    fn zero_rounds_reverts() {
+        let (mut chain, agg, pair, _, _) = setup();
+        let tx = chain
+            .execute(agg.operator, agg.address, "rebalance", |ctx| {
+                agg.strategy_rebalance(ctx, &pair, TokenId::ETH, E18, 0)
+            })
+            .unwrap();
+        assert!(!chain.replay(tx).unwrap().status.is_success());
+    }
+}

@@ -1,0 +1,16 @@
+//! Automated market makers.
+//!
+//! DEXs price trades with automatic pricing algorithms (paper §II-B): the
+//! constant-product formula ([`UniswapV2Pair`]), weighted constant-mean
+//! pools ([`WeightedPool`], Balancer-style) and the StableSwap invariant
+//! ([`StableSwapPool`], Curve-style). A trade that significantly shifts the
+//! relative reserves moves the price — the mechanism every flpAttack
+//! exploits.
+
+mod stableswap;
+mod uniswap_v2;
+mod weighted;
+
+pub use stableswap::StableSwapPool;
+pub use uniswap_v2::{UniswapV2Factory, UniswapV2Pair};
+pub use weighted::WeightedPool;

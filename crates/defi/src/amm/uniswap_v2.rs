@@ -1,0 +1,622 @@
+//! Uniswap V2: constant-product pairs with liquidity provision and flash
+//! swaps.
+//!
+//! Uniswap matters to the paper three ways: it is the dominant **flash loan
+//! provider** (identified by a `swap` call followed by `uniswapV2Call`,
+//! Table II), the **price oracle** other protocols read (the bZx attacks
+//! manipulate it for exactly that reason), and the second most attacked
+//! application in the wild study (Table VI).
+
+use ethsim::state::SKey;
+use ethsim::{math, Address, Chain, LogValue, Result, SimError, TokenId, TxContext};
+
+use crate::labels::{apps, LabelService};
+
+/// Storage slot for per-token reserves.
+const SLOT_RESERVE: u16 = 0;
+
+/// The Uniswap factory: deploys pairs and records the creation hierarchy
+/// (deployer EOA → factory → pairs) that account tagging walks.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UniswapV2Factory {
+    /// The factory contract account.
+    pub address: Address,
+    /// The EOA that deployed the factory.
+    pub deployer: Address,
+}
+
+impl UniswapV2Factory {
+    /// Deploys the factory from a fresh transaction, labeling the deployer
+    /// and factory (as on Etherscan: "Uniswap: Deployer", "Uniswap: Factory
+    /// Contract").
+    ///
+    /// # Errors
+    /// Propagates substrate errors.
+    pub fn deploy(
+        chain: &mut Chain,
+        labels: &mut LabelService,
+        deployer: Address,
+        app_label: &str,
+    ) -> Result<Self> {
+        let mut factory = None;
+        chain.execute(deployer, deployer, "deployFactory", |ctx| {
+            factory = Some(ctx.create_contract(deployer)?);
+            Ok(())
+        })?;
+        let address = factory.expect("deploy closure ran");
+        labels.set(deployer, app_label);
+        labels.set(address, app_label);
+        Ok(UniswapV2Factory { address, deployer })
+    }
+
+    /// Deploys a Uniswap factory with the canonical label.
+    ///
+    /// # Errors
+    /// Propagates substrate errors.
+    pub fn deploy_canonical(
+        chain: &mut Chain,
+        labels: &mut LabelService,
+        deployer: Address,
+    ) -> Result<Self> {
+        Self::deploy(chain, labels, deployer, apps::UNISWAP)
+    }
+}
+
+/// One constant-product liquidity pool over `(token0, token1)`.
+///
+/// All mutable state (the two reserves) lives in journaled contract
+/// storage, so transaction reverts restore the pool exactly.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct UniswapV2Pair {
+    /// The pair contract account.
+    pub address: Address,
+    /// First pooled token.
+    pub token0: TokenId,
+    /// Second pooled token.
+    pub token1: TokenId,
+    /// LP share token minted to liquidity providers.
+    pub lp_token: TokenId,
+    /// Swap fee in basis points (30 = 0.30%, Uniswap V2's fee).
+    pub fee_bps: u32,
+}
+
+impl UniswapV2Pair {
+    /// Deploys a new pair from the factory. The pair contract is a *child*
+    /// of the factory in the creation tree and is intentionally left
+    /// unlabeled: Etherscan labels factories, while the 427 pool contracts
+    /// the paper mentions are tagged only via creation-tree propagation.
+    ///
+    /// # Errors
+    /// Propagates substrate errors.
+    pub fn deploy(
+        chain: &mut Chain,
+        factory: &UniswapV2Factory,
+        token0: TokenId,
+        token1: TokenId,
+        lp_symbol: &str,
+    ) -> Result<Self> {
+        let mut out = None;
+        chain.execute(factory.deployer, factory.address, "createPair", |ctx| {
+            let address = ctx.create_contract(factory.address)?;
+            let lp_token = ctx.register_token(lp_symbol, 18, address);
+            out = Some(UniswapV2Pair {
+                address,
+                token0,
+                token1,
+                lp_token,
+                fee_bps: 30,
+            });
+            Ok(())
+        })?;
+        Ok(out.expect("deploy closure ran"))
+    }
+
+    fn reserve_key(token: TokenId) -> SKey {
+        SKey::TokenMap(SLOT_RESERVE, token)
+    }
+
+    /// Current reserves `(reserve0, reserve1)`.
+    pub fn reserves(&self, ctx: &TxContext<'_>) -> (u128, u128) {
+        (
+            ctx.sload(self.address, Self::reserve_key(self.token0)),
+            ctx.sload(self.address, Self::reserve_key(self.token1)),
+        )
+    }
+
+    /// Reserve of one side.
+    ///
+    /// # Panics
+    /// Panics if `token` is not one of the pair's tokens.
+    pub fn reserve_of(&self, ctx: &TxContext<'_>, token: TokenId) -> u128 {
+        assert!(self.has_token(token), "token not in pair");
+        ctx.sload(self.address, Self::reserve_key(token))
+    }
+
+    /// Whether `token` is one of the pooled tokens.
+    pub fn has_token(&self, token: TokenId) -> bool {
+        token == self.token0 || token == self.token1
+    }
+
+    /// The opposite side of `token`.
+    ///
+    /// # Panics
+    /// Panics if `token` is not in the pair.
+    pub fn other(&self, token: TokenId) -> TokenId {
+        if token == self.token0 {
+            self.token1
+        } else if token == self.token1 {
+            self.token0
+        } else {
+            panic!("token not in pair")
+        }
+    }
+
+    fn set_reserve(&self, ctx: &mut TxContext<'_>, token: TokenId, value: u128) {
+        ctx.sstore(self.address, Self::reserve_key(token), value);
+    }
+
+    /// Synchronizes stored reserves with actual token balances (Uniswap's
+    /// `sync()`).
+    pub fn sync(&self, ctx: &mut TxContext<'_>) {
+        let b0 = ctx.balance(self.token0, self.address);
+        let b1 = ctx.balance(self.token1, self.address);
+        self.set_reserve(ctx, self.token0, b0);
+        self.set_reserve(ctx, self.token1, b1);
+        ctx.emit_log(
+            self.address,
+            "Sync",
+            vec![
+                ("reserve0".into(), LogValue::Amount(b0)),
+                ("reserve1".into(), LogValue::Amount(b1)),
+            ],
+        );
+    }
+
+    /// Output amount of the constant-product formula with fee:
+    /// `out = in·(1-fee)·R_out / (R_in + in·(1-fee))`.
+    ///
+    /// # Errors
+    /// [`SimError::Reverted`] when the pool is empty or the input is zero.
+    pub fn amount_out(&self, ctx: &TxContext<'_>, token_in: TokenId, amount_in: u128) -> Result<u128> {
+        if !self.has_token(token_in) {
+            return Err(SimError::revert("token not in pair"));
+        }
+        if amount_in == 0 {
+            return Err(SimError::revert("zero input"));
+        }
+        let token_out = self.other(token_in);
+        let r_in = self.reserve_of(ctx, token_in);
+        let r_out = self.reserve_of(ctx, token_out);
+        if r_in == 0 || r_out == 0 {
+            return Err(SimError::revert("empty pool"));
+        }
+        let fee_num = 10_000u128 - self.fee_bps as u128;
+        let in_with_fee = math::mul(amount_in, fee_num)?;
+        let numerator_hi = in_with_fee; // in_with_fee * r_out via mul_div
+        let denominator = math::add(math::mul(r_in, 10_000)?, in_with_fee)?;
+        math::mul_div(numerator_hi, r_out, denominator)
+    }
+
+    /// Swaps an exact input amount, moving tokens and updating reserves.
+    /// Returns the output amount.
+    ///
+    /// Emits a `Swap` event and records a `swap` call frame — the pieces
+    /// Explorer-style baselines and flash-loan identification look at.
+    ///
+    /// # Errors
+    /// Reverts on empty pool, zero input, insufficient trader balance, or
+    /// `min_out` slippage violation.
+    pub fn swap_exact_in(
+        &self,
+        ctx: &mut TxContext<'_>,
+        trader: Address,
+        token_in: TokenId,
+        amount_in: u128,
+        min_out: u128,
+    ) -> Result<u128> {
+        let pair = *self;
+        ctx.call(trader, self.address, "swap", 0, |ctx| {
+            let token_out = pair.other(token_in);
+            let amount_out = pair.amount_out(ctx, token_in, amount_in)?;
+            if amount_out < min_out {
+                return Err(SimError::revert("insufficient output amount"));
+            }
+            ctx.transfer_token(token_in, trader, pair.address, amount_in)?;
+            ctx.transfer_token(token_out, pair.address, trader, amount_out)?;
+            let r_in = pair.reserve_of(ctx, token_in);
+            let r_out = pair.reserve_of(ctx, token_out);
+            pair.set_reserve(ctx, token_in, math::add(r_in, amount_in)?);
+            pair.set_reserve(ctx, token_out, math::sub(r_out, amount_out)?);
+            ctx.emit_log(
+                pair.address,
+                "Swap",
+                vec![
+                    ("sender".into(), LogValue::Addr(trader)),
+                    ("tokenIn".into(), LogValue::Token(token_in)),
+                    ("amountIn".into(), LogValue::Amount(amount_in)),
+                    ("tokenOut".into(), LogValue::Token(token_out)),
+                    ("amountOut".into(), LogValue::Amount(amount_out)),
+                ],
+            );
+            Ok(amount_out)
+        })
+    }
+
+    /// Adds liquidity at the current ratio and mints LP shares
+    /// (first provision mints `sqrt(a0·a1)`).
+    ///
+    /// # Errors
+    /// Reverts on zero amounts or insufficient balances.
+    pub fn add_liquidity(
+        &self,
+        ctx: &mut TxContext<'_>,
+        provider: Address,
+        amount0: u128,
+        amount1: u128,
+    ) -> Result<u128> {
+        let pair = *self;
+        ctx.call(provider, self.address, "mint", 0, |ctx| {
+            if amount0 == 0 || amount1 == 0 {
+                return Err(SimError::revert("zero liquidity"));
+            }
+            ctx.transfer_token(pair.token0, provider, pair.address, amount0)?;
+            ctx.transfer_token(pair.token1, provider, pair.address, amount1)?;
+            let supply = ctx.state().total_supply(pair.lp_token);
+            let (r0, r1) = pair.reserves(ctx);
+            let minted = if supply == 0 {
+                math::sqrt_mul(amount0, amount1)
+            } else {
+                let by0 = math::mul_div(amount0, supply, r0)?;
+                let by1 = math::mul_div(amount1, supply, r1)?;
+                by0.min(by1)
+            };
+            if minted == 0 {
+                return Err(SimError::revert("insufficient liquidity minted"));
+            }
+            ctx.mint_token(pair.lp_token, provider, minted)?;
+            pair.set_reserve(ctx, pair.token0, math::add(r0, amount0)?);
+            pair.set_reserve(ctx, pair.token1, math::add(r1, amount1)?);
+            ctx.emit_log(
+                pair.address,
+                "Mint",
+                vec![
+                    ("sender".into(), LogValue::Addr(provider)),
+                    ("amount0".into(), LogValue::Amount(amount0)),
+                    ("amount1".into(), LogValue::Amount(amount1)),
+                    ("liquidity".into(), LogValue::Amount(minted)),
+                ],
+            );
+            Ok(minted)
+        })
+    }
+
+    /// Burns LP shares and returns the pro-rata underlying amounts.
+    ///
+    /// # Errors
+    /// Reverts on zero shares or insufficient LP balance.
+    pub fn remove_liquidity(
+        &self,
+        ctx: &mut TxContext<'_>,
+        provider: Address,
+        shares: u128,
+    ) -> Result<(u128, u128)> {
+        let pair = *self;
+        ctx.call(provider, self.address, "burn", 0, |ctx| {
+            let supply = ctx.state().total_supply(pair.lp_token);
+            if shares == 0 || supply == 0 {
+                return Err(SimError::revert("zero shares"));
+            }
+            let (r0, r1) = pair.reserves(ctx);
+            let out0 = math::mul_div(r0, shares, supply)?;
+            let out1 = math::mul_div(r1, shares, supply)?;
+            ctx.burn_token(pair.lp_token, provider, shares)?;
+            ctx.transfer_token(pair.token0, pair.address, provider, out0)?;
+            ctx.transfer_token(pair.token1, pair.address, provider, out1)?;
+            pair.set_reserve(ctx, pair.token0, math::sub(r0, out0)?);
+            pair.set_reserve(ctx, pair.token1, math::sub(r1, out1)?);
+            ctx.emit_log(
+                pair.address,
+                "Burn",
+                vec![
+                    ("sender".into(), LogValue::Addr(provider)),
+                    ("amount0".into(), LogValue::Amount(out0)),
+                    ("amount1".into(), LogValue::Amount(out1)),
+                    ("liquidity".into(), LogValue::Amount(shares)),
+                ],
+            );
+            Ok((out0, out1))
+        })
+    }
+
+    /// Flash swap — Uniswap's flash loan (paper Table II).
+    ///
+    /// Transfers `amount` of `token` to `borrower`, invokes
+    /// `uniswapV2Call` on the borrower (the `body` closure), and requires
+    /// the pool's balance of `token` to have grown by the 0.3% fee by the
+    /// time the callback returns; otherwise the transaction reverts —
+    /// transaction atomicity is the lender's only protection.
+    ///
+    /// The recorded call-frame sequence `swap` → `uniswapV2Call` is exactly
+    /// what LeiShen's flash-loan identification matches on.
+    ///
+    /// # Errors
+    /// Reverts when liquidity is insufficient or the loan is not repaid
+    /// with fee.
+    pub fn flash_swap(
+        &self,
+        ctx: &mut TxContext<'_>,
+        borrower: Address,
+        token: TokenId,
+        amount: u128,
+        body: impl FnOnce(&mut TxContext<'_>) -> Result<()>,
+    ) -> Result<()> {
+        let pair = *self;
+        ctx.call(borrower, self.address, "swap", 0, |ctx| {
+            if !pair.has_token(token) {
+                return Err(SimError::revert("token not in pair"));
+            }
+            let reserve = pair.reserve_of(ctx, token);
+            if amount == 0 || amount >= reserve {
+                return Err(SimError::revert("insufficient liquidity for flash swap"));
+            }
+            let balance_before = ctx.balance(token, pair.address);
+            ctx.transfer_token(token, pair.address, borrower, amount)?;
+            ctx.call(pair.address, borrower, "uniswapV2Call", 0, body)?;
+            // Fee: 0.3% of the borrowed amount, rounded in the pool's favour.
+            let fee = math::mul_div_ceil(amount, 3, 997)?;
+            let required = math::add(balance_before, fee)?;
+            let balance_after = ctx.balance(token, pair.address);
+            if balance_after < required {
+                return Err(SimError::revert("flash swap not repaid with fee"));
+            }
+            pair.sync(ctx);
+            Ok(())
+        })
+    }
+
+    /// Spot price of `base` denominated in the other token, adjusted for
+    /// decimals (whole-token terms). Used by oracles and analytics, never
+    /// by the ledger.
+    ///
+    /// # Errors
+    /// Reverts when the pool is empty.
+    pub fn spot_price(&self, ctx: &TxContext<'_>, base: TokenId) -> Result<f64> {
+        let quote = self.other(base);
+        let rb = self.reserve_of(ctx, base);
+        let rq = self.reserve_of(ctx, quote);
+        if rb == 0 || rq == 0 {
+            return Err(SimError::revert("empty pool"));
+        }
+        let db = ctx.token(base)?.decimals as i32;
+        let dq = ctx.token(quote)?.decimals as i32;
+        Ok((rq as f64 / 10f64.powi(dq)) / (rb as f64 / 10f64.powi(db)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ethsim::ChainConfig;
+
+    struct Setup {
+        chain: Chain,
+        pair: UniswapV2Pair,
+        lp: Address,
+        trader: Address,
+        eth: TokenId,
+        usdc: TokenId,
+    }
+
+    fn setup() -> Setup {
+        let mut chain = Chain::new(ChainConfig::default());
+        let mut labels = LabelService::new();
+        let deployer = chain.create_eoa("uniswap deployer");
+        let lp = chain.create_eoa("lp");
+        let trader = chain.create_eoa("trader");
+        let factory = UniswapV2Factory::deploy_canonical(&mut chain, &mut labels, deployer).unwrap();
+        let usdc = TokenDeploymentHelper::new(&mut chain, deployer, "USDC", 6);
+        let eth = TokenId::ETH;
+        let pair = UniswapV2Pair::deploy(&mut chain, &factory, eth, usdc, "UNI-V2 ETH/USDC").unwrap();
+        // Fund the LP: 1,000 ETH + 2,000,000 USDC (price 2000 USDC/ETH).
+        chain.state_mut().credit_eth(lp, eth_units(1_000)).unwrap();
+        chain.state_mut().credit_eth(trader, eth_units(100)).unwrap();
+        chain
+            .execute(lp, pair.address, "seed", |ctx| {
+                ctx.mint_token(usdc, lp, usdc_units(2_000_000))?;
+                ctx.mint_token(usdc, trader, usdc_units(100_000))?;
+                pair.add_liquidity(ctx, lp, eth_units(1_000), usdc_units(2_000_000))?;
+                Ok(())
+            })
+            .unwrap();
+        Setup {
+            chain,
+            pair,
+            lp,
+            trader,
+            eth,
+            usdc,
+        }
+    }
+
+    fn eth_units(n: u128) -> u128 {
+        n * 10u128.pow(18)
+    }
+    fn usdc_units(n: u128) -> u128 {
+        n * 10u128.pow(6)
+    }
+
+    /// Deploys a token inline for tests (avoids importing scenario glue).
+    struct TokenDeploymentHelper;
+    impl TokenDeploymentHelper {
+        #[allow(clippy::new_ret_no_self)]
+        fn new(chain: &mut Chain, deployer: Address, symbol: &str, decimals: u8) -> TokenId {
+            let mut out = None;
+            chain
+                .execute(deployer, deployer, "deployToken", |ctx| {
+                    let c = ctx.create_contract(deployer)?;
+                    out = Some(ctx.register_token(symbol, decimals, c));
+                    Ok(())
+                })
+                .unwrap();
+            out.unwrap()
+        }
+    }
+
+    #[test]
+    fn add_liquidity_mints_sqrt_shares() {
+        let s = setup();
+        let mut chain = s.chain;
+        chain
+            .execute(s.lp, s.pair.address, "check", |ctx| {
+                let supply = ctx.state().total_supply(s.pair.lp_token);
+                assert_eq!(supply, math::sqrt_mul(eth_units(1_000), usdc_units(2_000_000)));
+                let (r0, r1) = s.pair.reserves(ctx);
+                assert_eq!(r0, eth_units(1_000));
+                assert_eq!(r1, usdc_units(2_000_000));
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn swap_moves_price_along_constant_product() {
+        let s = setup();
+        let mut chain = s.chain;
+        chain
+            .execute(s.trader, s.pair.address, "swap", |ctx| {
+                let before = s.pair.spot_price(ctx, s.eth)?;
+                assert!((before - 2_000.0).abs() < 1.0);
+                let out = s
+                    .pair
+                    .swap_exact_in(ctx, s.trader, s.eth, eth_units(10), 0)?;
+                // ~10 * 0.997 * 2,000,000 / 1,010 ≈ 19,742 USDC
+                assert!(out > usdc_units(19_000) && out < usdc_units(20_000), "{out}");
+                let after = s.pair.spot_price(ctx, s.eth)?;
+                assert!(after < before, "buying USDC with ETH lowers ETH price? no — \
+                        adding ETH lowers the USDC-per-ETH rate");
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn constant_product_never_decreases_across_swaps() {
+        let s = setup();
+        let mut chain = s.chain;
+        chain
+            .execute(s.trader, s.pair.address, "swaps", |ctx| {
+                let (r0, r1) = s.pair.reserves(ctx);
+                let k_before = (r0 as f64) * (r1 as f64);
+                s.pair.swap_exact_in(ctx, s.trader, s.eth, eth_units(5), 0)?;
+                let got = ctx.balance(s.usdc, s.trader);
+                s.pair.swap_exact_in(ctx, s.trader, s.usdc, got, 0)?;
+                let (r0, r1) = s.pair.reserves(ctx);
+                let k_after = (r0 as f64) * (r1 as f64);
+                assert!(k_after >= k_before, "fees grow k");
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn slippage_guard_reverts() {
+        let s = setup();
+        let mut chain = s.chain;
+        let tx = chain
+            .execute(s.trader, s.pair.address, "swap", |ctx| {
+                s.pair
+                    .swap_exact_in(ctx, s.trader, s.eth, eth_units(1), u128::MAX)?;
+                Ok(())
+            })
+            .unwrap();
+        assert!(!chain.replay(tx).unwrap().status.is_success());
+    }
+
+    #[test]
+    fn remove_liquidity_returns_pro_rata() {
+        let s = setup();
+        let mut chain = s.chain;
+        chain
+            .execute(s.lp, s.pair.address, "exit", |ctx| {
+                let shares = ctx.balance(s.pair.lp_token, s.lp);
+                let (out0, out1) = s.pair.remove_liquidity(ctx, s.lp, shares / 2)?;
+                // Half the shares return ~half the reserves.
+                let rel0 = (out0 as f64 - eth_units(500) as f64).abs() / (eth_units(500) as f64);
+                let rel1 = (out1 as f64 - usdc_units(1_000_000) as f64).abs()
+                    / (usdc_units(1_000_000) as f64);
+                assert!(rel0 < 1e-6, "{rel0}");
+                assert!(rel1 < 1e-6, "{rel1}");
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn flash_swap_requires_repayment_with_fee() {
+        let s = setup();
+        let mut chain = s.chain;
+        let borrower = chain.create_eoa("borrower");
+        // Under-repaying reverts the whole transaction.
+        let tx = chain
+            .execute(borrower, s.pair.address, "flash", |ctx| {
+                s.pair
+                    .flash_swap(ctx, borrower, s.eth, eth_units(100), |ctx| {
+                        // repay exactly the principal — missing the fee
+                        ctx.transfer_eth(borrower, s.pair.address, eth_units(100))
+                    })
+            })
+            .unwrap();
+        assert!(!chain.replay(tx).unwrap().status.is_success());
+        // The revert restored pool reserves.
+        chain
+            .execute(borrower, s.pair.address, "check", |ctx| {
+                assert_eq!(s.pair.reserve_of(ctx, s.eth), eth_units(1_000));
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn flash_swap_succeeds_with_fee_and_records_frames() {
+        let s = setup();
+        let mut chain = s.chain;
+        let borrower = chain.create_eoa("borrower");
+        chain.state_mut().credit_eth(borrower, eth_units(1)).unwrap();
+        let principal = eth_units(100);
+        let fee = math::mul_div_ceil(principal, 3, 997).unwrap();
+        let tx = chain
+            .execute(borrower, s.pair.address, "flash", |ctx| {
+                s.pair.flash_swap(ctx, borrower, s.eth, principal, |ctx| {
+                    ctx.transfer_eth(borrower, s.pair.address, principal + fee)
+                })
+            })
+            .unwrap();
+        let rec = chain.replay(tx).unwrap();
+        assert!(rec.status.is_success());
+        assert!(rec.trace.called(s.pair.address, "swap"));
+        assert!(rec.trace.called(borrower, "uniswapV2Call"));
+        // Reserves grew by the fee.
+        chain
+            .execute(borrower, s.pair.address, "check", |ctx| {
+                assert_eq!(s.pair.reserve_of(ctx, s.eth), eth_units(1_000) + fee);
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn amount_out_rejects_degenerate_inputs() {
+        let s = setup();
+        let mut chain = s.chain;
+        chain
+            .execute(s.trader, s.pair.address, "probe", |ctx| {
+                assert!(s.pair.amount_out(ctx, s.eth, 0).is_err());
+                assert!(s
+                    .pair
+                    .amount_out(ctx, TokenId::from_index(99), 1)
+                    .is_err());
+                Ok(())
+            })
+            .unwrap();
+    }
+}

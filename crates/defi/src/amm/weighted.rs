@@ -1,0 +1,448 @@
+//! Balancer-style weighted constant-mean pools.
+//!
+//! Balancer is the most attacked application in the paper's wild study
+//! (Table VI: 31 attacks by 5 attackers on 13 assets) and the victim of the
+//! third real-world flpAttack in Table I, whose price volatility reached
+//! 6.5·10²⁸ %. A weighted pool holds `n` tokens with normalized weights
+//! `w_i`; the invariant is `∏ B_i^{w_i}` and the out-given-in formula is
+//!
+//! ```text
+//! out = B_out · (1 − (B_in / (B_in + in·(1−fee)))^(w_in / w_out))
+//! ```
+//!
+//! Pricing uses `f64` internally (weight exponents are fractional); all
+//! ledger settlement stays in `u128` and outputs are clamped to reserves,
+//! so the ledger can never go negative. This matches the fidelity the
+//! detector needs: it observes trades and amounts, not invariant bits.
+
+use ethsim::state::SKey;
+use ethsim::{math, Address, Chain, LogValue, Result, SimError, TokenId, TxContext};
+
+use crate::labels::LabelService;
+
+const SLOT_RESERVE: u16 = 0;
+
+/// A weighted constant-mean pool (Balancer-style), with a pool share token
+/// (BPT) for joins/exits.
+#[derive(Clone, Debug, PartialEq)]
+pub struct WeightedPool {
+    /// The pool contract account.
+    pub address: Address,
+    /// Pooled tokens.
+    pub tokens: Vec<TokenId>,
+    /// Normalized weights, parallel to `tokens` (must sum to ~1).
+    pub weights: Vec<f64>,
+    /// Pool share token (BPT).
+    pub bpt: TokenId,
+    /// Swap fee in basis points.
+    pub fee_bps: u32,
+}
+
+impl WeightedPool {
+    /// Deploys a weighted pool as a child of `factory_or_deployer`
+    /// (labeled pools propagate their app tag to it via the creation tree).
+    ///
+    /// # Errors
+    /// Propagates substrate errors; reverts if weights/tokens mismatch.
+    ///
+    /// # Panics
+    /// Panics if `tokens` and `weights` lengths differ or weights don't sum
+    /// to ≈ 1.
+    #[allow(clippy::too_many_arguments)]
+    pub fn deploy(
+        chain: &mut Chain,
+        _labels: &mut LabelService,
+        deployer_eoa: Address,
+        parent: Address,
+        tokens: Vec<TokenId>,
+        weights: Vec<f64>,
+        bpt_symbol: &str,
+        fee_bps: u32,
+    ) -> Result<Self> {
+        assert_eq!(tokens.len(), weights.len(), "token/weight mismatch");
+        let sum: f64 = weights.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-9, "weights must sum to 1");
+        let mut out = None;
+        chain.execute(deployer_eoa, parent, "createPool", |ctx| {
+            let address = ctx.create_contract(parent)?;
+            let bpt = ctx.register_token(bpt_symbol, 18, address);
+            out = Some(WeightedPool {
+                address,
+                tokens: tokens.clone(),
+                weights: weights.clone(),
+                bpt,
+                fee_bps,
+            });
+            Ok(())
+        })?;
+        Ok(out.expect("deploy closure ran"))
+    }
+
+    fn key(token: TokenId) -> SKey {
+        SKey::TokenMap(SLOT_RESERVE, token)
+    }
+
+    /// Index of `token` within the pool.
+    fn index_of(&self, token: TokenId) -> Option<usize> {
+        self.tokens.iter().position(|t| *t == token)
+    }
+
+    /// Reserve of `token`.
+    pub fn reserve_of(&self, ctx: &TxContext<'_>, token: TokenId) -> u128 {
+        ctx.sload(self.address, Self::key(token))
+    }
+
+    fn set_reserve(&self, ctx: &mut TxContext<'_>, token: TokenId, v: u128) {
+        ctx.sstore(self.address, Self::key(token), v);
+    }
+
+    /// Seeds initial reserves from `provider` and mints `initial_bpt`
+    /// shares. Balancer pools are initialized with arbitrary share counts.
+    ///
+    /// # Errors
+    /// Reverts on amount/token mismatch or insufficient balances.
+    pub fn seed(
+        &self,
+        ctx: &mut TxContext<'_>,
+        provider: Address,
+        amounts: &[u128],
+        initial_bpt: u128,
+    ) -> Result<()> {
+        if amounts.len() != self.tokens.len() {
+            return Err(SimError::revert("seed amounts mismatch"));
+        }
+        let pool = self.clone();
+        let amounts = amounts.to_vec();
+        ctx.call(provider, self.address, "joinPool", 0, |ctx| {
+            for (i, token) in pool.tokens.iter().enumerate() {
+                ctx.transfer_token(*token, provider, pool.address, amounts[i])?;
+                pool.set_reserve(ctx, *token, amounts[i]);
+            }
+            ctx.mint_token(pool.bpt, provider, initial_bpt)?;
+            Ok(())
+        })
+    }
+
+    /// Out-given-in under the weighted-math formula.
+    ///
+    /// # Errors
+    /// Reverts on unknown tokens, zero input or empty reserves.
+    pub fn amount_out(
+        &self,
+        ctx: &TxContext<'_>,
+        token_in: TokenId,
+        token_out: TokenId,
+        amount_in: u128,
+    ) -> Result<u128> {
+        let i = self
+            .index_of(token_in)
+            .ok_or_else(|| SimError::revert("tokenIn not in pool"))?;
+        let o = self
+            .index_of(token_out)
+            .ok_or_else(|| SimError::revert("tokenOut not in pool"))?;
+        if i == o {
+            return Err(SimError::revert("identical tokens"));
+        }
+        if amount_in == 0 {
+            return Err(SimError::revert("zero input"));
+        }
+        let b_in = self.reserve_of(ctx, token_in);
+        let b_out = self.reserve_of(ctx, token_out);
+        if b_in == 0 || b_out == 0 {
+            return Err(SimError::revert("empty pool"));
+        }
+        let fee = self.fee_bps as f64 / 10_000.0;
+        let in_f = amount_in as f64 * (1.0 - fee);
+        let ratio = b_in as f64 / (b_in as f64 + in_f);
+        let exponent = self.weights[i] / self.weights[o];
+        let out_f = b_out as f64 * (1.0 - ratio.powf(exponent));
+        let out = out_f as u128;
+        // Clamp: f64 rounding must never drain past the reserve.
+        Ok(out.min(b_out.saturating_sub(1)))
+    }
+
+    /// Swaps exact-in between two pooled tokens.
+    ///
+    /// # Errors
+    /// Reverts on pricing failure, insufficient balance, or `min_out`.
+    pub fn swap_exact_in(
+        &self,
+        ctx: &mut TxContext<'_>,
+        trader: Address,
+        token_in: TokenId,
+        token_out: TokenId,
+        amount_in: u128,
+        min_out: u128,
+    ) -> Result<u128> {
+        let pool = self.clone();
+        ctx.call(trader, self.address, "swapExactAmountIn", 0, |ctx| {
+            let out = pool.amount_out(ctx, token_in, token_out, amount_in)?;
+            if out < min_out {
+                return Err(SimError::revert("limit out"));
+            }
+            ctx.transfer_token(token_in, trader, pool.address, amount_in)?;
+            ctx.transfer_token(token_out, pool.address, trader, out)?;
+            let r_in = pool.reserve_of(ctx, token_in);
+            let r_out = pool.reserve_of(ctx, token_out);
+            pool.set_reserve(ctx, token_in, math::add(r_in, amount_in)?);
+            pool.set_reserve(ctx, token_out, math::sub(r_out, out)?);
+            ctx.emit_log(
+                pool.address,
+                "LOG_SWAP",
+                vec![
+                    ("caller".into(), LogValue::Addr(trader)),
+                    ("tokenIn".into(), LogValue::Token(token_in)),
+                    ("tokenAmountIn".into(), LogValue::Amount(amount_in)),
+                    ("tokenOut".into(), LogValue::Token(token_out)),
+                    ("tokenAmountOut".into(), LogValue::Amount(out)),
+                ],
+            );
+            Ok(out)
+        })
+    }
+
+    /// Single-asset join: deposit one token, mint BPT pro-rata to the value
+    /// added (simplified single-asset deposit formula).
+    ///
+    /// # Errors
+    /// Reverts on unknown token or empty pool.
+    pub fn join_single(
+        &self,
+        ctx: &mut TxContext<'_>,
+        provider: Address,
+        token_in: TokenId,
+        amount_in: u128,
+    ) -> Result<u128> {
+        let i = self
+            .index_of(token_in)
+            .ok_or_else(|| SimError::revert("token not in pool"))?;
+        let pool = self.clone();
+        ctx.call(provider, self.address, "joinswapExternAmountIn", 0, |ctx| {
+            let b_in = pool.reserve_of(ctx, token_in);
+            if b_in == 0 {
+                return Err(SimError::revert("empty pool"));
+            }
+            let supply = ctx.state().total_supply(pool.bpt);
+            let fee = pool.fee_bps as f64 / 10_000.0;
+            let in_f = amount_in as f64 * (1.0 - fee * (1.0 - pool.weights[i]));
+            let ratio = (b_in as f64 + in_f) / b_in as f64;
+            let minted_f = supply as f64 * (ratio.powf(pool.weights[i]) - 1.0);
+            let minted = minted_f as u128;
+            if minted == 0 {
+                return Err(SimError::revert("zero BPT out"));
+            }
+            ctx.transfer_token(token_in, provider, pool.address, amount_in)?;
+            pool.set_reserve(ctx, token_in, math::add(b_in, amount_in)?);
+            ctx.mint_token(pool.bpt, provider, minted)?;
+            ctx.emit_log(
+                pool.address,
+                "LOG_JOIN",
+                vec![
+                    ("caller".into(), LogValue::Addr(provider)),
+                    ("tokenIn".into(), LogValue::Token(token_in)),
+                    ("tokenAmountIn".into(), LogValue::Amount(amount_in)),
+                    ("bptOut".into(), LogValue::Amount(minted)),
+                ],
+            );
+            Ok(minted)
+        })
+    }
+
+    /// Single-asset exit: burn BPT, withdraw one token.
+    ///
+    /// # Errors
+    /// Reverts on unknown token, zero shares or empty supply.
+    pub fn exit_single(
+        &self,
+        ctx: &mut TxContext<'_>,
+        provider: Address,
+        token_out: TokenId,
+        bpt_in: u128,
+    ) -> Result<u128> {
+        let o = self
+            .index_of(token_out)
+            .ok_or_else(|| SimError::revert("token not in pool"))?;
+        let pool = self.clone();
+        ctx.call(provider, self.address, "exitswapPoolAmountIn", 0, |ctx| {
+            let supply = ctx.state().total_supply(pool.bpt);
+            if bpt_in == 0 || supply == 0 {
+                return Err(SimError::revert("zero shares"));
+            }
+            let b_out = pool.reserve_of(ctx, token_out);
+            let ratio = 1.0 - (bpt_in as f64 / supply as f64);
+            let out_f = b_out as f64 * (1.0 - ratio.powf(1.0 / pool.weights[o]));
+            let out = (out_f as u128).min(b_out.saturating_sub(1));
+            ctx.burn_token(pool.bpt, provider, bpt_in)?;
+            ctx.transfer_token(token_out, pool.address, provider, out)?;
+            pool.set_reserve(ctx, token_out, math::sub(b_out, out)?);
+            ctx.emit_log(
+                pool.address,
+                "LOG_EXIT",
+                vec![
+                    ("caller".into(), LogValue::Addr(provider)),
+                    ("tokenOut".into(), LogValue::Token(token_out)),
+                    ("tokenAmountOut".into(), LogValue::Amount(out)),
+                    ("bptIn".into(), LogValue::Amount(bpt_in)),
+                ],
+            );
+            Ok(out)
+        })
+    }
+
+    /// Spot price of `base` in `quote` terms: `(B_q / w_q) / (B_b / w_b)`,
+    /// decimals-adjusted.
+    ///
+    /// # Errors
+    /// Reverts on unknown tokens or empty reserves.
+    pub fn spot_price(
+        &self,
+        ctx: &TxContext<'_>,
+        base: TokenId,
+        quote: TokenId,
+    ) -> Result<f64> {
+        let b = self
+            .index_of(base)
+            .ok_or_else(|| SimError::revert("base not in pool"))?;
+        let q = self
+            .index_of(quote)
+            .ok_or_else(|| SimError::revert("quote not in pool"))?;
+        let rb = self.reserve_of(ctx, base);
+        let rq = self.reserve_of(ctx, quote);
+        if rb == 0 || rq == 0 {
+            return Err(SimError::revert("empty pool"));
+        }
+        let db = ctx.token(base)?.decimals as i32;
+        let dq = ctx.token(quote)?.decimals as i32;
+        let rb_f = rb as f64 / 10f64.powi(db) / self.weights[b];
+        let rq_f = rq as f64 / 10f64.powi(dq) / self.weights[q];
+        Ok(rq_f / rb_f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ethsim::ChainConfig;
+
+    fn deploy_token(chain: &mut Chain, deployer: Address, symbol: &str, decimals: u8) -> TokenId {
+        let mut out = None;
+        chain
+            .execute(deployer, deployer, "deployToken", |ctx| {
+                let c = ctx.create_contract(deployer)?;
+                out = Some(ctx.register_token(symbol, decimals, c));
+                Ok(())
+            })
+            .unwrap();
+        out.unwrap()
+    }
+
+    fn setup() -> (Chain, WeightedPool, Address, TokenId, TokenId) {
+        let mut chain = Chain::new(ChainConfig::default());
+        let mut labels = LabelService::new();
+        let deployer = chain.create_eoa("balancer deployer");
+        let whale = chain.create_eoa("whale");
+        let weth = deploy_token(&mut chain, deployer, "WETH", 18);
+        let sta = deploy_token(&mut chain, deployer, "STA", 18);
+        let pool = WeightedPool::deploy(
+            &mut chain,
+            &mut labels,
+            deployer,
+            deployer,
+            vec![weth, sta],
+            vec![0.5, 0.5],
+            "BPT",
+            30,
+        )
+        .unwrap();
+        chain
+            .execute(whale, pool.address, "seed", |ctx| {
+                ctx.mint_token(weth, whale, 1_000 * E18)?;
+                ctx.mint_token(sta, whale, 1_000_000 * E18)?;
+                pool.seed(
+                    ctx,
+                    whale,
+                    &[500 * E18, 500_000 * E18],
+                    100 * E18,
+                )?;
+                Ok(())
+            })
+            .unwrap();
+        (chain, pool, whale, weth, sta)
+    }
+
+    const E18: u128 = 1_000_000_000_000_000_000;
+
+    #[test]
+    fn equal_weights_behave_like_constant_product() {
+        let (mut chain, pool, whale, weth, sta) = setup();
+        chain
+            .execute(whale, pool.address, "swap", |ctx| {
+                let out = pool.swap_exact_in(ctx, whale, weth, sta, 10 * E18, 0)?;
+                // constant-product estimate: 10*0.997*500000/(500+9.97) ≈ 9777
+                let est = 10.0 * 0.997 * 500_000.0 / 509.97;
+                let got = out as f64 / E18 as f64;
+                assert!((got - est).abs() / est < 0.01, "got {got}, est {est}");
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn spot_price_reflects_weights() {
+        let (mut chain, pool, whale, weth, sta) = setup();
+        chain
+            .execute(whale, pool.address, "probe", |ctx| {
+                let p = pool.spot_price(ctx, weth, sta)?;
+                assert!((p - 1_000.0).abs() < 1.0, "1000 STA per WETH, got {p}");
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn join_and_exit_single_roundtrip_loses_fees_only() {
+        let (mut chain, pool, whale, weth, _) = setup();
+        chain
+            .execute(whale, pool.address, "cycle", |ctx| {
+                let before = ctx.balance(weth, whale);
+                let bpt = pool.join_single(ctx, whale, weth, 10 * E18)?;
+                assert!(bpt > 0);
+                let back = pool.exit_single(ctx, whale, weth, bpt)?;
+                assert!(back <= 10 * E18, "cannot profit from join+exit");
+                assert!(back > 9 * E18, "loses at most ~fee+rounding");
+                assert!(ctx.balance(weth, whale) <= before);
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn swap_rejects_foreign_tokens() {
+        let (mut chain, pool, whale, weth, _) = setup();
+        chain
+            .execute(whale, pool.address, "bad", |ctx| {
+                assert!(pool
+                    .amount_out(ctx, weth, TokenId::from_index(77), E18)
+                    .is_err());
+                assert!(pool.amount_out(ctx, weth, weth, E18).is_err());
+                assert!(pool.amount_out(ctx, weth, pool.tokens[1], 0).is_err());
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn massive_swap_cannot_drain_reserve() {
+        let (mut chain, pool, whale, weth, sta) = setup();
+        chain
+            .execute(whale, pool.address, "drain", |ctx| {
+                // 490 WETH into a 500-reserve pool: huge trade, output must
+                // stay below the STA reserve.
+                let r_before = pool.reserve_of(ctx, sta);
+                let out = pool.swap_exact_in(ctx, whale, weth, sta, 490 * E18, 0)?;
+                assert!(out < r_before);
+                Ok(())
+            })
+            .unwrap();
+    }
+}

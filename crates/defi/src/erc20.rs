@@ -1,0 +1,91 @@
+//! ERC20 token deployment helpers.
+//!
+//! Deploying a token on our substrate means (1) creating a contract account
+//! via a transaction — so the creation relationship lands in the dataset
+//! account tagging uses — and (2) registering the token in the world-state
+//! registry.
+
+use ethsim::{Address, Chain, Result, TokenId, TxContext};
+
+use crate::labels::LabelService;
+
+/// A deployed ERC20-style token: the registry id plus its contract address.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TokenDeployment {
+    /// Registry id used in transfers.
+    pub id: TokenId,
+    /// The token's contract account.
+    pub contract: Address,
+}
+
+impl TokenDeployment {
+    /// Deploys a token contract from `deployer` in its own transaction and
+    /// registers it. If `label` is given, the *contract* is labeled in the
+    /// label service (major tokens are labeled on Etherscan; scenario
+    /// tokens typically are not).
+    ///
+    /// # Errors
+    /// Propagates substrate errors (unknown deployer account).
+    pub fn deploy(
+        chain: &mut Chain,
+        labels: &mut LabelService,
+        deployer: Address,
+        symbol: &str,
+        decimals: u8,
+        label: Option<&str>,
+    ) -> Result<TokenDeployment> {
+        let mut out = None;
+        chain.execute(deployer, deployer, "deployToken", |ctx| {
+            let contract = ctx.create_contract(deployer)?;
+            let id = ctx.register_token(symbol, decimals, contract);
+            out = Some(TokenDeployment { id, contract });
+            Ok(())
+        })?;
+        let deployment = out.expect("deployment closure ran");
+        if let Some(l) = label {
+            labels.set(deployment.contract, l);
+        }
+        Ok(deployment)
+    }
+
+    /// Mints initial supply to `to` inside an existing transaction context.
+    ///
+    /// # Errors
+    /// Propagates mint errors (overflow, unknown token).
+    pub fn mint(&self, ctx: &mut TxContext<'_>, to: Address, amount: u128) -> Result<()> {
+        ctx.mint_token(self.id, to, amount)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ethsim::ChainConfig;
+
+    #[test]
+    fn deploy_registers_token_and_creation() {
+        let mut chain = Chain::new(ChainConfig::default());
+        let mut labels = LabelService::new();
+        let deployer = chain.create_eoa("token deployer");
+        let t = TokenDeployment::deploy(&mut chain, &mut labels, deployer, "USDC", 6, Some("USDC"))
+            .unwrap();
+        assert_eq!(chain.state().token(t.id).unwrap().symbol, "USDC");
+        assert_eq!(chain.state().token(t.id).unwrap().decimals, 6);
+        assert_eq!(labels.get(t.contract), Some("USDC"));
+        // creation relationship recorded for tagging
+        let creations = chain.state().creations();
+        assert_eq!(creations.len(), 1);
+        assert_eq!(creations[0].creator, deployer);
+        assert_eq!(creations[0].created, t.contract);
+    }
+
+    #[test]
+    fn unlabeled_deploy() {
+        let mut chain = Chain::new(ChainConfig::default());
+        let mut labels = LabelService::new();
+        let deployer = chain.create_eoa("d");
+        let t =
+            TokenDeployment::deploy(&mut chain, &mut labels, deployer, "OBSCURE", 18, None).unwrap();
+        assert!(labels.get(t.contract).is_none());
+    }
+}

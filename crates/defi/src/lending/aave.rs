@@ -1,0 +1,182 @@
+//! AAVE-style flash loans.
+//!
+//! AAVE was the first flash-loan provider (paper Fig. 1: its first flash
+//! loan appeared Jan 18, 2020). Per Table II, an AAVE flash-loan
+//! transaction invokes the `flashLoan` function and emits a `FlashLoan`
+//! event — both of which this implementation records so LeiShen's
+//! identification sees exactly the mainnet signature.
+
+use ethsim::{math, Address, Chain, LogValue, Result, SimError, TokenId, TxContext};
+
+use crate::labels::{apps, LabelService};
+
+/// The AAVE lending pool, holding reserves of many tokens and offering
+/// flash loans at a 0.09% fee.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct AavePool {
+    /// Pool contract account.
+    pub address: Address,
+    /// Flash-loan fee in basis points (9 = 0.09%, AAVE v1's fee).
+    pub fee_bps: u32,
+}
+
+impl AavePool {
+    /// Deploys the pool with the canonical "Aave" label.
+    ///
+    /// # Errors
+    /// Propagates substrate errors.
+    pub fn deploy(
+        chain: &mut Chain,
+        labels: &mut LabelService,
+        deployer: Address,
+    ) -> Result<AavePool> {
+        let mut address = None;
+        chain.execute(deployer, deployer, "deployPool", |ctx| {
+            address = Some(ctx.create_contract(deployer)?);
+            Ok(())
+        })?;
+        let address = address.expect("deploy closure ran");
+        labels.set(deployer, apps::AAVE);
+        labels.set(address, apps::AAVE);
+        Ok(AavePool { address, fee_bps: 9 })
+    }
+
+    /// The fee charged on a loan of `amount`.
+    ///
+    /// # Errors
+    /// [`SimError::Overflow`] on absurd amounts.
+    pub fn fee(&self, amount: u128) -> Result<u128> {
+        math::mul_div_ceil(amount, self.fee_bps as u128, 10_000)
+    }
+
+    /// Takes a flash loan: transfers `amount` of `token` to `borrower`,
+    /// invokes `executeOperation` on the borrower (the `body` closure),
+    /// and requires principal + fee back — or the transaction reverts.
+    ///
+    /// Records the `flashLoan` call frame and `FlashLoan` event from
+    /// Table II.
+    ///
+    /// # Errors
+    /// Reverts on insufficient pool reserves or missing repayment.
+    pub fn flash_loan(
+        &self,
+        ctx: &mut TxContext<'_>,
+        borrower: Address,
+        token: TokenId,
+        amount: u128,
+        body: impl FnOnce(&mut TxContext<'_>) -> Result<()>,
+    ) -> Result<()> {
+        let pool = *self;
+        ctx.call(borrower, self.address, "flashLoan", 0, |ctx| {
+            let reserve = ctx.balance(token, pool.address);
+            if amount == 0 || amount > reserve {
+                return Err(SimError::revert("insufficient reserves for flash loan"));
+            }
+            let fee = pool.fee(amount)?;
+            ctx.emit_log(
+                pool.address,
+                "FlashLoan",
+                vec![
+                    ("target".into(), LogValue::Addr(borrower)),
+                    ("reserve".into(), LogValue::Token(token)),
+                    ("amount".into(), LogValue::Amount(amount)),
+                    ("totalFee".into(), LogValue::Amount(fee)),
+                ],
+            );
+            let before = ctx.balance(token, pool.address);
+            ctx.transfer_token(token, pool.address, borrower, amount)?;
+            ctx.call(pool.address, borrower, "executeOperation", 0, body)?;
+            let required = math::add(before, fee)?;
+            if ctx.balance(token, pool.address) < required {
+                return Err(SimError::revert("flash loan not repaid with fee"));
+            }
+            Ok(())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ethsim::ChainConfig;
+
+    const E18: u128 = 1_000_000_000_000_000_000;
+
+    fn setup() -> (Chain, AavePool, Address, TokenId) {
+        let mut chain = Chain::new(ChainConfig::default());
+        let mut labels = LabelService::new();
+        let deployer = chain.create_eoa("aave deployer");
+        let borrower = chain.create_eoa("borrower");
+        let pool = AavePool::deploy(&mut chain, &mut labels, deployer).unwrap();
+        assert_eq!(labels.get(pool.address), Some(apps::AAVE));
+        let mut dai = None;
+        chain
+            .execute(deployer, deployer, "deployToken", |ctx| {
+                let c = ctx.create_contract(deployer)?;
+                let t = ctx.register_token("DAI", 18, c);
+                ctx.mint_token(t, pool.address, 1_000_000 * E18)?;
+                ctx.mint_token(t, borrower, 10_000 * E18)?;
+                dai = Some(t);
+                Ok(())
+            })
+            .unwrap();
+        (chain, pool, borrower, dai.unwrap())
+    }
+
+    #[test]
+    fn loan_with_repayment_succeeds_and_signs_table_ii() {
+        let (mut chain, pool, borrower, dai) = setup();
+        let amount = 500_000 * E18;
+        let fee = pool.fee(amount).unwrap();
+        let tx = chain
+            .execute(borrower, pool.address, "flash", |ctx| {
+                pool.flash_loan(ctx, borrower, dai, amount, |ctx| {
+                    ctx.transfer_token(dai, borrower, pool.address, amount + fee)
+                })
+            })
+            .unwrap();
+        let rec = chain.replay(tx).unwrap();
+        assert!(rec.status.is_success());
+        assert!(rec.trace.called(pool.address, "flashLoan"));
+        assert!(rec.trace.emitted(pool.address, "FlashLoan"));
+        assert!(rec.trace.called(borrower, "executeOperation"));
+        assert_eq!(
+            chain.state().balance(dai, pool.address),
+            1_000_000 * E18 + fee
+        );
+    }
+
+    #[test]
+    fn missing_fee_reverts() {
+        let (mut chain, pool, borrower, dai) = setup();
+        let amount = 500_000 * E18;
+        let tx = chain
+            .execute(borrower, pool.address, "flash", |ctx| {
+                pool.flash_loan(ctx, borrower, dai, amount, |ctx| {
+                    ctx.transfer_token(dai, borrower, pool.address, amount)
+                })
+            })
+            .unwrap();
+        assert!(!chain.replay(tx).unwrap().status.is_success());
+        assert_eq!(chain.state().balance(dai, pool.address), 1_000_000 * E18);
+    }
+
+    #[test]
+    fn oversized_loan_reverts() {
+        let (mut chain, pool, borrower, dai) = setup();
+        let tx = chain
+            .execute(borrower, pool.address, "flash", |ctx| {
+                pool.flash_loan(ctx, borrower, dai, 2_000_000 * E18, |_| Ok(()))
+            })
+            .unwrap();
+        assert!(!chain.replay(tx).unwrap().status.is_success());
+    }
+
+    #[test]
+    fn fee_is_nine_bps_rounded_up() {
+        let (_, pool, _, _) = setup();
+        assert_eq!(pool.fee(10_000).unwrap(), 9);
+        assert_eq!(pool.fee(10_001).unwrap(), 10, "rounds up");
+        assert_eq!(pool.fee(1).unwrap(), 1);
+    }
+}

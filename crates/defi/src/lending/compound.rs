@@ -1,0 +1,464 @@
+//! Compound-style collateralized borrowing.
+//!
+//! In bZx-1 (paper Fig. 3, step 2) the attacker "collateralizes 5,500 ETH
+//! to borrow 112 WBTC at the price of 49.1 ETH/WBTC on Compound". From the
+//! detector's perspective this is a *swap-shaped* trade: collateral flows
+//! to the platform, borrowed assets flow back — which is why LeiShen's SBS
+//! pattern catches it as `trade₁`. Borrowing capacity is priced by a DEX
+//! oracle, making the platform a downstream victim of pool manipulation.
+
+use ethsim::state::SKey;
+use ethsim::{math, Address, Chain, LogValue, Result, SimError, TokenId, TxContext};
+
+use crate::labels::LabelService;
+use crate::oracle::DexOracle;
+
+/// Per-user collateral balance.
+const SLOT_COLLATERAL: u16 = 0;
+/// Per-user debt balance.
+const SLOT_DEBT: u16 = 1;
+
+/// Liquidation incentive in basis points over the repaid value (Compound
+/// paid liquidators an 8% bonus).
+const LIQUIDATION_BONUS_BPS: u128 = 800;
+
+/// A single collateral/debt market (e.g. ETH-collateral → WBTC-debt).
+#[derive(Clone, Debug)]
+pub struct CompoundMarket {
+    /// Market contract account.
+    pub address: Address,
+    /// Collateral asset users deposit.
+    pub collateral: TokenId,
+    /// Asset users borrow.
+    pub debt_asset: TokenId,
+    /// Collateral factor in basis points (7500 = borrow up to 75% of
+    /// collateral value).
+    pub collateral_factor_bps: u32,
+    /// Oracle used to value collateral against debt.
+    pub oracle: DexOracle,
+}
+
+impl CompoundMarket {
+    /// Deploys the market, labeling deployer and contract.
+    ///
+    /// # Errors
+    /// Propagates substrate errors.
+    #[allow(clippy::too_many_arguments)]
+    pub fn deploy(
+        chain: &mut Chain,
+        labels: &mut LabelService,
+        deployer: Address,
+        collateral: TokenId,
+        debt_asset: TokenId,
+        collateral_factor_bps: u32,
+        oracle: DexOracle,
+        app_label: &str,
+    ) -> Result<CompoundMarket> {
+        let mut address = None;
+        chain.execute(deployer, deployer, "deployMarket", |ctx| {
+            address = Some(ctx.create_contract(deployer)?);
+            Ok(())
+        })?;
+        let address = address.expect("deploy closure ran");
+        labels.set(deployer, app_label);
+        labels.set(address, app_label);
+        Ok(CompoundMarket {
+            address,
+            collateral,
+            debt_asset,
+            collateral_factor_bps,
+            oracle,
+        })
+    }
+
+    fn coll_key(who: Address) -> SKey {
+        SKey::AddrMap(SLOT_COLLATERAL, who)
+    }
+    fn debt_key(who: Address) -> SKey {
+        SKey::AddrMap(SLOT_DEBT, who)
+    }
+
+    /// Collateral currently posted by `who`.
+    pub fn collateral_of(&self, ctx: &TxContext<'_>, who: Address) -> u128 {
+        ctx.sload(self.address, Self::coll_key(who))
+    }
+
+    /// Debt currently owed by `who`.
+    pub fn debt_of(&self, ctx: &TxContext<'_>, who: Address) -> u128 {
+        ctx.sload(self.address, Self::debt_key(who))
+    }
+
+    /// Maximum borrowable debt for `collateral_amount`, at current oracle
+    /// prices.
+    ///
+    /// # Errors
+    /// Propagates oracle failures.
+    pub fn borrow_capacity(
+        &self,
+        ctx: &TxContext<'_>,
+        collateral_amount: u128,
+    ) -> Result<u128> {
+        let rate = self.oracle.rate(ctx, self.collateral, self.debt_asset)?;
+        let dc = ctx.token(self.collateral)?.decimals as i32;
+        let dd = ctx.token(self.debt_asset)?.decimals as i32;
+        let coll_whole = collateral_amount as f64 / 10f64.powi(dc);
+        let cap_whole = coll_whole * rate * self.collateral_factor_bps as f64 / 10_000.0;
+        Ok((cap_whole * 10f64.powi(dd)) as u128)
+    }
+
+    /// Posts collateral and borrows in one call (Compound's typical usage
+    /// pattern in attacks). Transfers: collateral `who → market`, debt
+    /// `market → who`.
+    ///
+    /// # Errors
+    /// Reverts when the borrow exceeds capacity or market liquidity.
+    pub fn supply_and_borrow(
+        &self,
+        ctx: &mut TxContext<'_>,
+        who: Address,
+        collateral_amount: u128,
+        borrow_amount: u128,
+    ) -> Result<()> {
+        let market = self.clone();
+        ctx.call(who, self.address, "supplyAndBorrow", 0, |ctx| {
+            ctx.transfer_token(market.collateral, who, market.address, collateral_amount)?;
+            let coll = math::add(market.collateral_of(ctx, who), collateral_amount)?;
+            ctx.sstore(market.address, Self::coll_key(who), coll);
+
+            let capacity = market.borrow_capacity(ctx, coll)?;
+            let debt = math::add(market.debt_of(ctx, who), borrow_amount)?;
+            if debt > capacity {
+                return Err(SimError::revert("insufficient collateral"));
+            }
+            let liquidity = ctx.balance(market.debt_asset, market.address);
+            if liquidity < borrow_amount {
+                return Err(SimError::revert("insufficient market liquidity"));
+            }
+            ctx.transfer_token(market.debt_asset, market.address, who, borrow_amount)?;
+            ctx.sstore(market.address, Self::debt_key(who), debt);
+            ctx.emit_log(
+                market.address,
+                "Borrow",
+                vec![
+                    ("borrower".into(), LogValue::Addr(who)),
+                    ("collateral".into(), LogValue::Amount(collateral_amount)),
+                    ("borrowed".into(), LogValue::Amount(borrow_amount)),
+                ],
+            );
+            Ok(())
+        })
+    }
+
+    /// Whether `who`'s position is liquidatable at current oracle prices
+    /// (debt exceeds borrowing capacity).
+    ///
+    /// # Errors
+    /// Propagates oracle failures.
+    pub fn is_underwater(&self, ctx: &TxContext<'_>, who: Address) -> Result<bool> {
+        let debt = self.debt_of(ctx, who);
+        if debt == 0 {
+            return Ok(false);
+        }
+        let capacity = self.borrow_capacity(ctx, self.collateral_of(ctx, who))?;
+        Ok(debt > capacity)
+    }
+
+    /// Liquidates an underwater position: `liquidator` repays
+    /// `repay_amount` of `borrower`'s debt and seizes collateral worth the
+    /// repaid value plus an 8% bonus, at oracle prices. This is the
+    /// flash-loan *liquidation* use case the paper names alongside
+    /// arbitrage and collateral swaps (§I).
+    ///
+    /// # Errors
+    /// Reverts when the position is healthy, the repay exceeds the debt,
+    /// or the seizure exceeds posted collateral.
+    pub fn liquidate(
+        &self,
+        ctx: &mut TxContext<'_>,
+        liquidator: Address,
+        borrower: Address,
+        repay_amount: u128,
+    ) -> Result<u128> {
+        let market = self.clone();
+        ctx.call(liquidator, self.address, "liquidateBorrow", 0, |ctx| {
+            if !market.is_underwater(ctx, borrower)? {
+                return Err(SimError::revert("position is healthy"));
+            }
+            let debt = market.debt_of(ctx, borrower);
+            if repay_amount > debt {
+                return Err(SimError::revert("repaying more than owed"));
+            }
+            ctx.transfer_token(market.debt_asset, liquidator, market.address, repay_amount)?;
+            ctx.sstore(market.address, Self::debt_key(borrower), debt - repay_amount);
+
+            // Seize collateral = repaid value × (1 + bonus) at oracle spot.
+            let rate = market.oracle.rate(ctx, market.debt_asset, market.collateral)?;
+            let dd = ctx.token(market.debt_asset)?.decimals as i32;
+            let dc = ctx.token(market.collateral)?.decimals as i32;
+            let repay_whole = repay_amount as f64 / 10f64.powi(dd);
+            let seize_whole =
+                repay_whole * rate * (10_000 + LIQUIDATION_BONUS_BPS) as f64 / 10_000.0;
+            let seize = (seize_whole * 10f64.powi(dc)) as u128;
+            let coll = market.collateral_of(ctx, borrower);
+            if seize > coll {
+                return Err(SimError::revert("seizure exceeds collateral"));
+            }
+            ctx.transfer_token(market.collateral, market.address, liquidator, seize)?;
+            ctx.sstore(market.address, Self::coll_key(borrower), coll - seize);
+            ctx.emit_log(
+                market.address,
+                "LiquidateBorrow",
+                vec![
+                    ("liquidator".into(), LogValue::Addr(liquidator)),
+                    ("borrower".into(), LogValue::Addr(borrower)),
+                    ("repaid".into(), LogValue::Amount(repay_amount)),
+                    ("seized".into(), LogValue::Amount(seize)),
+                ],
+            );
+            Ok(seize)
+        })
+    }
+
+    /// Repays debt and withdraws collateral. Transfers mirror
+    /// [`Self::supply_and_borrow`].
+    ///
+    /// # Errors
+    /// Reverts when repaying more than owed, withdrawing more than posted,
+    /// or leaving the position undercollateralized.
+    pub fn repay_and_withdraw(
+        &self,
+        ctx: &mut TxContext<'_>,
+        who: Address,
+        repay_amount: u128,
+        withdraw_amount: u128,
+    ) -> Result<()> {
+        let market = self.clone();
+        ctx.call(who, self.address, "repayAndWithdraw", 0, |ctx| {
+            let debt = market.debt_of(ctx, who);
+            if repay_amount > debt {
+                return Err(SimError::revert("repaying more than owed"));
+            }
+            ctx.transfer_token(market.debt_asset, who, market.address, repay_amount)?;
+            let new_debt = debt - repay_amount;
+            ctx.sstore(market.address, Self::debt_key(who), new_debt);
+
+            let coll = market.collateral_of(ctx, who);
+            if withdraw_amount > coll {
+                return Err(SimError::revert("withdrawing more than posted"));
+            }
+            let new_coll = coll - withdraw_amount;
+            if new_debt > market.borrow_capacity(ctx, new_coll)? {
+                return Err(SimError::revert("would become undercollateralized"));
+            }
+            ctx.transfer_token(market.collateral, market.address, who, withdraw_amount)?;
+            ctx.sstore(market.address, Self::coll_key(who), new_coll);
+            ctx.emit_log(
+                market.address,
+                "Repay",
+                vec![
+                    ("borrower".into(), LogValue::Addr(who)),
+                    ("repaid".into(), LogValue::Amount(repay_amount)),
+                    ("withdrawn".into(), LogValue::Amount(withdraw_amount)),
+                ],
+            );
+            Ok(())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::amm::{UniswapV2Factory, UniswapV2Pair};
+    use ethsim::ChainConfig;
+
+    const E18: u128 = 1_000_000_000_000_000_000;
+    const E8: u128 = 100_000_000;
+
+    struct Setup {
+        chain: Chain,
+        market: CompoundMarket,
+        user: Address,
+        eth: TokenId,
+        wbtc: TokenId,
+    }
+
+    fn setup() -> Setup {
+        let mut chain = Chain::new(ChainConfig::default());
+        let mut labels = LabelService::new();
+        let deployer = chain.create_eoa("compound deployer");
+        let whale = chain.create_eoa("whale");
+        let user = chain.create_eoa("user");
+        let eth = TokenId::ETH;
+        let mut wbtc = None;
+        chain
+            .execute(deployer, deployer, "deployToken", |ctx| {
+                let c = ctx.create_contract(deployer)?;
+                wbtc = Some(ctx.register_token("WBTC", 8, c));
+                Ok(())
+            })
+            .unwrap();
+        let wbtc = wbtc.unwrap();
+        let factory =
+            UniswapV2Factory::deploy_canonical(&mut chain, &mut labels, deployer).unwrap();
+        let pair = UniswapV2Pair::deploy(&mut chain, &factory, eth, wbtc, "UNI ETH/WBTC").unwrap();
+        chain.state_mut().credit_eth(whale, 50_000 * E18).unwrap();
+        chain.state_mut().credit_eth(user, 10_000 * E18).unwrap();
+        chain
+            .execute(whale, pair.address, "seed", |ctx| {
+                ctx.mint_token(wbtc, whale, 1_000 * E8)?;
+                // 50 ETH per WBTC
+                pair.add_liquidity(ctx, whale, 25_000 * E18, 500 * E8)?;
+                Ok(())
+            })
+            .unwrap();
+        let mut oracle = DexOracle::new();
+        oracle.add_pair(pair);
+        let market = CompoundMarket::deploy(
+            &mut chain,
+            &mut labels,
+            deployer,
+            eth,
+            wbtc,
+            7_500,
+            oracle,
+            "Compound",
+        )
+        .unwrap();
+        // Market liquidity: 400 WBTC.
+        chain
+            .execute(whale, market.address, "fund", |ctx| {
+                ctx.mint_token(wbtc, market.address, 400 * E8)?;
+                Ok(())
+            })
+            .unwrap();
+        Setup {
+            chain,
+            market,
+            user,
+            eth,
+            wbtc,
+        }
+    }
+
+    #[test]
+    fn borrow_within_capacity_succeeds() {
+        let s = setup();
+        let mut chain = s.chain;
+        chain
+            .execute(s.user, s.market.address, "borrow", |ctx| {
+                // 5,500 ETH at 1/50 WBTC/ETH * 75% ≈ 82.5 WBTC capacity
+                let cap = s.market.borrow_capacity(ctx, 5_500 * E18)?;
+                assert!(cap > 80 * E8 && cap < 85 * E8, "cap {cap}");
+                s.market
+                    .supply_and_borrow(ctx, s.user, 5_500 * E18, 80 * E8)?;
+                assert_eq!(ctx.balance(s.wbtc, s.user), 80 * E8);
+                assert_eq!(s.market.debt_of(ctx, s.user), 80 * E8);
+                assert_eq!(s.market.collateral_of(ctx, s.user), 5_500 * E18);
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn overborrow_reverts() {
+        let s = setup();
+        let mut chain = s.chain;
+        let tx = chain
+            .execute(s.user, s.market.address, "overborrow", |ctx| {
+                s.market
+                    .supply_and_borrow(ctx, s.user, 1_000 * E18, 100 * E8)
+            })
+            .unwrap();
+        assert!(!chain.replay(tx).unwrap().status.is_success());
+    }
+
+    #[test]
+    fn repay_and_withdraw_roundtrip() {
+        let s = setup();
+        let mut chain = s.chain;
+        chain
+            .execute(s.user, s.market.address, "cycle", |ctx| {
+                s.market
+                    .supply_and_borrow(ctx, s.user, 1_000 * E18, 10 * E8)?;
+                s.market
+                    .repay_and_withdraw(ctx, s.user, 10 * E8, 1_000 * E18)?;
+                assert_eq!(s.market.debt_of(ctx, s.user), 0);
+                assert_eq!(s.market.collateral_of(ctx, s.user), 0);
+                assert_eq!(ctx.balance(s.eth, s.user), 10_000 * E18);
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn liquidation_seizes_with_bonus_when_underwater() {
+        let s = setup();
+        let mut chain = s.chain;
+        let liquidator = chain.create_eoa("liquidator");
+        // User borrows near capacity, then WBTC appreciates (ETH collateral
+        // now covers less): crash the pool's ETH side.
+        chain
+            .execute(s.user, s.market.address, "borrow", |ctx| {
+                s.market
+                    .supply_and_borrow(ctx, s.user, 1_000 * E18, 14 * E8)
+            })
+            .unwrap();
+        // Whale pumps WBTC on the oracle pair: 1 ETH now buys less WBTC.
+        let whale = chain.create_eoa("pumper");
+        chain.state_mut().credit_eth(whale, 40_000 * E18).unwrap();
+        let pair = s.market.oracle.pairs()[0];
+        chain
+            .execute(whale, pair.address, "pump", |ctx| {
+                pair.swap_exact_in(ctx, whale, s.eth, 20_000 * E18, 0)?;
+                Ok(())
+            })
+            .unwrap();
+        chain
+            .execute(liquidator, s.market.address, "liquidate", |ctx| {
+                assert!(s.market.is_underwater(ctx, s.user)?);
+                ctx.mint_token(s.wbtc, liquidator, 10 * E8)?;
+                let seized = s.market.liquidate(ctx, liquidator, s.user, 4 * E8)?;
+                // 4 WBTC at the (pumped) oracle rate + 8% bonus
+                let rate = s.market.oracle.rate(ctx, s.wbtc, s.eth)?;
+                let expected = 4.0 * rate * 1.08;
+                let got = seized as f64 / E18 as f64;
+                assert!((got - expected).abs() / expected < 1e-6, "{got} vs {expected}");
+                assert_eq!(s.market.debt_of(ctx, s.user), 10 * E8);
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn healthy_positions_cannot_be_liquidated() {
+        let s = setup();
+        let mut chain = s.chain;
+        let liquidator = chain.create_eoa("liquidator");
+        let tx = chain
+            .execute(liquidator, s.market.address, "liquidate", |ctx| {
+                ctx.mint_token(s.wbtc, liquidator, 10 * E8)?;
+                s.market
+                    .supply_and_borrow(ctx, s.user, 1_000 * E18, 5 * E8)?;
+                s.market.liquidate(ctx, liquidator, s.user, E8)?;
+                Ok(())
+            })
+            .unwrap();
+        assert!(!chain.replay(tx).unwrap().status.is_success());
+    }
+
+    #[test]
+    fn cannot_withdraw_into_undercollateralization() {
+        let s = setup();
+        let mut chain = s.chain;
+        let tx = chain
+            .execute(s.user, s.market.address, "sneak", |ctx| {
+                s.market
+                    .supply_and_borrow(ctx, s.user, 1_000 * E18, 14 * E8)?;
+                // withdraw nearly all collateral while still owing 14 WBTC
+                s.market.repay_and_withdraw(ctx, s.user, 0, 990 * E18)
+            })
+            .unwrap();
+        assert!(!chain.replay(tx).unwrap().status.is_success());
+    }
+}

@@ -1,0 +1,187 @@
+//! dYdX SoloMargin flash loans.
+//!
+//! dYdX "flash loans" are a composition of three actions inside one
+//! `operate` call: withdraw, call, deposit. Per paper Table II the
+//! transaction invokes `Operate`, `Withdraw`, `callFunction` and `Deposit`
+//! in sequence, emitting `LogOperation`, `LogWithdraw`, `LogCall` and
+//! `LogDeposit`. dYdX charged no fee — only 2 wei of rounding — which is
+//! why bZx-1's attacker borrowed its 10,000 ETH there.
+
+use ethsim::{math, Address, Chain, LogValue, Result, SimError, TokenId, TxContext};
+
+use crate::labels::{apps, LabelService};
+
+/// The dYdX SoloMargin contract.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct DydxSolo {
+    /// SoloMargin contract account.
+    pub address: Address,
+    /// Flat repayment surcharge in raw units (2 wei on mainnet).
+    pub surcharge: u128,
+}
+
+impl DydxSolo {
+    /// Deploys SoloMargin with the canonical "dYdX" label.
+    ///
+    /// # Errors
+    /// Propagates substrate errors.
+    pub fn deploy(
+        chain: &mut Chain,
+        labels: &mut LabelService,
+        deployer: Address,
+    ) -> Result<DydxSolo> {
+        let mut address = None;
+        chain.execute(deployer, deployer, "deploySolo", |ctx| {
+            address = Some(ctx.create_contract(deployer)?);
+            Ok(())
+        })?;
+        let address = address.expect("deploy closure ran");
+        labels.set(deployer, apps::DYDX);
+        labels.set(address, apps::DYDX);
+        Ok(DydxSolo {
+            address,
+            surcharge: 2,
+        })
+    }
+
+    /// Runs a withdraw → callFunction → deposit operation — dYdX's flash
+    /// loan. The `body` closure is the borrower's `callFunction` logic.
+    ///
+    /// Records all four Table II frames and their event logs.
+    ///
+    /// # Errors
+    /// Reverts when reserves are insufficient or repayment (principal +
+    /// 2 wei) is missing.
+    pub fn operate(
+        &self,
+        ctx: &mut TxContext<'_>,
+        borrower: Address,
+        token: TokenId,
+        amount: u128,
+        body: impl FnOnce(&mut TxContext<'_>) -> Result<()>,
+    ) -> Result<()> {
+        let solo = *self;
+        ctx.call(borrower, self.address, "operate", 0, |ctx| {
+            ctx.emit_log(
+                solo.address,
+                "LogOperation",
+                vec![("sender".into(), LogValue::Addr(borrower))],
+            );
+            let reserve = ctx.balance(token, solo.address);
+            if amount == 0 || amount > reserve {
+                return Err(SimError::revert("insufficient reserves"));
+            }
+            let before = ctx.balance(token, solo.address);
+            // Withdraw action.
+            ctx.call(borrower, solo.address, "withdraw", 0, |ctx| {
+                ctx.transfer_token(token, solo.address, borrower, amount)?;
+                ctx.emit_log(
+                    solo.address,
+                    "LogWithdraw",
+                    vec![
+                        ("account".into(), LogValue::Addr(borrower)),
+                        ("market".into(), LogValue::Token(token)),
+                        ("amount".into(), LogValue::Amount(amount)),
+                    ],
+                );
+                Ok(())
+            })?;
+            // Call action — borrower's arbitrary logic.
+            ctx.call(solo.address, borrower, "callFunction", 0, |ctx| {
+                ctx.emit_log(
+                    solo.address,
+                    "LogCall",
+                    vec![("callee".into(), LogValue::Addr(borrower))],
+                );
+                body(ctx)
+            })?;
+            // Deposit action — repayment must already be scheduled by the
+            // borrower transferring back; verify and log.
+            let required = math::add(before, solo.surcharge)?;
+            ctx.emit_log(
+                solo.address,
+                "LogDeposit",
+                vec![
+                    ("account".into(), LogValue::Addr(borrower)),
+                    ("market".into(), LogValue::Token(token)),
+                ],
+            );
+            if ctx.balance(token, solo.address) < required {
+                return Err(SimError::revert("dydx operation not repaid"));
+            }
+            Ok(())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ethsim::ChainConfig;
+
+    const E18: u128 = 1_000_000_000_000_000_000;
+
+    fn setup() -> (Chain, DydxSolo, Address) {
+        let mut chain = Chain::new(ChainConfig::default());
+        let mut labels = LabelService::new();
+        let deployer = chain.create_eoa("dydx deployer");
+        let borrower = chain.create_eoa("borrower");
+        let solo = DydxSolo::deploy(&mut chain, &mut labels, deployer).unwrap();
+        chain
+            .state_mut()
+            .credit_eth(solo.address, 50_000 * E18)
+            .unwrap();
+        chain.state_mut().credit_eth(borrower, E18).unwrap();
+        (chain, solo, borrower)
+    }
+
+    #[test]
+    fn full_table_ii_signature_recorded() {
+        let (mut chain, solo, borrower) = setup();
+        let amount = 10_000 * E18;
+        let tx = chain
+            .execute(borrower, solo.address, "operate", |ctx| {
+                solo.operate(ctx, borrower, TokenId::ETH, amount, |ctx| {
+                    ctx.transfer_eth(borrower, solo.address, amount + 2)
+                })
+            })
+            .unwrap();
+        let rec = chain.replay(tx).unwrap();
+        assert!(rec.status.is_success());
+        for f in ["operate", "withdraw", "callFunction"] {
+            assert!(
+                rec.trace.function_names().any(|n| n == f),
+                "missing frame {f}"
+            );
+        }
+        for l in ["LogOperation", "LogWithdraw", "LogCall", "LogDeposit"] {
+            assert!(rec.trace.emitted(solo.address, l), "missing log {l}");
+        }
+    }
+
+    #[test]
+    fn missing_surcharge_reverts() {
+        let (mut chain, solo, borrower) = setup();
+        let amount = 10_000 * E18;
+        let tx = chain
+            .execute(borrower, solo.address, "operate", |ctx| {
+                solo.operate(ctx, borrower, TokenId::ETH, amount, |ctx| {
+                    ctx.transfer_eth(borrower, solo.address, amount) // missing 2 wei
+                })
+            })
+            .unwrap();
+        assert!(!chain.replay(tx).unwrap().status.is_success());
+        assert_eq!(chain.state().eth_balance(solo.address), 50_000 * E18);
+    }
+
+    #[test]
+    fn zero_amount_reverts() {
+        let (mut chain, solo, borrower) = setup();
+        let tx = chain
+            .execute(borrower, solo.address, "operate", |ctx| {
+                solo.operate(ctx, borrower, TokenId::ETH, 0, |_| Ok(()))
+            })
+            .unwrap();
+        assert!(!chain.replay(tx).unwrap().status.is_success());
+    }
+}

@@ -1,0 +1,279 @@
+//! bZx-style margin trading.
+//!
+//! In bZx-1 (paper Fig. 3, step 3–4) the attacker "transfers 1,300 ETH to
+//! make a margin trade on bZx. Financed by bZx, the margin trade exchanges
+//! 5,637 ETH for 51 WBTC on Uniswap, which promotes the price of WBTC up to
+//! 110.5 ETH/WBTC". The desk swaps *its own treasury* at the trader's
+//! direction — the trader only posts margin — so the desk, not the trader,
+//! eats the loss when the pumped position collapses.
+
+use ethsim::state::SKey;
+use ethsim::{math, Address, Chain, LogValue, Result, SimError, TokenId, TxContext};
+
+use crate::amm::UniswapV2Pair;
+use crate::labels::LabelService;
+
+/// Per-user margin posted.
+const SLOT_MARGIN: u16 = 0;
+/// Per-user position size (target token units held by the desk for them).
+const SLOT_POSITION: u16 = 1;
+
+/// A margin-trading desk financed by its own treasury.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MarginDesk {
+    /// Desk contract account.
+    pub address: Address,
+    /// The funding asset (what margin is posted in and what the desk
+    /// spends), typically ETH.
+    pub funding: TokenId,
+    /// Maximum leverage in basis points over posted margin
+    /// (50_000 = 5×, bZx's Fulcrum offered 5×).
+    pub max_leverage_bps: u32,
+}
+
+impl MarginDesk {
+    /// Deploys the desk and labels it.
+    ///
+    /// # Errors
+    /// Propagates substrate errors.
+    pub fn deploy(
+        chain: &mut Chain,
+        labels: &mut LabelService,
+        deployer: Address,
+        funding: TokenId,
+        max_leverage_bps: u32,
+        app_label: &str,
+    ) -> Result<MarginDesk> {
+        let mut address = None;
+        chain.execute(deployer, deployer, "deployDesk", |ctx| {
+            address = Some(ctx.create_contract(deployer)?);
+            Ok(())
+        })?;
+        let address = address.expect("deploy closure ran");
+        labels.set(deployer, app_label);
+        labels.set(address, app_label);
+        Ok(MarginDesk {
+            address,
+            funding,
+            max_leverage_bps,
+        })
+    }
+
+    fn margin_key(who: Address) -> SKey {
+        SKey::AddrMap(SLOT_MARGIN, who)
+    }
+    fn position_key(who: Address) -> SKey {
+        SKey::AddrMap(SLOT_POSITION, who)
+    }
+
+    /// Margin currently posted by `who`.
+    pub fn margin_of(&self, ctx: &TxContext<'_>, who: Address) -> u128 {
+        ctx.sload(self.address, Self::margin_key(who))
+    }
+
+    /// Open position size of `who` in target-token units.
+    pub fn position_of(&self, ctx: &TxContext<'_>, who: Address) -> u128 {
+        ctx.sload(self.address, Self::position_key(who))
+    }
+
+    /// Opens a leveraged long: `who` posts `margin`, and the desk swaps
+    /// `margin × leverage` of **its own treasury** through `pair` into the
+    /// target token, holding the position in custody.
+    ///
+    /// Transfer shape: `(who → desk, funding)` then a desk↔pair swap — the
+    /// desk↔pair leg is the pump LeiShen must attribute to the *borrower*
+    /// via app-level conversion (paper §VI-B: DeFiRanger misses "the trade
+    /// between bZx and Uniswap").
+    ///
+    /// # Errors
+    /// Reverts on zero margin, excessive leverage, or a treasury shortfall.
+    pub fn open_long(
+        &self,
+        ctx: &mut TxContext<'_>,
+        who: Address,
+        margin: u128,
+        leverage_bps: u32,
+        pair: &UniswapV2Pair,
+    ) -> Result<u128> {
+        let desk = *self;
+        let pair = *pair;
+        ctx.call(who, self.address, "marginTrade", 0, |ctx| {
+            if margin == 0 {
+                return Err(SimError::revert("zero margin"));
+            }
+            if leverage_bps > desk.max_leverage_bps {
+                return Err(SimError::revert("leverage above maximum"));
+            }
+            if !pair.has_token(desk.funding) {
+                return Err(SimError::revert("pair lacks funding token"));
+            }
+            ctx.transfer_token(desk.funding, who, desk.address, margin)?;
+            let m = math::add(desk.margin_of(ctx, who), margin)?;
+            ctx.sstore(desk.address, Self::margin_key(who), m);
+
+            let notional = math::mul_div(margin, leverage_bps as u128, 10_000)?;
+            let treasury = ctx.balance(desk.funding, desk.address);
+            if treasury < notional {
+                return Err(SimError::revert("desk treasury shortfall"));
+            }
+            let bought = pair.swap_exact_in(ctx, desk.address, desk.funding, notional, 0)?;
+            let pos = math::add(desk.position_of(ctx, who), bought)?;
+            ctx.sstore(desk.address, Self::position_key(who), pos);
+            ctx.emit_log(
+                desk.address,
+                "MarginTradeOpened",
+                vec![
+                    ("trader".into(), LogValue::Addr(who)),
+                    ("margin".into(), LogValue::Amount(margin)),
+                    ("notional".into(), LogValue::Amount(notional)),
+                    ("positionDelta".into(), LogValue::Amount(bought)),
+                ],
+            );
+            Ok(bought)
+        })
+    }
+
+    /// Closes the position: the desk sells the custody tokens back through
+    /// `pair` and returns the trader's margin plus/minus PnL (clamped at
+    /// zero — losses beyond margin are the desk's, which is the point of
+    /// the attack).
+    ///
+    /// # Errors
+    /// Reverts when `who` has no open position.
+    pub fn close_long(
+        &self,
+        ctx: &mut TxContext<'_>,
+        who: Address,
+        pair: &UniswapV2Pair,
+    ) -> Result<u128> {
+        let desk = *self;
+        let pair = *pair;
+        ctx.call(who, self.address, "closeTrade", 0, |ctx| {
+            let pos = desk.position_of(ctx, who);
+            if pos == 0 {
+                return Err(SimError::revert("no open position"));
+            }
+            let target = pair.other(desk.funding);
+            let proceeds = pair.swap_exact_in(ctx, desk.address, target, pos, 0)?;
+            ctx.sstore(desk.address, Self::position_key(who), 0);
+            let margin = desk.margin_of(ctx, who);
+            ctx.sstore(desk.address, Self::margin_key(who), 0);
+            // Return margin; PnL settles against the desk treasury.
+            let payout = margin.min(ctx.balance(desk.funding, desk.address));
+            ctx.transfer_token(desk.funding, desk.address, who, payout)?;
+            ctx.emit_log(
+                desk.address,
+                "MarginTradeClosed",
+                vec![
+                    ("trader".into(), LogValue::Addr(who)),
+                    ("proceeds".into(), LogValue::Amount(proceeds)),
+                    ("payout".into(), LogValue::Amount(payout)),
+                ],
+            );
+            Ok(payout)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::amm::UniswapV2Factory;
+    use ethsim::ChainConfig;
+
+    const E18: u128 = 1_000_000_000_000_000_000;
+    const E8: u128 = 100_000_000;
+
+    fn setup() -> (Chain, MarginDesk, UniswapV2Pair, Address, TokenId) {
+        let mut chain = Chain::new(ChainConfig::default());
+        let mut labels = LabelService::new();
+        let deployer = chain.create_eoa("bzx deployer");
+        let whale = chain.create_eoa("whale");
+        let trader = chain.create_eoa("trader");
+        let eth = TokenId::ETH;
+        let mut wbtc = None;
+        chain
+            .execute(deployer, deployer, "deployToken", |ctx| {
+                let c = ctx.create_contract(deployer)?;
+                wbtc = Some(ctx.register_token("WBTC", 8, c));
+                Ok(())
+            })
+            .unwrap();
+        let wbtc = wbtc.unwrap();
+        let factory =
+            UniswapV2Factory::deploy_canonical(&mut chain, &mut labels, deployer).unwrap();
+        let pair = UniswapV2Pair::deploy(&mut chain, &factory, eth, wbtc, "UNI ETH/WBTC").unwrap();
+        let desk =
+            MarginDesk::deploy(&mut chain, &mut labels, deployer, eth, 50_000, "bZx").unwrap();
+        chain.state_mut().credit_eth(whale, 100_000 * E18).unwrap();
+        chain.state_mut().credit_eth(trader, 2_000 * E18).unwrap();
+        chain
+            .execute(whale, pair.address, "seed", |ctx| {
+                ctx.mint_token(wbtc, whale, 500 * E8)?;
+                pair.add_liquidity(ctx, whale, 10_000 * E18, 200 * E8)?;
+                // desk treasury
+                ctx.transfer_eth(whale, desk.address, 20_000 * E18)?;
+                Ok(())
+            })
+            .unwrap();
+        (chain, desk, pair, trader, wbtc)
+    }
+
+    #[test]
+    fn open_long_pumps_the_pool() {
+        let (mut chain, desk, pair, trader, _) = setup();
+        chain
+            .execute(trader, desk.address, "pump", |ctx| {
+                let p0 = pair.spot_price(ctx, pair.other(desk.funding))?;
+                let pos = desk.open_long(ctx, trader, 1_300 * E18, 43_400, &pair)?;
+                assert!(pos > 0);
+                let p1 = pair.spot_price(ctx, pair.other(desk.funding))?;
+                assert!(p1 > p0 * 1.5, "large financed buy pumps WBTC: {p0} -> {p1}");
+                assert_eq!(desk.margin_of(ctx, trader), 1_300 * E18);
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn leverage_cap_enforced() {
+        let (mut chain, desk, pair, trader, _) = setup();
+        let tx = chain
+            .execute(trader, desk.address, "greedy", |ctx| {
+                desk.open_long(ctx, trader, 100 * E18, 90_000, &pair)?;
+                Ok(())
+            })
+            .unwrap();
+        assert!(!chain.replay(tx).unwrap().status.is_success());
+    }
+
+    #[test]
+    fn desk_absorbs_losses_on_round_trip() {
+        let (mut chain, desk, pair, trader, _) = setup();
+        chain
+            .execute(trader, desk.address, "cycle", |ctx| {
+                let treasury_before = ctx.balance(desk.funding, desk.address);
+                desk.open_long(ctx, trader, 500 * E18, 40_000, &pair)?;
+                desk.close_long(ctx, trader, &pair)?;
+                let treasury_after = ctx.balance(desk.funding, desk.address);
+                // Fees + self-induced slippage: the desk ends below where it
+                // started, trader got margin back.
+                assert!(treasury_after < treasury_before);
+                assert_eq!(ctx.balance(desk.funding, trader), 2_000 * E18);
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn close_without_position_reverts() {
+        let (mut chain, desk, pair, trader, _) = setup();
+        let tx = chain
+            .execute(trader, desk.address, "close", |ctx| {
+                desk.close_long(ctx, trader, &pair)?;
+                Ok(())
+            })
+            .unwrap();
+        assert!(!chain.replay(tx).unwrap().status.is_success());
+    }
+}

@@ -1,0 +1,17 @@
+//! Lending platforms and flash-loan providers.
+//!
+//! Three kinds of lending matter to the paper: collateralized borrowing
+//! priced by a DEX oracle ([`CompoundMarket`] — step 2 of bZx-1), financed
+//! margin trading ([`MarginDesk`] — step 4 of bZx-1, the pump), and the
+//! uncollateralized flash loans themselves ([`AavePool`], [`DydxSolo`];
+//! Uniswap's flash swaps live on the pair type).
+
+mod aave;
+mod compound;
+mod dydx;
+mod margin;
+
+pub use aave::AavePool;
+pub use compound::CompoundMarket;
+pub use dydx::DydxSolo;
+pub use margin::MarginDesk;

@@ -1,0 +1,57 @@
+//! # defi — DeFi protocol suite on the `ethsim` substrate
+//!
+//! The paper's detector observes *asset transfers produced by DeFi
+//! protocols*: decentralized exchanges, lending platforms, vaults, flash
+//! loan providers and yield aggregators (paper §II-B). This crate
+//! re-implements each protocol's **economic mechanism and transfer shape**
+//! from scratch:
+//!
+//! * [`erc20`] — token deployment helpers,
+//! * [`weth`] — the Wrapped Ether contract (1:1 wrap/unwrap; its transfers
+//!   are removed by LeiShen's second simplification rule),
+//! * [`amm::UniswapV2Pair`] — constant-product AMM with 0.3% fee, LP mint /
+//!   burn, and **flash swaps** (`swap` → `uniswapV2Call`, paper Table II),
+//! * [`amm::WeightedPool`] — Balancer-style weighted pool (the most
+//!   attacked application in the paper's wild study, Table VI),
+//! * [`amm::StableSwapPool`] — Curve-style stable pool (Harvest, Yearn,
+//!   Value DeFi and Saddle attacks trade against these),
+//! * [`vault::ShareVault`] — Harvest/Yearn-style share-price vault whose
+//!   share price reads a manipulatable pool,
+//! * [`lending::CompoundMarket`] — collateralized borrowing priced by a DEX
+//!   oracle (bZx-1 borrows WBTC against ETH here),
+//! * [`lending::MarginDesk`] — bZx-style margin trading (the financed
+//!   pump of bZx-1),
+//! * [`lending::AavePool`] and [`lending::DydxSolo`] — the other two flash
+//!   loan providers LeiShen monitors,
+//! * [`aggregator::YieldAggregator`] — routing intermediary whose pass-
+//!   through transfers LeiShen merges (rule 3), and whose multi-round
+//!   investment strategy is the paper's dominant MBS false-positive source,
+//! * [`oracle::DexOracle`] — spot-price oracle over pools,
+//! * [`labels::LabelService`] — the Etherscan-label-cloud equivalent.
+//!
+//! All protocol state lives in journaled `ethsim` storage, so transaction
+//! revert restores pools, debts and vault shares exactly — the atomicity
+//! flash loans rely on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregator;
+pub mod amm;
+pub mod erc20;
+pub mod labels;
+pub mod lending;
+pub mod mixer;
+pub mod oracle;
+pub mod vault;
+pub mod weth;
+
+pub use aggregator::YieldAggregator;
+pub use mixer::{Mixer, MixerNote};
+pub use amm::{StableSwapPool, UniswapV2Factory, UniswapV2Pair, WeightedPool};
+pub use erc20::TokenDeployment;
+pub use labels::LabelService;
+pub use lending::{AavePool, CompoundMarket, DydxSolo, MarginDesk};
+pub use oracle::DexOracle;
+pub use vault::ShareVault;
+pub use weth::Weth;

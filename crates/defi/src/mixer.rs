@@ -1,0 +1,233 @@
+//! A Tornado-Cash-style coin mixer.
+//!
+//! Paper §VI-D2: "almost all attackers transfer their attack profit with
+//! the method of money laundering … some attackers utilize coin-mixing
+//! services, e.g., Tornado Cash, to avoid tracking by mixing their attack
+//! profits with honest users' assets."
+//!
+//! The mixer accepts **fixed-denomination** deposits against an opaque
+//! note commitment and pays any holder of the note to a fresh address.
+//! On-chain, deposits and withdrawals are unlinkable except through the
+//! anonymity-set size — which is exactly what the forensics module in the
+//! detector can and cannot see.
+
+use ethsim::state::SKey;
+use ethsim::{Address, Chain, LogValue, Result, SimError, TxContext};
+
+use crate::labels::LabelService;
+
+/// Count of outstanding notes per denomination slot.
+const SLOT_NOTES: u16 = 0;
+
+/// A fixed-denomination ETH mixer pool.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Mixer {
+    /// Mixer contract account (labeled, e.g. `"Tornado Cash"`).
+    pub address: Address,
+    /// The fixed deposit/withdrawal denomination in wei.
+    pub denomination: u128,
+}
+
+/// An opaque deposit note: whoever holds it can withdraw the denomination
+/// to any address. (A stand-in for the zk-nullifier scheme; the on-chain
+/// observable behaviour — fixed amounts in, fixed amounts out, no
+/// linkage — is what matters to the detector.)
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct MixerNote {
+    mixer: Address,
+    id: u128,
+}
+
+impl Mixer {
+    /// Deploys a mixer pool with the given denomination and label.
+    ///
+    /// # Errors
+    /// Propagates substrate errors.
+    pub fn deploy(
+        chain: &mut Chain,
+        labels: &mut LabelService,
+        deployer: Address,
+        denomination: u128,
+        app_label: &str,
+    ) -> Result<Mixer> {
+        let mut address = None;
+        chain.execute(deployer, deployer, "deployMixer", |ctx| {
+            address = Some(ctx.create_contract(deployer)?);
+            Ok(())
+        })?;
+        let address = address.expect("deploy closure ran");
+        labels.set(address, app_label);
+        Ok(Mixer {
+            address,
+            denomination,
+        })
+    }
+
+    fn notes_key() -> SKey {
+        SKey::Field(SLOT_NOTES)
+    }
+
+    /// Number of unredeemed notes (the anonymity set size).
+    pub fn outstanding_notes(&self, ctx: &TxContext<'_>) -> u128 {
+        ctx.sload(self.address, Self::notes_key())
+    }
+
+    /// Deposits exactly one denomination from `who`, returning the note.
+    /// Emits a `Deposit`-style `MixerDeposit` event (commitment only — no
+    /// payee).
+    ///
+    /// # Errors
+    /// Reverts when `who` lacks the denomination.
+    pub fn deposit(&self, ctx: &mut TxContext<'_>, who: Address) -> Result<MixerNote> {
+        let mixer = *self;
+        ctx.call(who, self.address, "deposit", 0, |ctx| {
+            ctx.transfer_eth(who, mixer.address, mixer.denomination)?;
+            let notes = mixer.outstanding_notes(ctx);
+            let id = notes + 1;
+            ctx.sstore(mixer.address, Self::notes_key(), id);
+            ctx.emit_log(
+                mixer.address,
+                "MixerDeposit",
+                vec![("commitment".into(), LogValue::Amount(id))],
+            );
+            Ok(MixerNote {
+                mixer: mixer.address,
+                id,
+            })
+        })
+    }
+
+    /// Redeems a note to `recipient` — typically a fresh address with no
+    /// history. Emits `MixerWithdrawal` with the nullifier only.
+    ///
+    /// # Errors
+    /// Reverts on a foreign note or an empty pool.
+    pub fn withdraw(
+        &self,
+        ctx: &mut TxContext<'_>,
+        note: MixerNote,
+        recipient: Address,
+    ) -> Result<()> {
+        let mixer = *self;
+        ctx.call(recipient, self.address, "withdraw", 0, |ctx| {
+            if note.mixer != mixer.address {
+                return Err(SimError::revert("note from a different mixer"));
+            }
+            let notes = mixer.outstanding_notes(ctx);
+            if notes == 0 {
+                return Err(SimError::revert("no outstanding notes"));
+            }
+            ctx.sstore(mixer.address, Self::notes_key(), notes - 1);
+            ctx.transfer_eth(mixer.address, recipient, mixer.denomination)?;
+            ctx.emit_log(
+                mixer.address,
+                "MixerWithdrawal",
+                vec![("nullifier".into(), LogValue::Amount(note.id))],
+            );
+            Ok(())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ethsim::ChainConfig;
+
+    const E18: u128 = 1_000_000_000_000_000_000;
+
+    fn setup() -> (Chain, Mixer, Address) {
+        let mut chain = Chain::new(ChainConfig::default());
+        let mut labels = LabelService::new();
+        let deployer = chain.create_eoa("tornado deployer");
+        let user = chain.create_eoa("user");
+        let mixer =
+            Mixer::deploy(&mut chain, &mut labels, deployer, 100 * E18, "Tornado Cash").unwrap();
+        assert_eq!(labels.get(mixer.address), Some("Tornado Cash"));
+        chain.state_mut().credit_eth(user, 1_000 * E18).unwrap();
+        (chain, mixer, user)
+    }
+
+    #[test]
+    fn deposit_then_withdraw_to_fresh_address() {
+        let (mut chain, mixer, user) = setup();
+        let fresh = chain.create_eoa("fresh");
+        let mut note = None;
+        chain
+            .execute(user, mixer.address, "mix", |ctx| {
+                note = Some(mixer.deposit(ctx, user)?);
+                Ok(())
+            })
+            .unwrap();
+        chain
+            .execute(fresh, mixer.address, "unmix", |ctx| {
+                mixer.withdraw(ctx, note.unwrap(), fresh)
+            })
+            .unwrap();
+        assert_eq!(chain.state().eth_balance(fresh), 100 * E18);
+        assert_eq!(chain.state().eth_balance(mixer.address), 0);
+    }
+
+    #[test]
+    fn anonymity_set_tracks_outstanding_notes() {
+        let (mut chain, mixer, user) = setup();
+        chain
+            .execute(user, mixer.address, "mix", |ctx| {
+                mixer.deposit(ctx, user)?;
+                mixer.deposit(ctx, user)?;
+                assert_eq!(mixer.outstanding_notes(ctx), 2);
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn cannot_withdraw_from_empty_pool() {
+        let (mut chain, mixer, user) = setup();
+        let bogus = MixerNote {
+            mixer: mixer.address,
+            id: 99,
+        };
+        let tx = chain
+            .execute(user, mixer.address, "steal", |ctx| {
+                mixer.withdraw(ctx, bogus, user)
+            })
+            .unwrap();
+        assert!(!chain.replay(tx).unwrap().status.is_success());
+    }
+
+    #[test]
+    fn foreign_notes_are_rejected() {
+        let (mut chain, mixer, user) = setup();
+        let mut labels = LabelService::new();
+        let d2 = chain.create_eoa("d2");
+        let other = Mixer::deploy(&mut chain, &mut labels, d2, 100 * E18, "Other Mixer").unwrap();
+        let mut note = None;
+        chain
+            .execute(user, mixer.address, "mix", |ctx| {
+                note = Some(mixer.deposit(ctx, user)?);
+                Ok(())
+            })
+            .unwrap();
+        let tx = chain
+            .execute(user, other.address, "cross", |ctx| {
+                other.withdraw(ctx, note.unwrap(), user)
+            })
+            .unwrap();
+        assert!(!chain.replay(tx).unwrap().status.is_success());
+    }
+
+    #[test]
+    fn deposits_must_be_exact_denomination() {
+        let (mut chain, mixer, _) = setup();
+        let poor = chain.create_eoa("poor");
+        chain.state_mut().credit_eth(poor, 50 * E18).unwrap();
+        let tx = chain
+            .execute(poor, mixer.address, "mix", |ctx| {
+                mixer.deposit(ctx, poor)?;
+                Ok(())
+            })
+            .unwrap();
+        assert!(!chain.replay(tx).unwrap().status.is_success());
+    }
+}

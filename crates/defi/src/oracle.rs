@@ -1,0 +1,142 @@
+//! On-chain price oracles.
+//!
+//! Some DEXs "serve as on-chain Oracles for other DeFi applications"
+//! (paper §II-B) — which is precisely the attack surface: bZx priced sUSD
+//! off Uniswap, so pumping Uniswap moved bZx's oracle. [`DexOracle`] reads
+//! spot prices straight from registered constant-product pairs, with a
+//! one-hop route through a common base when no direct pair exists.
+
+use ethsim::{Result, SimError, TokenId, TxContext};
+
+use crate::amm::UniswapV2Pair;
+
+/// A spot-price oracle over a set of Uniswap-style pairs.
+#[derive(Clone, Debug, Default)]
+pub struct DexOracle {
+    pairs: Vec<UniswapV2Pair>,
+}
+
+impl DexOracle {
+    /// Creates an empty oracle.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a pair as a price source.
+    pub fn add_pair(&mut self, pair: UniswapV2Pair) {
+        self.pairs.push(pair);
+    }
+
+    /// Registered pairs.
+    pub fn pairs(&self) -> &[UniswapV2Pair] {
+        &self.pairs
+    }
+
+    /// Finds a direct pair holding both tokens.
+    pub fn direct_pair(&self, a: TokenId, b: TokenId) -> Option<&UniswapV2Pair> {
+        self.pairs
+            .iter()
+            .find(|p| p.has_token(a) && p.has_token(b))
+    }
+
+    /// Spot rate `quote per base` in whole-token terms. Falls back to a
+    /// single hop through any shared intermediate token.
+    ///
+    /// # Errors
+    /// [`SimError::Reverted`] when no route exists or a pool is empty.
+    pub fn rate(&self, ctx: &TxContext<'_>, base: TokenId, quote: TokenId) -> Result<f64> {
+        if base == quote {
+            return Ok(1.0);
+        }
+        if let Some(pair) = self.direct_pair(base, quote) {
+            return pair.spot_price(ctx, base);
+        }
+        // One-hop route: base -> X -> quote.
+        for p1 in &self.pairs {
+            if !p1.has_token(base) {
+                continue;
+            }
+            let mid = p1.other(base);
+            if let Some(p2) = self.direct_pair(mid, quote) {
+                let r1 = p1.spot_price(ctx, base)?;
+                let r2 = p2.spot_price(ctx, mid)?;
+                return Ok(r1 * r2);
+            }
+        }
+        Err(SimError::revert("no oracle route"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::amm::UniswapV2Factory;
+    use crate::labels::LabelService;
+    use ethsim::{Address, Chain, ChainConfig};
+
+    const E18: u128 = 1_000_000_000_000_000_000;
+
+    fn deploy_token(
+        chain: &mut Chain,
+        deployer: Address,
+        symbol: &str,
+        decimals: u8,
+    ) -> TokenId {
+        let mut out = None;
+        chain
+            .execute(deployer, deployer, "deployToken", |ctx| {
+                let c = ctx.create_contract(deployer)?;
+                out = Some(ctx.register_token(symbol, decimals, c));
+                Ok(())
+            })
+            .unwrap();
+        out.unwrap()
+    }
+
+    #[test]
+    fn direct_and_hopped_rates() {
+        let mut chain = Chain::new(ChainConfig::default());
+        let mut labels = LabelService::new();
+        let deployer = chain.create_eoa("deployer");
+        let whale = chain.create_eoa("whale");
+        let factory =
+            UniswapV2Factory::deploy_canonical(&mut chain, &mut labels, deployer).unwrap();
+        let eth = TokenId::ETH;
+        let wbtc = deploy_token(&mut chain, deployer, "WBTC", 8);
+        let usdc = deploy_token(&mut chain, deployer, "USDC", 6);
+        let p_eth_wbtc =
+            UniswapV2Pair::deploy(&mut chain, &factory, eth, wbtc, "UNI ETH/WBTC").unwrap();
+        let p_eth_usdc =
+            UniswapV2Pair::deploy(&mut chain, &factory, eth, usdc, "UNI ETH/USDC").unwrap();
+        chain.state_mut().credit_eth(whale, 20_000 * E18).unwrap();
+        chain
+            .execute(whale, factory.address, "seed", |ctx| {
+                ctx.mint_token(wbtc, whale, 200 * 100_000_000)?;
+                ctx.mint_token(usdc, whale, 20_000_000 * 1_000_000)?;
+                // 50 ETH per WBTC, 2000 USDC per ETH
+                p_eth_wbtc.add_liquidity(ctx, whale, 5_000 * E18, 100 * 100_000_000)?;
+                p_eth_usdc.add_liquidity(ctx, whale, 5_000 * E18, 10_000_000 * 1_000_000)?;
+                Ok(())
+            })
+            .unwrap();
+        let mut oracle = DexOracle::new();
+        oracle.add_pair(p_eth_wbtc);
+        oracle.add_pair(p_eth_usdc);
+        chain
+            .execute(whale, factory.address, "probe", |ctx| {
+                assert!((oracle.rate(ctx, eth, eth)? - 1.0).abs() < 1e-12);
+                let wbtc_in_eth = oracle.rate(ctx, wbtc, eth)?;
+                assert!((wbtc_in_eth - 50.0).abs() < 0.5, "got {wbtc_in_eth}");
+                // hop: WBTC -> ETH -> USDC ≈ 100,000
+                let wbtc_in_usdc = oracle.rate(ctx, wbtc, usdc)?;
+                assert!(
+                    (wbtc_in_usdc - 100_000.0).abs() < 1_000.0,
+                    "got {wbtc_in_usdc}"
+                );
+                // no route
+                assert!(oracle.rate(ctx, usdc, TokenId::from_index(55)).is_err());
+                Ok(())
+            })
+            .unwrap();
+    }
+}

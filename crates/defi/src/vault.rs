@@ -1,0 +1,478 @@
+//! Share-price vaults (Harvest / Yearn style).
+//!
+//! A vault accepts an underlying token and mints share tokens (fUSDC,
+//! yDAI, …) at the current *share price* — the vault's total underlying
+//! value divided by the share supply. The vault's treasury is farmed into a
+//! StableSwap pool, and the underlying value is computed by **spot-valuing
+//! the pool position**, which is exactly the design flaw the Harvest
+//! Finance attack exploited (paper Table I: fUSDC–USDC, 0.5% volatility;
+//! §IV-B3): a large swap skews the pool, depresses the spot valuation and
+//! thus the share price; the attacker deposits cheap shares, reverses the
+//! skew, and withdraws at the restored price.
+//!
+//! Deposits are Mint-liquidity trades and withdrawals Remove-liquidity
+//! trades in LeiShen's Table III sense: shares are minted from / burned to
+//! the BlackHole.
+
+use ethsim::state::SKey;
+use ethsim::{Address, Chain, LogValue, Result, SimError, TokenId, TxContext};
+
+use crate::amm::StableSwapPool;
+use crate::labels::LabelService;
+
+/// Storage slot: idle underlying (informational; actual balance is ledger).
+const SLOT_SENTINEL: u16 = 0;
+/// Storage slot: per-depositor entry share price (scaled by 1e9), used by
+/// the post-Harvest defense.
+const SLOT_ENTRY_PRICE: u16 = 1;
+
+/// Fixed-point scale for stored share prices.
+const PRICE_SCALE: f64 = 1e9;
+
+/// A share-price vault over one underlying token, farming a stable pool.
+#[derive(Clone, Debug, PartialEq)]
+pub struct ShareVault {
+    /// Vault contract account.
+    pub address: Address,
+    /// Underlying token accepted for deposits.
+    pub underlying: TokenId,
+    /// Vault share token (e.g. fUSDC).
+    pub share_token: TokenId,
+    /// The farmed pool whose LP tokens the vault holds.
+    pub pool: StableSwapPool,
+    /// Post-attack defense (paper §VI-D): maximum share-price deviation,
+    /// in basis points, between a depositor's entry and their withdrawal
+    /// (Harvest deployed 3% = 300 bps after the attack). `None` = no
+    /// defense, the pre-attack setting.
+    pub defense_bps: Option<u32>,
+}
+
+impl ShareVault {
+    /// Deploys a vault and labels it with `app_label` (e.g. "Harvest
+    /// Finance"). Share-token decimals match the underlying so the 1:1
+    /// bootstrap price is natural.
+    ///
+    /// # Errors
+    /// Propagates substrate errors.
+    pub fn deploy(
+        chain: &mut Chain,
+        labels: &mut LabelService,
+        deployer: Address,
+        underlying: TokenId,
+        pool: &StableSwapPool,
+        share_symbol: &str,
+        app_label: &str,
+    ) -> Result<ShareVault> {
+        let mut out = None;
+        let pool_cloned = pool.clone();
+        chain.execute(deployer, deployer, "deployVault", |ctx| {
+            let address = ctx.create_contract(deployer)?;
+            let decimals = ctx.token(underlying)?.decimals;
+            let share_token = ctx.register_token(share_symbol, decimals, address);
+            // touch storage so the account shows activity
+            ctx.sstore(address, SKey::Field(SLOT_SENTINEL), 1);
+            out = Some(ShareVault {
+                address,
+                underlying,
+                share_token,
+                pool: pool_cloned.clone(),
+                defense_bps: None,
+            });
+            Ok(())
+        })?;
+        let vault = out.expect("deploy closure ran");
+        labels.set(deployer, app_label);
+        labels.set(vault.address, app_label);
+        Ok(vault)
+    }
+
+    /// Enables the §VI-D price-deviation defense: withdrawals revert when
+    /// the share price moved more than `bps` basis points since the
+    /// withdrawer's last deposit. "Harvest Finance and Uniswap set a
+    /// threshold for the price difference between deposits and withdraws…
+    /// the defense cannot prevent attacks with small price volatility
+    /// below the threshold."
+    pub fn with_defense(mut self, bps: u32) -> Self {
+        self.defense_bps = Some(bps);
+        self
+    }
+
+    /// Total vault value in raw underlying units: idle underlying plus the
+    /// **spot-valued** pro-rata pool position. Spot valuation is the
+    /// manipulatable part: each pooled coin is valued at its current spot
+    /// rate into the underlying.
+    ///
+    /// # Errors
+    /// Propagates pool pricing failures.
+    pub fn underlying_value(&self, ctx: &TxContext<'_>) -> Result<u128> {
+        let idle = ctx.balance(self.underlying, self.address);
+        let lp_bal = ctx.balance(self.pool.lp_token, self.address);
+        let lp_supply = ctx.state().total_supply(self.pool.lp_token);
+        if lp_bal == 0 || lp_supply == 0 {
+            return Ok(idle);
+        }
+        let frac = lp_bal as f64 / lp_supply as f64;
+        let du = ctx.token(self.underlying)?.decimals as i32;
+        let mut value_whole = 0f64;
+        for coin in &self.pool.tokens {
+            let reserve = self.pool.reserve_of(ctx, *coin);
+            let dc = ctx.token(*coin)?.decimals as i32;
+            let reserve_whole = reserve as f64 / 10f64.powi(dc);
+            let rate = if *coin == self.underlying {
+                1.0
+            } else {
+                self.pool.spot_price(ctx, *coin, self.underlying)?
+            };
+            value_whole += reserve_whole * rate;
+        }
+        let position = frac * value_whole * 10f64.powi(du);
+        Ok(idle.saturating_add(position as u128))
+    }
+
+    /// Current share price in raw underlying units per raw share unit
+    /// (1.0 when the vault is empty).
+    ///
+    /// # Errors
+    /// Propagates valuation failures.
+    pub fn share_price(&self, ctx: &TxContext<'_>) -> Result<f64> {
+        let supply = ctx.state().total_supply(self.share_token);
+        if supply == 0 {
+            return Ok(1.0);
+        }
+        Ok(self.underlying_value(ctx)? as f64 / supply as f64)
+    }
+
+    /// Deposits underlying and mints shares at the current price.
+    /// Trade shape: `(who → vault, underlying)` + `(BlackHole → who,
+    /// shares)` — a Mint-liquidity action in Table III.
+    ///
+    /// # Errors
+    /// Reverts on zero amount or insufficient balance.
+    pub fn deposit(&self, ctx: &mut TxContext<'_>, who: Address, amount: u128) -> Result<u128> {
+        let vault = self.clone();
+        ctx.call(who, self.address, "deposit", 0, |ctx| {
+            if amount == 0 {
+                return Err(SimError::revert("zero deposit"));
+            }
+            let price = vault.share_price(ctx)?;
+            ctx.transfer_token(vault.underlying, who, vault.address, amount)?;
+            let shares = (amount as f64 / price) as u128;
+            if shares == 0 {
+                return Err(SimError::revert("deposit too small"));
+            }
+            if vault.defense_bps.is_some() {
+                ctx.sstore(
+                    vault.address,
+                    SKey::AddrMap(SLOT_ENTRY_PRICE, who),
+                    (price * PRICE_SCALE) as u128,
+                );
+            }
+            ctx.mint_token(vault.share_token, who, shares)?;
+            ctx.emit_log(
+                vault.address,
+                "Deposit",
+                vec![
+                    ("who".into(), LogValue::Addr(who)),
+                    ("amount".into(), LogValue::Amount(amount)),
+                    ("shares".into(), LogValue::Amount(shares)),
+                    ("underlying".into(), LogValue::Token(vault.underlying)),
+                    ("shareToken".into(), LogValue::Token(vault.share_token)),
+                ],
+            );
+            Ok(shares)
+        })
+    }
+
+    /// Burns shares and withdraws underlying at the current price, paid
+    /// from the idle buffer. Trade shape: `(who → BlackHole, shares)` +
+    /// `(vault → who, underlying)` — a Remove-liquidity action.
+    ///
+    /// # Errors
+    /// Reverts on zero shares, insufficient share balance, or an idle
+    /// buffer too small to cover the withdrawal (real vaults would unwind
+    /// the farm; scenario worlds provision the buffer).
+    pub fn withdraw(&self, ctx: &mut TxContext<'_>, who: Address, shares: u128) -> Result<u128> {
+        let vault = self.clone();
+        ctx.call(who, self.address, "withdraw", 0, |ctx| {
+            if shares == 0 {
+                return Err(SimError::revert("zero shares"));
+            }
+            let price = vault.share_price(ctx)?;
+            if let Some(bps) = vault.defense_bps {
+                let entry = ctx.sload(vault.address, SKey::AddrMap(SLOT_ENTRY_PRICE, who));
+                if entry > 0 {
+                    let entry_price = entry as f64 / PRICE_SCALE;
+                    let deviation = (price - entry_price).abs() / entry_price;
+                    if deviation > bps as f64 / 10_000.0 {
+                        return Err(SimError::revert(
+                            "share price deviates beyond the defense threshold",
+                        ));
+                    }
+                }
+            }
+            let amount = (shares as f64 * price) as u128;
+            ctx.burn_token(vault.share_token, who, shares)?;
+            let idle = ctx.balance(vault.underlying, vault.address);
+            if idle < amount {
+                return Err(SimError::revert("vault idle buffer exhausted"));
+            }
+            ctx.transfer_token(vault.underlying, vault.address, who, amount)?;
+            ctx.emit_log(
+                vault.address,
+                "Withdraw",
+                vec![
+                    ("who".into(), LogValue::Addr(who)),
+                    ("amount".into(), LogValue::Amount(amount)),
+                    ("shares".into(), LogValue::Amount(shares)),
+                    ("underlying".into(), LogValue::Token(vault.underlying)),
+                    ("shareToken".into(), LogValue::Token(vault.share_token)),
+                ],
+            );
+            Ok(amount)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ethsim::ChainConfig;
+
+    const E6: u128 = 1_000_000;
+
+
+    struct Setup {
+        chain: Chain,
+        vault: ShareVault,
+        pool: StableSwapPool,
+        whale: Address,
+        user: Address,
+        usdc: TokenId,
+        usdt: TokenId,
+    }
+
+    fn deploy_token(chain: &mut Chain, deployer: Address, symbol: &str, decimals: u8) -> TokenId {
+        let mut out = None;
+        chain
+            .execute(deployer, deployer, "deployToken", |ctx| {
+                let c = ctx.create_contract(deployer)?;
+                out = Some(ctx.register_token(symbol, decimals, c));
+                Ok(())
+            })
+            .unwrap();
+        out.unwrap()
+    }
+
+    fn setup() -> Setup {
+        let mut chain = Chain::new(ChainConfig::default());
+        let mut labels = LabelService::new();
+        let deployer = chain.create_eoa("harvest deployer");
+        let whale = chain.create_eoa("whale");
+        let user = chain.create_eoa("user");
+        let usdc = deploy_token(&mut chain, deployer, "USDC", 6);
+        let usdt = deploy_token(&mut chain, deployer, "USDT", 6);
+        let pool = StableSwapPool::deploy(
+            &mut chain,
+            &mut labels,
+            deployer,
+            deployer,
+            vec![usdc, usdt],
+            200,
+            "yCrv",
+            4,
+        )
+        .unwrap();
+        let vault = ShareVault::deploy(
+            &mut chain,
+            &mut labels,
+            deployer,
+            usdc,
+            &pool,
+            "fUSDC",
+            "Harvest Finance",
+        )
+        .unwrap();
+        chain
+            .execute(whale, pool.address, "seed", |ctx| {
+                ctx.mint_token(usdc, whale, 400_000_000 * E6)?;
+                ctx.mint_token(usdt, whale, 400_000_000 * E6)?;
+                ctx.mint_token(usdc, user, 60_000_000 * E6)?;
+                let lp = pool.seed(ctx, whale, &[100_000_000 * E6, 100_000_000 * E6])?;
+                // The vault farms half the whale's LP and carries an idle
+                // buffer to serve withdrawals.
+                ctx.transfer_token(pool.lp_token, whale, vault.address, lp / 2)?;
+                ctx.transfer_token(usdc, whale, vault.address, 80_000_000 * E6)?;
+                // Existing farmers hold shares at ~1:1.
+                ctx.mint_token(vault.share_token, whale, 100_000_000 * E6)?;
+                Ok(())
+            })
+            .unwrap();
+        Setup {
+            chain,
+            vault,
+            pool,
+            whale,
+            user,
+            usdc,
+            usdt,
+        }
+    }
+
+    #[test]
+    fn share_price_is_sane_at_rest() {
+        let s = setup();
+        let mut chain = s.chain;
+        chain
+            .execute(s.user, s.vault.address, "probe", |ctx| {
+                let p = s.vault.share_price(ctx)?;
+                // value ≈ 80M idle + 100M position over 100M shares ≈ 1.8
+                assert!(p > 1.5 && p < 2.1, "got {p}");
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn deposit_then_withdraw_at_stable_price_is_lossless_ish() {
+        let s = setup();
+        let mut chain = s.chain;
+        chain
+            .execute(s.user, s.vault.address, "cycle", |ctx| {
+                let before = ctx.balance(s.usdc, s.user);
+                let shares = s.vault.deposit(ctx, s.user, 1_000_000 * E6)?;
+                let back = s.vault.withdraw(ctx, s.user, shares)?;
+                let after = ctx.balance(s.usdc, s.user);
+                assert!(back <= 1_000_000 * E6 + E6, "no free profit");
+                assert!(after >= before - E6, "no material loss either");
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn pool_skew_depresses_share_price_harvest_mechanism() {
+        let s = setup();
+        let mut chain = s.chain;
+        chain
+            .execute(s.whale, s.vault.address, "skew", |ctx| {
+                let p0 = s.vault.share_price(ctx)?;
+                // Skew the pool: dump 30M USDT in, pull USDC out.
+                s.pool
+                    .swap_exact_in(ctx, s.whale, s.usdt, s.usdc, 30_000_000 * E6, 0)?;
+                let p1 = s.vault.share_price(ctx)?;
+                assert!(p1 < p0, "skew lowers USDC-valued position: {p0} -> {p1}");
+                let drop_pct = (p0 - p1) / p1 * 100.0;
+                assert!(
+                    drop_pct > 0.01 && drop_pct < 5.0,
+                    "sub-percent-ish move as in Harvest (0.5%), got {drop_pct}%"
+                );
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn deposit_trade_shape_is_mint_liquidity() {
+        let s = setup();
+        let mut chain = s.chain;
+        let tx = chain
+            .execute(s.user, s.vault.address, "deposit", |ctx| {
+                s.vault.deposit(ctx, s.user, 5_000_000 * E6)?;
+                Ok(())
+            })
+            .unwrap();
+        let rec = chain.replay(tx).unwrap();
+        let transfers = &rec.trace.transfers;
+        // underlying in, shares minted from BlackHole
+        assert!(transfers
+            .iter()
+            .any(|t| t.sender == s.user && t.receiver == s.vault.address && t.token == s.usdc));
+        assert!(transfers
+            .iter()
+            .any(|t| t.is_mint() && t.receiver == s.user && t.token == s.vault.share_token));
+    }
+
+    #[test]
+    fn withdraw_requires_idle_buffer() {
+        let s = setup();
+        let mut chain = s.chain;
+        // Mint the whale an absurd number of shares and withdraw them all:
+        // exceeds the idle buffer -> revert.
+        let tx = chain
+            .execute(s.whale, s.vault.address, "drain", |ctx| {
+                let shares = ctx.balance(s.vault.share_token, s.whale);
+                s.vault.withdraw(ctx, s.whale, shares)?;
+                Ok(())
+            })
+            .unwrap();
+        assert!(!chain.replay(tx).unwrap().status.is_success());
+    }
+
+    #[test]
+    fn defense_blocks_large_price_moves_but_not_small_ones() {
+        let s = setup();
+        let mut chain = s.chain;
+        // A guarded clone of the vault (same storage/account, 3% = 300 bps).
+        let guarded = s.vault.clone().with_defense(300);
+        // Small skew (<3% move): the Harvest-style attack goes through.
+        let tx = chain
+            .execute(s.user, guarded.address, "small", |ctx| {
+                let shares = guarded.deposit(ctx, s.user, 5_000_000 * E6)?;
+                s.pool
+                    .swap_exact_in(ctx, s.whale, s.usdt, s.usdc, 10_000_000 * E6, 0)?;
+                guarded.withdraw(ctx, s.user, shares)?;
+                Ok(())
+            })
+            .unwrap();
+        assert!(
+            chain.replay(tx).unwrap().status.is_success(),
+            "sub-threshold manipulation bypasses the defense (paper §VI-D)"
+        );
+        // Massive skew (>3% move): blocked.
+        let tx = chain
+            .execute(s.user, guarded.address, "large", |ctx| {
+                let shares = guarded.deposit(ctx, s.user, 5_000_000 * E6)?;
+                // drain most of the USDC side: huge valuation swing
+                s.pool
+                    .swap_exact_in(ctx, s.whale, s.usdt, s.usdc, 95_000_000 * E6, 0)?;
+                guarded.withdraw(ctx, s.user, shares)?;
+                Ok(())
+            })
+            .unwrap();
+        let rec = chain.replay(tx).unwrap();
+        assert!(
+            !rec.status.is_success(),
+            "defense must block the large move: {:?}",
+            rec.status
+        );
+    }
+
+    #[test]
+    fn undefended_vault_allows_everything() {
+        let s = setup();
+        let mut chain = s.chain;
+        let tx = chain
+            .execute(s.user, s.vault.address, "large", |ctx| {
+                let shares = s.vault.deposit(ctx, s.user, 5_000_000 * E6)?;
+                s.pool
+                    .swap_exact_in(ctx, s.whale, s.usdt, s.usdc, 95_000_000 * E6, 0)?;
+                s.vault.withdraw(ctx, s.user, shares)?;
+                Ok(())
+            })
+            .unwrap();
+        assert!(chain.replay(tx).unwrap().status.is_success());
+    }
+
+    #[test]
+    fn zero_ops_revert() {
+        let s = setup();
+        let mut chain = s.chain;
+        let tx = chain
+            .execute(s.user, s.vault.address, "zero", |ctx| {
+                s.vault.deposit(ctx, s.user, 0)?;
+                Ok(())
+            })
+            .unwrap();
+        assert!(!chain.replay(tx).unwrap().status.is_success());
+    }
+}

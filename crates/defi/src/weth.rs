@@ -1,0 +1,150 @@
+//! The Wrapped Ether (WETH) contract.
+//!
+//! WETH wraps native Ether 1:1 so it can be used as an ERC20 token.
+//! LeiShen's second simplification rule (paper §V-B2) removes transfers
+//! whose sender or receiver is tagged "Wrapped Ether" and unifies the WETH
+//! token with ETH — the wrap/unwrap traffic carries no trading information.
+
+use ethsim::{Address, Chain, LogValue, Result, SimError, TokenId, TxContext};
+
+use crate::labels::{apps, LabelService};
+
+/// The deployed WETH contract: its account plus the WETH token id.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Weth {
+    /// Contract account (labeled `"Wrapped Ether"`).
+    pub address: Address,
+    /// The WETH ERC20 token.
+    pub token: TokenId,
+}
+
+impl Weth {
+    /// Deploys the WETH contract and labels it.
+    ///
+    /// # Errors
+    /// Propagates substrate errors.
+    pub fn deploy(
+        chain: &mut Chain,
+        labels: &mut LabelService,
+        deployer: Address,
+    ) -> Result<Weth> {
+        let mut out = None;
+        chain.execute(deployer, deployer, "deployWeth", |ctx| {
+            let address = ctx.create_contract(deployer)?;
+            let token = ctx.register_token("WETH", 18, address);
+            out = Some(Weth { address, token });
+            Ok(())
+        })?;
+        let weth = out.expect("deploy closure ran");
+        labels.set(weth.address, apps::WETH);
+        Ok(weth)
+    }
+
+    /// Wraps native ETH: `who` sends `amount` ETH to the contract and
+    /// receives the same amount of WETH.
+    ///
+    /// # Errors
+    /// Reverts when `who` lacks the ETH.
+    pub fn deposit(&self, ctx: &mut TxContext<'_>, who: Address, amount: u128) -> Result<()> {
+        let weth = *self;
+        ctx.call(who, self.address, "deposit", amount, |ctx| {
+            ctx.mint_token(weth.token, weth.address, amount)?;
+            ctx.transfer_token(weth.token, weth.address, who, amount)?;
+            ctx.emit_log(
+                weth.address,
+                "Deposit",
+                vec![
+                    ("dst".into(), LogValue::Addr(who)),
+                    ("wad".into(), LogValue::Amount(amount)),
+                ],
+            );
+            Ok(())
+        })
+    }
+
+    /// Unwraps WETH back to native ETH.
+    ///
+    /// # Errors
+    /// Reverts when `who` lacks the WETH or the contract somehow lacks ETH
+    /// backing (impossible under normal operation).
+    pub fn withdraw(&self, ctx: &mut TxContext<'_>, who: Address, amount: u128) -> Result<()> {
+        let weth = *self;
+        ctx.call(who, self.address, "withdraw", 0, |ctx| {
+            if ctx.balance(weth.token, who) < amount {
+                return Err(SimError::revert("insufficient WETH"));
+            }
+            ctx.transfer_token(weth.token, who, weth.address, amount)?;
+            ctx.burn_token(weth.token, weth.address, amount)?;
+            ctx.transfer_eth(weth.address, who, amount)?;
+            ctx.emit_log(
+                weth.address,
+                "Withdrawal",
+                vec![
+                    ("src".into(), LogValue::Addr(who)),
+                    ("wad".into(), LogValue::Amount(amount)),
+                ],
+            );
+            Ok(())
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ethsim::ChainConfig;
+
+    const E18: u128 = 1_000_000_000_000_000_000;
+
+    fn setup() -> (Chain, Weth, Address) {
+        let mut chain = Chain::new(ChainConfig::default());
+        let mut labels = LabelService::new();
+        let deployer = chain.create_eoa("weth deployer");
+        let user = chain.create_eoa("user");
+        let weth = Weth::deploy(&mut chain, &mut labels, deployer).unwrap();
+        assert_eq!(labels.get(weth.address), Some(apps::WETH));
+        chain.state_mut().credit_eth(user, 10 * E18).unwrap();
+        (chain, weth, user)
+    }
+
+    #[test]
+    fn wrap_unwrap_roundtrip() {
+        let (mut chain, weth, user) = setup();
+        chain
+            .execute(user, weth.address, "wrap", |ctx| {
+                weth.deposit(ctx, user, 4 * E18)?;
+                assert_eq!(ctx.balance(weth.token, user), 4 * E18);
+                assert_eq!(ctx.balance(TokenId::ETH, user), 6 * E18);
+                weth.withdraw(ctx, user, 4 * E18)?;
+                assert_eq!(ctx.balance(weth.token, user), 0);
+                assert_eq!(ctx.balance(TokenId::ETH, user), 10 * E18);
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn backing_is_exact() {
+        let (mut chain, weth, user) = setup();
+        chain
+            .execute(user, weth.address, "wrap", |ctx| {
+                weth.deposit(ctx, user, 3 * E18)?;
+                assert_eq!(ctx.balance(TokenId::ETH, weth.address), 3 * E18);
+                assert_eq!(ctx.state().total_supply(weth.token), 3 * E18);
+                Ok(())
+            })
+            .unwrap();
+    }
+
+    #[test]
+    fn withdraw_more_than_held_reverts() {
+        let (mut chain, weth, user) = setup();
+        let tx = chain
+            .execute(user, weth.address, "over", |ctx| {
+                weth.deposit(ctx, user, E18)?;
+                weth.withdraw(ctx, user, 2 * E18)
+            })
+            .unwrap();
+        assert!(!chain.replay(tx).unwrap().status.is_success());
+    }
+}

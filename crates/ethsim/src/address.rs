@@ -1,0 +1,240 @@
+//! 160-bit Ethereum-style account addresses.
+//!
+//! Both user accounts (EOAs) and contract accounts are identified by a
+//! 160-bit address (paper §II-A). The paper abbreviates addresses by their
+//! first 16 bits (e.g. `0xb017`); [`Address::short`] reproduces that
+//! rendering for reports and figures.
+
+use std::fmt;
+use std::str::FromStr;
+
+use serde::{Deserialize, Serialize};
+
+/// A 160-bit account address.
+///
+/// The zero address doubles as the *BlackHole* used by DeFi conventions for
+/// minting and burning tokens (paper §V-C): newly minted tokens are
+/// transferred *from* `Address::ZERO`, burned tokens are transferred *to* it.
+///
+/// ```
+/// use ethsim::Address;
+///
+/// let a = Address::from_u64(0xb017_cafe);
+/// assert!(!a.is_zero());
+/// assert!(Address::ZERO.is_zero());
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default)]
+pub struct Address([u8; 20]);
+
+impl Address {
+    /// The zero address, a.k.a. the BlackHole mint/burn address.
+    pub const ZERO: Address = Address([0u8; 20]);
+
+    /// Builds an address from raw bytes.
+    pub const fn from_bytes(bytes: [u8; 20]) -> Self {
+        Address(bytes)
+    }
+
+    /// Builds a deterministic address whose low 8 bytes are `value`
+    /// (big-endian). Useful for tests and synthetic scenarios.
+    pub const fn from_u64(value: u64) -> Self {
+        let mut b = [0u8; 20];
+        let v = value.to_be_bytes();
+        let mut i = 0;
+        while i < 8 {
+            b[12 + i] = v[i];
+            i += 1;
+        }
+        Address(b)
+    }
+
+    /// Derives a fresh address from a creator address and a nonce, mimicking
+    /// Ethereum's `CREATE` address derivation (deterministic, collision-free
+    /// for our substrate's purposes).
+    pub fn derive(creator: Address, nonce: u64) -> Self {
+        // A simple, well-mixed permutation (FNV-1a over creator bytes + nonce).
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for byte in creator.0 {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        for byte in nonce.to_be_bytes() {
+            h ^= byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut b = [0u8; 20];
+        b[0..8].copy_from_slice(&h.to_be_bytes());
+        let h2 = h.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(31);
+        b[8..16].copy_from_slice(&h2.to_be_bytes());
+        b[16..20].copy_from_slice(&(nonce as u32).to_be_bytes());
+        Address(b)
+    }
+
+    /// Builds a deterministic address from a human-readable seed string.
+    /// Distinct seeds map to distinct addresses with overwhelming
+    /// probability; the same seed always maps to the same address.
+    pub fn from_seed(seed: &str) -> Self {
+        let mut h: u64 = 0x8422_2325_cbf2_9ce4;
+        for byte in seed.as_bytes() {
+            h ^= *byte as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        let mut b = [0u8; 20];
+        b[0..8].copy_from_slice(&h.to_be_bytes());
+        let h2 = h.wrapping_mul(0xff51_afd7_ed55_8ccd).rotate_left(17);
+        b[8..16].copy_from_slice(&h2.to_be_bytes());
+        let h3 = (h ^ h2) as u32;
+        b[16..20].copy_from_slice(&h3.to_be_bytes());
+        Address(b)
+    }
+
+    /// Returns the raw 20 bytes.
+    pub const fn as_bytes(&self) -> &[u8; 20] {
+        &self.0
+    }
+
+    /// Whether this is the zero / BlackHole address.
+    pub const fn is_zero(&self) -> bool {
+        let mut i = 0;
+        while i < 20 {
+            if self.0[i] != 0 {
+                return false;
+            }
+            i += 1;
+        }
+        true
+    }
+
+    /// The paper's abbreviated rendering: `0x` plus the first 16 bits
+    /// (4 hex digits), e.g. `0xb017`.
+    pub fn short(&self) -> String {
+        format!("0x{:02x}{:02x}", self.0[0], self.0[1])
+    }
+}
+
+impl fmt::Display for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "0x")?;
+        for byte in self.0 {
+            write!(f, "{byte:02x}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Debug for Address {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        // Short form keeps traces and assertion failures readable.
+        write!(f, "Address({})", self.short())
+    }
+}
+
+/// Error returned when parsing an [`Address`] from a hex string fails.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseAddressError {
+    reason: &'static str,
+}
+
+impl fmt::Display for ParseAddressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid address: {}", self.reason)
+    }
+}
+
+impl std::error::Error for ParseAddressError {}
+
+impl FromStr for Address {
+    type Err = ParseAddressError;
+
+    /// Parses `0x`-prefixed (or bare) 40-digit hex.
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        let s = s.strip_prefix("0x").unwrap_or(s);
+        if s.len() != 40 {
+            return Err(ParseAddressError {
+                reason: "expected 40 hex digits",
+            });
+        }
+        let mut b = [0u8; 20];
+        for (i, chunk) in s.as_bytes().chunks(2).enumerate() {
+            let hi = hex_val(chunk[0]).ok_or(ParseAddressError {
+                reason: "non-hex digit",
+            })?;
+            let lo = hex_val(chunk[1]).ok_or(ParseAddressError {
+                reason: "non-hex digit",
+            })?;
+            b[i] = (hi << 4) | lo;
+        }
+        Ok(Address(b))
+    }
+}
+
+fn hex_val(c: u8) -> Option<u8> {
+    match c {
+        b'0'..=b'9' => Some(c - b'0'),
+        b'a'..=b'f' => Some(c - b'a' + 10),
+        b'A'..=b'F' => Some(c - b'A' + 10),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_zero() {
+        assert!(Address::ZERO.is_zero());
+        assert!(!Address::from_u64(1).is_zero());
+        assert_eq!(Address::default(), Address::ZERO);
+    }
+
+    #[test]
+    fn from_u64_roundtrips_low_bytes() {
+        let a = Address::from_u64(0xdead_beef);
+        assert_eq!(&a.as_bytes()[16..], &0xdead_beef_u32.to_be_bytes());
+    }
+
+    #[test]
+    fn display_and_parse_roundtrip() {
+        let a = Address::from_seed("uniswap pair WBTC/ETH");
+        let s = a.to_string();
+        assert!(s.starts_with("0x"));
+        assert_eq!(s.len(), 42);
+        let parsed: Address = s.parse().expect("roundtrip");
+        assert_eq!(parsed, a);
+    }
+
+    #[test]
+    fn parse_rejects_bad_input() {
+        assert!("0x1234".parse::<Address>().is_err());
+        assert!("zz".repeat(20).parse::<Address>().is_err());
+        let ok = "0x".to_string() + &"ab".repeat(20);
+        assert!(ok.parse::<Address>().is_ok());
+    }
+
+    #[test]
+    fn short_form_matches_paper_rendering() {
+        let mut b = [0u8; 20];
+        b[0] = 0xb0;
+        b[1] = 0x17;
+        assert_eq!(Address::from_bytes(b).short(), "0xb017");
+    }
+
+    #[test]
+    fn derive_is_deterministic_and_distinct() {
+        let creator = Address::from_seed("factory");
+        let a = Address::derive(creator, 0);
+        let b = Address::derive(creator, 1);
+        assert_eq!(a, Address::derive(creator, 0));
+        assert_ne!(a, b);
+        assert_ne!(a, creator);
+    }
+
+    #[test]
+    fn seeds_are_distinct() {
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..1000 {
+            assert!(seen.insert(Address::from_seed(&format!("seed-{i}"))));
+        }
+    }
+}

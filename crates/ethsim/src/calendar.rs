@@ -1,0 +1,210 @@
+//! Minimal calendar math for time-series figures.
+//!
+//! The paper's Fig. 1 plots *weekly* flash-loan transaction counts and
+//! Fig. 8 plots *monthly* attack counts. This module converts block
+//! timestamps (unix seconds) into civil dates, month indices and week
+//! indices without pulling in a date-time dependency.
+
+use serde::{Deserialize, Serialize};
+
+/// A civil (proleptic Gregorian) calendar date.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct Date {
+    /// Four-digit year.
+    pub year: i32,
+    /// Month 1–12.
+    pub month: u32,
+    /// Day 1–31.
+    pub day: u32,
+}
+
+impl Date {
+    /// Converts a unix timestamp (seconds) to a civil date (UTC).
+    ///
+    /// Uses Howard Hinnant's `civil_from_days` algorithm.
+    pub fn from_unix(ts: u64) -> Date {
+        let days = (ts / 86_400) as i64;
+        let z = days + 719_468;
+        let era = z.div_euclid(146_097);
+        let doe = z.rem_euclid(146_097);
+        let yoe = (doe - doe / 1460 + doe / 36_524 - doe / 146_096) / 365;
+        let y = yoe + era * 400;
+        let doy = doe - (365 * yoe + yoe / 4 - yoe / 100);
+        let mp = (5 * doy + 2) / 153;
+        let d = doy - (153 * mp + 2) / 5 + 1;
+        let m = if mp < 10 { mp + 3 } else { mp - 9 };
+        Date {
+            year: (if m <= 2 { y + 1 } else { y }) as i32,
+            month: m as u32,
+            day: d as u32,
+        }
+    }
+
+    /// Converts a civil date back to a unix timestamp at 00:00 UTC.
+    pub fn to_unix(self) -> u64 {
+        let y = if self.month <= 2 {
+            self.year as i64 - 1
+        } else {
+            self.year as i64
+        };
+        let era = y.div_euclid(400);
+        let yoe = y.rem_euclid(400);
+        let m = self.month as i64;
+        let d = self.day as i64;
+        let mp = if m > 2 { m - 3 } else { m + 9 };
+        let doy = (153 * mp + 2) / 5 + d - 1;
+        let doe = yoe * 365 + yoe / 4 - yoe / 100 + doy;
+        let days = era * 146_097 + doe - 719_468;
+        (days * 86_400) as u64
+    }
+
+    /// Month index for bucketing: `year * 12 + (month - 1)`.
+    pub fn month_index(self) -> MonthIndex {
+        MonthIndex(self.year * 12 + self.month as i32 - 1)
+    }
+
+    /// Monday-anchored week index for bucketing.
+    pub fn week_index(self) -> WeekIndex {
+        let days = (self.to_unix() / 86_400) as i64;
+        // 1970-01-01 was a Thursday; shift so weeks start on Monday.
+        WeekIndex(((days + 3).div_euclid(7)) as i32)
+    }
+
+    /// Compact `YYYY-MM` label used by figure output.
+    pub fn month_label(self) -> String {
+        format!("{:04}-{:02}", self.year, self.month)
+    }
+}
+
+impl std::fmt::Display for Date {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:04}-{:02}-{:02}", self.year, self.month, self.day)
+    }
+}
+
+/// Month bucket (`year * 12 + month - 1`).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct MonthIndex(pub i32);
+
+impl MonthIndex {
+    /// The `YYYY-MM` label of this bucket.
+    pub fn label(self) -> String {
+        format!("{:04}-{:02}", self.0.div_euclid(12), self.0.rem_euclid(12) + 1)
+    }
+}
+
+/// Monday-anchored week bucket (weeks since epoch week).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct WeekIndex(pub i32);
+
+impl WeekIndex {
+    /// Unix timestamp of this week's Monday, 00:00 UTC.
+    pub fn start_unix(self) -> u64 {
+        ((self.0 as i64 * 7 - 3) * 86_400) as u64
+    }
+
+    /// The civil date of this week's Monday.
+    pub fn start_date(self) -> Date {
+        Date::from_unix(self.start_unix())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn epoch_is_jan_1_1970() {
+        let d = Date::from_unix(0);
+        assert_eq!(
+            d,
+            Date {
+                year: 1970,
+                month: 1,
+                day: 1
+            }
+        );
+        assert_eq!(d.to_unix(), 0);
+    }
+
+    #[test]
+    fn known_dates_roundtrip() {
+        // 2020-02-15 (bZx-1 attack day) 00:00 UTC = 1581724800
+        let d = Date {
+            year: 2020,
+            month: 2,
+            day: 15,
+        };
+        assert_eq!(d.to_unix(), 1_581_724_800);
+        assert_eq!(Date::from_unix(1_581_724_800), d);
+        assert_eq!(Date::from_unix(1_581_724_800 + 3600), d, "intra-day stays");
+    }
+
+    #[test]
+    fn leap_year_handling() {
+        let d = Date {
+            year: 2020,
+            month: 2,
+            day: 29,
+        };
+        let ts = d.to_unix();
+        assert_eq!(Date::from_unix(ts), d);
+        assert_eq!(
+            Date::from_unix(ts + 86_400),
+            Date {
+                year: 2020,
+                month: 3,
+                day: 1
+            }
+        );
+    }
+
+    #[test]
+    fn month_index_buckets() {
+        let jan20 = Date {
+            year: 2020,
+            month: 1,
+            day: 15,
+        };
+        let feb20 = Date {
+            year: 2020,
+            month: 2,
+            day: 1,
+        };
+        assert_eq!(jan20.month_index().0 + 1, feb20.month_index().0);
+        assert_eq!(jan20.month_index().label(), "2020-01");
+        assert_eq!(feb20.month_index().label(), "2020-02");
+    }
+
+    #[test]
+    fn week_index_anchors_on_monday() {
+        // 2020-01-06 was a Monday.
+        let mon = Date {
+            year: 2020,
+            month: 1,
+            day: 6,
+        };
+        let sun = Date {
+            year: 2020,
+            month: 1,
+            day: 12,
+        };
+        let next_mon = Date {
+            year: 2020,
+            month: 1,
+            day: 13,
+        };
+        assert_eq!(mon.week_index(), sun.week_index());
+        assert_eq!(mon.week_index().0 + 1, next_mon.week_index().0);
+        assert_eq!(mon.week_index().start_date(), mon);
+    }
+
+    #[test]
+    fn roundtrip_many_days() {
+        for day in 0..20_000u64 {
+            let ts = day * 86_400;
+            let d = Date::from_unix(ts);
+            assert_eq!(d.to_unix(), ts, "day {day}");
+        }
+    }
+}

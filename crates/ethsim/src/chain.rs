@@ -1,0 +1,355 @@
+//! The blockchain: blocks, timestamps, execution and replay.
+//!
+//! [`Chain`] owns the world state, executes transactions atomically, stores
+//! the resulting [`TxRecord`]s, and can "replay" any past transaction by
+//! returning its recorded trace — functionally what the paper obtains by
+//! re-executing a transaction in the modified Geth client.
+
+use crate::address::Address;
+use crate::calendar::Date;
+use crate::context::TxContext;
+use crate::state::WorldState;
+use crate::tx::{TxId, TxRecord, TxStatus};
+use crate::Result;
+
+/// Chain timeline configuration.
+///
+/// The defaults mirror the paper's study window: the timeline starts at
+/// block 9,193,266 ≈ Jan 1 2020 00:00 UTC with Ethereum's ~13 s block
+/// interval, so the first 14,500,000 blocks cover Feb 2020 – June 2022 as in
+/// the evaluation (§VI).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ChainConfig {
+    /// Number of the first simulated block.
+    pub start_block: u64,
+    /// Unix timestamp of the first simulated block.
+    pub start_unix: u64,
+    /// Seconds between consecutive blocks.
+    pub block_interval: u64,
+}
+
+impl Default for ChainConfig {
+    fn default() -> Self {
+        ChainConfig {
+            start_block: 9_193_266,
+            start_unix: Date {
+                year: 2020,
+                month: 1,
+                day: 1,
+            }
+            .to_unix(),
+            block_interval: 13,
+        }
+    }
+}
+
+/// An in-memory blockchain with journaled state and full transaction
+/// history.
+#[derive(Debug)]
+pub struct Chain {
+    state: WorldState,
+    config: ChainConfig,
+    current_block: u64,
+    txs: Vec<TxRecord>,
+    eoa_counter: u64,
+}
+
+impl Chain {
+    /// Creates a fresh chain at `config.start_block`.
+    pub fn new(config: ChainConfig) -> Self {
+        Chain {
+            state: WorldState::new(),
+            config,
+            current_block: config.start_block,
+            txs: Vec::new(),
+            eoa_counter: 0,
+        }
+    }
+
+    /// Read-only world state.
+    pub fn state(&self) -> &WorldState {
+        &self.state
+    }
+
+    /// Mutable world state — for genesis setup (funding, token registration)
+    /// outside transactions. Mutations made here are committed immediately.
+    pub fn state_mut(&mut self) -> &mut WorldState {
+        &mut self.state
+    }
+
+    /// Current block number.
+    pub fn block(&self) -> u64 {
+        self.current_block
+    }
+
+    /// Timestamp of `block` under this chain's timeline.
+    pub fn timestamp_of(&self, block: u64) -> u64 {
+        self.config.start_unix + block.saturating_sub(self.config.start_block) * self.config.block_interval
+    }
+
+    /// Timestamp of the current block.
+    pub fn timestamp(&self) -> u64 {
+        self.timestamp_of(self.current_block)
+    }
+
+    /// Civil date of the current block.
+    pub fn date(&self) -> Date {
+        Date::from_unix(self.timestamp())
+    }
+
+    /// Advances the chain by `n` blocks.
+    pub fn advance_blocks(&mut self, n: u64) {
+        self.current_block += n;
+    }
+
+    /// Jumps to an absolute block number (must not go backwards).
+    ///
+    /// # Panics
+    /// Panics if `block` is behind the current block — history is immutable.
+    pub fn seek_block(&mut self, block: u64) {
+        assert!(
+            block >= self.current_block,
+            "cannot rewind chain from block {} to {}",
+            self.current_block,
+            block
+        );
+        self.current_block = block;
+    }
+
+    /// Jumps the chain to the block whose timestamp is closest to the given
+    /// civil date (used by scenario scripts to place attacks on their
+    /// real-world attack days).
+    pub fn seek_date(&mut self, date: Date) {
+        let target = date.to_unix();
+        let start = self.config.start_unix;
+        let block = if target <= start {
+            self.config.start_block
+        } else {
+            self.config.start_block + (target - start) / self.config.block_interval
+        };
+        self.seek_block(block);
+    }
+
+    /// Registers a fresh EOA with a unique, deterministic address.
+    pub fn create_eoa(&mut self, seed: &str) -> Address {
+        self.eoa_counter += 1;
+        let addr = Address::from_seed(&format!("eoa/{}/{}", self.eoa_counter, seed));
+        self.state.create_eoa(addr);
+        addr
+    }
+
+    /// Executes a transaction atomically.
+    ///
+    /// `body` runs inside a [`TxContext`]; if it returns `Err`, **all** state
+    /// changes are rolled back and the transaction is recorded as reverted —
+    /// the atomicity property that makes flash loans safe for the lender.
+    /// The trace up to the failure point is preserved in the record (reverted
+    /// transactions keep their partial traces on real chains too), but the
+    /// world state is untouched.
+    ///
+    /// # Errors
+    /// Never returns `Err` for in-transaction failures (those become a
+    /// reverted [`TxRecord`]); the `Result` is for future-proofing the
+    /// executor API.
+    pub fn execute(
+        &mut self,
+        from: Address,
+        to: Address,
+        function: impl Into<String>,
+        body: impl FnOnce(&mut TxContext<'_>) -> Result<()>,
+    ) -> Result<TxId> {
+        let function = function.into();
+        let block = self.current_block;
+        let timestamp = self.timestamp_of(block);
+        let snap = self.state.snapshot();
+        let mut ctx = TxContext::new(&mut self.state, block, timestamp);
+        let outcome = body(&mut ctx);
+        let trace = ctx.into_trace();
+        let status = match outcome {
+            Ok(()) => {
+                self.state.commit();
+                TxStatus::Success
+            }
+            Err(e) => {
+                self.state.revert_to(snap);
+                TxStatus::Reverted(e.to_string())
+            }
+        };
+        let id = TxId(self.txs.len() as u64);
+        self.txs.push(TxRecord {
+            id,
+            block,
+            timestamp,
+            from,
+            to,
+            function,
+            status,
+            trace,
+        });
+        Ok(id)
+    }
+
+    /// Replays a past transaction — returns its recorded trace, as the
+    /// paper's modified Geth would after re-execution.
+    pub fn replay(&self, id: TxId) -> Option<&TxRecord> {
+        self.txs.get(id.0 as usize)
+    }
+
+    /// All recorded transactions in execution order.
+    pub fn transactions(&self) -> &[TxRecord] {
+        &self.txs
+    }
+
+    /// Number of executed transactions.
+    pub fn tx_count(&self) -> usize {
+        self.txs.len()
+    }
+}
+
+impl Default for Chain {
+    fn default() -> Self {
+        Chain::new(ChainConfig::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::error::SimError;
+    use crate::token::TokenId;
+
+    #[test]
+    fn default_timeline_matches_paper_window() {
+        let chain = Chain::default();
+        let d = chain.date();
+        assert_eq!((d.year, d.month), (2020, 1));
+        // Block 14,500,000 should land mid-2022.
+        let end = Date::from_unix(chain.timestamp_of(14_500_000));
+        assert_eq!(end.year, 2022);
+    }
+
+    #[test]
+    fn successful_tx_commits() {
+        let mut chain = Chain::default();
+        let a = chain.create_eoa("a");
+        let b = chain.create_eoa("b");
+        chain.state_mut().credit_eth(a, 100).unwrap();
+        let tx = chain
+            .execute(a, b, "send", |ctx| ctx.transfer_eth(a, b, 60))
+            .unwrap();
+        assert!(chain.replay(tx).unwrap().status.is_success());
+        assert_eq!(chain.state().eth_balance(b), 60);
+    }
+
+    #[test]
+    fn failed_tx_reverts_atomically() {
+        let mut chain = Chain::default();
+        let a = chain.create_eoa("a");
+        let b = chain.create_eoa("b");
+        chain.state_mut().credit_eth(a, 100).unwrap();
+        let tx = chain
+            .execute(a, b, "send", |ctx| {
+                ctx.transfer_eth(a, b, 60)?; // succeeds...
+                Err(SimError::revert("flash loan not repaid")) // ...then reverts
+            })
+            .unwrap();
+        let rec = chain.replay(tx).unwrap();
+        assert!(!rec.status.is_success());
+        assert_eq!(chain.state().eth_balance(a), 100, "rolled back");
+        assert_eq!(chain.state().eth_balance(b), 0);
+        // Partial trace is preserved for forensics.
+        assert_eq!(rec.trace.transfers.len(), 1);
+    }
+
+    #[test]
+    fn replay_returns_recorded_trace() {
+        let mut chain = Chain::default();
+        let a = chain.create_eoa("a");
+        chain.state_mut().credit_eth(a, 10).unwrap();
+        let tx = chain
+            .execute(a, a, "noop", |ctx| {
+                ctx.emit_log(a, "Hello", vec![]);
+                Ok(())
+            })
+            .unwrap();
+        let rec = chain.replay(tx).unwrap();
+        assert_eq!(rec.trace.logs[0].name, "Hello");
+        assert!(chain.replay(TxId(99)).is_none());
+    }
+
+    #[test]
+    fn block_advance_changes_timestamp() {
+        let mut chain = Chain::default();
+        let t0 = chain.timestamp();
+        chain.advance_blocks(100);
+        assert_eq!(chain.timestamp(), t0 + 100 * 13);
+    }
+
+    #[test]
+    fn seek_date_lands_on_day() {
+        let mut chain = Chain::default();
+        let target = Date {
+            year: 2020,
+            month: 10,
+            day: 26,
+        }; // Harvest attack day
+        chain.seek_date(target);
+        assert_eq!(chain.date(), target);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot rewind")]
+    fn seek_backwards_panics() {
+        let mut chain = Chain::default();
+        chain.advance_blocks(10);
+        chain.seek_block(chain.block() - 5);
+    }
+
+    #[test]
+    fn transaction_history_accumulates_in_order() {
+        let mut chain = Chain::default();
+        let a = chain.create_eoa("a");
+        chain.state_mut().credit_eth(a, 100).unwrap();
+        assert_eq!(chain.tx_count(), 0);
+        let t1 = chain.execute(a, a, "one", |_| Ok(())).unwrap();
+        chain.advance_blocks(5);
+        let t2 = chain.execute(a, a, "two", |_| Ok(())).unwrap();
+        assert_eq!(chain.tx_count(), 2);
+        let txs = chain.transactions();
+        assert_eq!(txs[0].id, t1);
+        assert_eq!(txs[1].id, t2);
+        assert!(txs[0].block < txs[1].block);
+        assert!(txs[0].timestamp < txs[1].timestamp);
+        assert_eq!(txs[0].function, "one");
+        assert_eq!(txs[0].initiator(), a);
+    }
+
+    #[test]
+    fn timestamps_are_affine_in_block_number() {
+        let chain = Chain::default();
+        let b0 = chain.block();
+        assert_eq!(
+            chain.timestamp_of(b0 + 100) - chain.timestamp_of(b0),
+            100 * 13
+        );
+        // before the start block, the timeline clamps to genesis
+        assert_eq!(chain.timestamp_of(0), chain.timestamp_of(b0));
+    }
+
+    #[test]
+    fn tx_inside_can_register_tokens_and_contracts() {
+        let mut chain = Chain::default();
+        let a = chain.create_eoa("a");
+        chain
+            .execute(a, a, "deploy", |ctx| {
+                let c = ctx.create_contract(a)?;
+                let t = ctx.register_token("NEW", 18, c);
+                ctx.mint_token(t, a, 42)?;
+                Ok(())
+            })
+            .unwrap();
+        let t = chain.state().token_by_symbol("NEW").unwrap();
+        assert_eq!(chain.state().balance(t, a), 42);
+        assert_ne!(t, TokenId::ETH);
+    }
+}

@@ -1,0 +1,421 @@
+//! The transaction execution context.
+//!
+//! Protocol code runs inside a [`TxContext`]: it moves assets, emits logs,
+//! enters call frames, creates contracts, and reads/writes journaled
+//! storage. Every action is recorded into the transaction's [`TxTrace`]
+//! with a single monotone sequence counter, so the trace preserves the
+//! happened-before order between native transfers, token transfers, logs
+//! and calls — the exact information the paper's modified Geth recovers.
+
+use crate::address::Address;
+use crate::error::SimError;
+use crate::frame::CallFrame;
+use crate::log::{EventLog, LogValue};
+use crate::state::{SKey, WorldState};
+use crate::token::{TokenId, TokenInfo};
+use crate::transfer::Transfer;
+use crate::tx::TxTrace;
+use crate::Result;
+
+/// Execution context for one transaction.
+///
+/// Constructed by [`crate::Chain::execute`]; protocol code receives
+/// `&mut TxContext` and should never need the chain itself.
+pub struct TxContext<'a> {
+    state: &'a mut WorldState,
+    trace: TxTrace,
+    seq: u32,
+    depth: u16,
+    block: u64,
+    timestamp: u64,
+}
+
+impl<'a> TxContext<'a> {
+    pub(crate) fn new(state: &'a mut WorldState, block: u64, timestamp: u64) -> Self {
+        TxContext {
+            state,
+            trace: TxTrace::default(),
+            seq: 0,
+            depth: 0,
+            block,
+            timestamp,
+        }
+    }
+
+    pub(crate) fn into_trace(self) -> TxTrace {
+        self.trace
+    }
+
+    fn next_seq(&mut self) -> u32 {
+        let s = self.seq;
+        self.seq += 1;
+        s
+    }
+
+    // ----- environment -----------------------------------------------------
+
+    /// Current block number.
+    pub fn block(&self) -> u64 {
+        self.block
+    }
+
+    /// Current block timestamp (unix seconds).
+    pub fn timestamp(&self) -> u64 {
+        self.timestamp
+    }
+
+    /// Read-only view of the world state.
+    pub fn state(&self) -> &WorldState {
+        self.state
+    }
+
+    /// Current call depth (0 at the external call).
+    pub fn depth(&self) -> u16 {
+        self.depth
+    }
+
+    // ----- asset movement ---------------------------------------------------
+
+    /// Transfers native Ether, recording the transfer in the trace.
+    ///
+    /// # Errors
+    /// [`SimError::InsufficientBalance`] if `from` holds less than `amount`;
+    /// [`SimError::Overflow`] on receiver balance overflow.
+    pub fn transfer_eth(&mut self, from: Address, to: Address, amount: u128) -> Result<()> {
+        self.transfer_token(TokenId::ETH, from, to, amount)
+    }
+
+    /// Transfers `amount` of `token` from `from` to `to`, recording the
+    /// transfer. Zero-amount transfers are recorded too (they occur on real
+    /// chains and the simplification rules must tolerate them).
+    ///
+    /// # Errors
+    /// [`SimError::UnknownToken`] for unregistered tokens,
+    /// [`SimError::InsufficientBalance`] if `from` holds less than `amount`.
+    pub fn transfer_token(
+        &mut self,
+        token: TokenId,
+        from: Address,
+        to: Address,
+        amount: u128,
+    ) -> Result<()> {
+        self.state.token(token)?; // existence check
+        let from_bal = self.state.balance(token, from);
+        if from_bal < amount {
+            return Err(SimError::InsufficientBalance {
+                who: from,
+                token,
+                needed: amount,
+                available: from_bal,
+            });
+        }
+        let to_bal = self.state.balance(token, to);
+        let new_to = to_bal.checked_add(amount).ok_or(SimError::Overflow)?;
+        if token.is_eth() {
+            self.state.set_eth_balance_journaled(from, from_bal - amount);
+            self.state.set_eth_balance_journaled(to, new_to);
+        } else {
+            self.state
+                .set_token_balance_journaled(token, from, from_bal - amount);
+            self.state.set_token_balance_journaled(token, to, new_to);
+        }
+        let seq = self.next_seq();
+        self.trace.transfers.push(Transfer {
+            seq,
+            sender: from,
+            receiver: to,
+            amount,
+            token,
+        });
+        Ok(())
+    }
+
+    /// Mints `amount` of `token` to `to`. Recorded as a transfer **from the
+    /// BlackHole address**, matching the ERC20 convention the paper's
+    /// mint-liquidity detection relies on (Table III).
+    ///
+    /// # Errors
+    /// [`SimError::UnknownToken`], [`SimError::Overflow`].
+    pub fn mint_token(&mut self, token: TokenId, to: Address, amount: u128) -> Result<()> {
+        if token.is_eth() {
+            return Err(SimError::revert("cannot mint native ETH"));
+        }
+        self.state.token(token)?;
+        let supply = self.state.total_supply(token);
+        let new_supply = supply.checked_add(amount).ok_or(SimError::Overflow)?;
+        let bal = self.state.balance(token, to);
+        let new_bal = bal.checked_add(amount).ok_or(SimError::Overflow)?;
+        self.state.set_supply_journaled(token, new_supply);
+        self.state.set_token_balance_journaled(token, to, new_bal);
+        let seq = self.next_seq();
+        self.trace.transfers.push(Transfer {
+            seq,
+            sender: Address::ZERO,
+            receiver: to,
+            amount,
+            token,
+        });
+        Ok(())
+    }
+
+    /// Burns `amount` of `token` from `from`. Recorded as a transfer **to
+    /// the BlackHole address** (remove-liquidity detection, Table III).
+    ///
+    /// # Errors
+    /// [`SimError::UnknownToken`], [`SimError::InsufficientBalance`].
+    pub fn burn_token(&mut self, token: TokenId, from: Address, amount: u128) -> Result<()> {
+        if token.is_eth() {
+            return Err(SimError::revert("cannot burn native ETH"));
+        }
+        self.state.token(token)?;
+        let bal = self.state.balance(token, from);
+        if bal < amount {
+            return Err(SimError::InsufficientBalance {
+                who: from,
+                token,
+                needed: amount,
+                available: bal,
+            });
+        }
+        let supply = self.state.total_supply(token);
+        self.state
+            .set_supply_journaled(token, supply.saturating_sub(amount));
+        self.state
+            .set_token_balance_journaled(token, from, bal - amount);
+        let seq = self.next_seq();
+        self.trace.transfers.push(Transfer {
+            seq,
+            sender: from,
+            receiver: Address::ZERO,
+            amount,
+            token,
+        });
+        Ok(())
+    }
+
+    // ----- logs, calls, creation ---------------------------------------------
+
+    /// Emits an event log.
+    pub fn emit_log(
+        &mut self,
+        emitter: Address,
+        name: impl Into<String>,
+        params: Vec<(String, LogValue)>,
+    ) {
+        let seq = self.next_seq();
+        self.trace.logs.push(EventLog {
+            seq,
+            emitter,
+            name: name.into(),
+            params,
+        });
+    }
+
+    /// Enters a call frame, runs `body`, and exits the frame. Errors
+    /// propagate (the whole transaction reverts at the top level —
+    /// sub-call try/catch is intentionally not modelled because flash-loan
+    /// atomicity is a transaction-level property).
+    ///
+    /// # Errors
+    /// Whatever `body` returns.
+    pub fn call<R>(
+        &mut self,
+        caller: Address,
+        callee: Address,
+        function: impl Into<String>,
+        value: u128,
+        body: impl FnOnce(&mut Self) -> Result<R>,
+    ) -> Result<R> {
+        let seq = self.next_seq();
+        self.trace.frames.push(CallFrame {
+            seq,
+            depth: self.depth,
+            caller,
+            callee,
+            function: function.into(),
+            value,
+        });
+        if value > 0 {
+            self.transfer_eth(caller, callee, value)?;
+        }
+        self.depth += 1;
+        let out = body(self);
+        self.depth -= 1;
+        out
+    }
+
+    /// Creates a contract account owned by `creator` and records it in the
+    /// trace and the creation dataset.
+    ///
+    /// # Errors
+    /// [`SimError::UnknownAccount`] if `creator` does not exist.
+    pub fn create_contract(&mut self, creator: Address) -> Result<Address> {
+        let addr = self.state.create_contract(creator, self.block)?;
+        self.trace.created.push(addr);
+        Ok(addr)
+    }
+
+    /// Registers a token mid-transaction (token deployments happen inside
+    /// transactions on the real chain).
+    pub fn register_token(
+        &mut self,
+        symbol: impl Into<String>,
+        decimals: u8,
+        contract: Address,
+    ) -> TokenId {
+        self.state.register_token(symbol, decimals, contract)
+    }
+
+    /// Marks `contract` self-destructed.
+    ///
+    /// # Errors
+    /// See [`WorldState::self_destruct`].
+    pub fn self_destruct(&mut self, contract: Address) -> Result<()> {
+        self.state.self_destruct(contract)
+    }
+
+    // ----- storage ------------------------------------------------------------
+
+    /// Reads contract storage.
+    pub fn sload(&self, contract: Address, key: SKey) -> u128 {
+        self.state.storage(contract, key)
+    }
+
+    /// Writes contract storage (journaled).
+    pub fn sstore(&mut self, contract: Address, key: SKey, value: u128) {
+        self.state.set_storage(contract, key, value);
+    }
+
+    // ----- conveniences ----------------------------------------------------------
+
+    /// Balance shorthand.
+    pub fn balance(&self, token: TokenId, who: Address) -> u128 {
+        self.state.balance(token, who)
+    }
+
+    /// Token-metadata shorthand.
+    ///
+    /// # Errors
+    /// [`SimError::UnknownToken`].
+    pub fn token(&self, id: TokenId) -> Result<&TokenInfo> {
+        self.state.token(id)
+    }
+
+    /// Immutable view of the trace recorded so far (useful for protocols
+    /// that introspect, and for tests).
+    pub fn trace(&self) -> &TxTrace {
+        &self.trace
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (WorldState, Address, Address) {
+        let mut w = WorldState::new();
+        let a = Address::from_seed("a");
+        let b = Address::from_seed("b");
+        w.create_eoa(a);
+        w.create_eoa(b);
+        w.credit_eth(a, 1_000).unwrap();
+        w.commit();
+        (w, a, b)
+    }
+
+    #[test]
+    fn eth_transfer_records_trace_and_moves_balance() {
+        let (mut w, a, b) = setup();
+        let mut ctx = TxContext::new(&mut w, 1, 100);
+        ctx.transfer_eth(a, b, 400).unwrap();
+        assert_eq!(ctx.balance(TokenId::ETH, a), 600);
+        assert_eq!(ctx.balance(TokenId::ETH, b), 400);
+        let trace = ctx.into_trace();
+        assert_eq!(trace.transfers.len(), 1);
+        assert_eq!(trace.transfers[0].amount, 400);
+        assert!(trace.transfers[0].is_native());
+    }
+
+    #[test]
+    fn insufficient_balance_fails() {
+        let (mut w, a, b) = setup();
+        let mut ctx = TxContext::new(&mut w, 1, 100);
+        let err = ctx.transfer_eth(b, a, 1).unwrap_err();
+        assert!(matches!(err, SimError::InsufficientBalance { .. }));
+    }
+
+    #[test]
+    fn mint_burn_use_blackhole() {
+        let (mut w, a, _) = setup();
+        let tok = w.register_token("LP", 18, Address::from_seed("lp"));
+        let mut ctx = TxContext::new(&mut w, 1, 100);
+        ctx.mint_token(tok, a, 55).unwrap();
+        ctx.burn_token(tok, a, 20).unwrap();
+        assert_eq!(ctx.balance(tok, a), 35);
+        assert_eq!(ctx.state().total_supply(tok), 35);
+        let trace = ctx.into_trace();
+        assert!(trace.transfers[0].is_mint());
+        assert!(trace.transfers[1].is_burn());
+    }
+
+    #[test]
+    fn eth_cannot_mint_or_burn() {
+        let (mut w, a, _) = setup();
+        let mut ctx = TxContext::new(&mut w, 1, 100);
+        assert!(ctx.mint_token(TokenId::ETH, a, 1).is_err());
+        assert!(ctx.burn_token(TokenId::ETH, a, 1).is_err());
+    }
+
+    #[test]
+    fn seq_interleaves_streams() {
+        let (mut w, a, b) = setup();
+        let mut ctx = TxContext::new(&mut w, 1, 100);
+        ctx.transfer_eth(a, b, 1).unwrap(); // seq 0
+        ctx.emit_log(b, "Ping", vec![]); // seq 1
+        ctx.transfer_eth(a, b, 2).unwrap(); // seq 2
+        let trace = ctx.into_trace();
+        assert_eq!(trace.transfers[0].seq, 0);
+        assert_eq!(trace.logs[0].seq, 1);
+        assert_eq!(trace.transfers[1].seq, 2);
+    }
+
+    #[test]
+    fn call_frames_track_depth_and_value() {
+        let (mut w, a, b) = setup();
+        let mut ctx = TxContext::new(&mut w, 1, 100);
+        ctx.call(a, b, "outer", 10, |ctx| {
+            assert_eq!(ctx.depth(), 1);
+            ctx.call(b, a, "inner", 0, |ctx| {
+                assert_eq!(ctx.depth(), 2);
+                Ok(())
+            })
+        })
+        .unwrap();
+        assert_eq!(ctx.depth(), 0);
+        let trace = ctx.into_trace();
+        assert_eq!(trace.frames.len(), 2);
+        assert_eq!(trace.frames[0].function, "outer");
+        assert_eq!(trace.frames[0].depth, 0);
+        assert_eq!(trace.frames[1].depth, 1);
+        // value transfer recorded as a native transfer
+        assert_eq!(trace.transfers[0].amount, 10);
+    }
+
+    #[test]
+    fn create_contract_records_in_trace() {
+        let (mut w, a, _) = setup();
+        let mut ctx = TxContext::new(&mut w, 7, 100);
+        let c = ctx.create_contract(a).unwrap();
+        assert!(ctx.state().exists(c));
+        assert_eq!(ctx.trace().created, vec![c]);
+        assert_eq!(ctx.state().creations()[0].block, 7);
+    }
+
+    #[test]
+    fn zero_amount_transfer_is_recorded() {
+        let (mut w, a, b) = setup();
+        let mut ctx = TxContext::new(&mut w, 1, 100);
+        ctx.transfer_eth(a, b, 0).unwrap();
+        assert_eq!(ctx.into_trace().transfers.len(), 1);
+    }
+}

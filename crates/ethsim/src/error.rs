@@ -1,0 +1,96 @@
+//! Substrate error type.
+
+use std::fmt;
+
+use crate::address::Address;
+use crate::token::TokenId;
+
+/// Errors surfaced by the execution substrate and by protocol code built on
+/// top of it. Any error returned from a transaction closure aborts the
+/// transaction and rolls the world state back atomically — this is the
+/// atomicity property flash loans rely on (paper §I).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SimError {
+    /// An arithmetic result exceeded `u128` (or underflowed zero).
+    Overflow,
+    /// Division by zero in amount math.
+    DivisionByZero,
+    /// `who` holds less than `needed` of `token`.
+    InsufficientBalance {
+        /// Account whose balance was insufficient.
+        who: Address,
+        /// Token being debited ([`TokenId::ETH`] for native transfers).
+        token: TokenId,
+        /// Amount the operation required.
+        needed: u128,
+        /// Amount actually available.
+        available: u128,
+    },
+    /// A token id that was never registered.
+    UnknownToken(TokenId),
+    /// An address that was never created on this chain.
+    UnknownAccount(Address),
+    /// An operation that only a contract account supports was attempted on
+    /// an EOA (or vice versa).
+    WrongAccountKind(Address),
+    /// Explicit revert raised by protocol logic (e.g. a failed flash-loan
+    /// repayment check, slippage guard, or insufficient collateral).
+    Reverted(String),
+}
+
+impl SimError {
+    /// Convenience constructor for protocol-level reverts.
+    pub fn revert(reason: impl Into<String>) -> Self {
+        SimError::Reverted(reason.into())
+    }
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::Overflow => write!(f, "arithmetic overflow"),
+            SimError::DivisionByZero => write!(f, "division by zero"),
+            SimError::InsufficientBalance {
+                who,
+                token,
+                needed,
+                available,
+            } => write!(
+                f,
+                "insufficient balance: {} needs {} of {} but has {}",
+                who.short(),
+                needed,
+                token,
+                available
+            ),
+            SimError::UnknownToken(t) => write!(f, "unknown token {t}"),
+            SimError::UnknownAccount(a) => write!(f, "unknown account {}", a.short()),
+            SimError::WrongAccountKind(a) => {
+                write!(f, "operation unsupported for account kind of {}", a.short())
+            }
+            SimError::Reverted(reason) => write!(f, "reverted: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = SimError::InsufficientBalance {
+            who: Address::from_u64(7),
+            token: TokenId::ETH,
+            needed: 10,
+            available: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("needs 10"));
+        assert!(s.contains("has 3"));
+        assert!(!SimError::Overflow.to_string().is_empty());
+        assert!(SimError::revert("no repay").to_string().contains("no repay"));
+    }
+}

@@ -1,0 +1,47 @@
+//! Internal-transaction call frames.
+//!
+//! Smart contracts invoke each other via internal transactions (paper
+//! §II-A). The detector identifies Uniswap flash loans by their call
+//! sequence — `swap` followed by `uniswapV2Call` (Table II) — so the
+//! substrate records every call with its function name and depth.
+
+use serde::{Deserialize, Serialize};
+
+use crate::address::Address;
+
+/// One call frame in a transaction's call tree, recorded at entry.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CallFrame {
+    /// Position in the transaction's unified action stream.
+    pub seq: u32,
+    /// Nesting depth (0 for the external call from the EOA).
+    pub depth: u16,
+    /// Calling account.
+    pub caller: Address,
+    /// Called contract.
+    pub callee: Address,
+    /// Invoked function name, e.g. `"swap"` or `"uniswapV2Call"`.
+    pub function: String,
+    /// Native Ether value attached to the call.
+    pub value: u128,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frame_is_plain_data() {
+        let f = CallFrame {
+            seq: 0,
+            depth: 1,
+            caller: Address::from_u64(1),
+            callee: Address::from_u64(2),
+            function: "swap".into(),
+            value: 0,
+        };
+        let g = f.clone();
+        assert_eq!(f, g);
+        assert!(format!("{f:?}").contains("swap"));
+    }
+}

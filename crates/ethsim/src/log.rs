@@ -1,0 +1,102 @@
+//! Event logs emitted by contracts during execution.
+//!
+//! Flash-loan transactions are identified partly by their event logs
+//! (paper Table II: AAVE's `FlashLoan`, dYdX's `LogOperation`/`LogWithdraw`/
+//! `LogCall`/`LogDeposit`). Logs carry a small typed parameter list instead
+//! of ABI-encoded topics; the detector only ever matches on the event name,
+//! the emitter, and coarse parameters, which this representation preserves.
+
+use serde::{Deserialize, Serialize};
+
+use crate::address::Address;
+use crate::token::TokenId;
+
+/// A typed event-log parameter value.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum LogValue {
+    /// An account address.
+    Addr(Address),
+    /// A raw token amount.
+    Amount(u128),
+    /// A token identifier.
+    Token(TokenId),
+    /// Free-form text (used sparingly, e.g. action names).
+    Text(String),
+}
+
+impl LogValue {
+    /// Returns the address if this value is an [`LogValue::Addr`].
+    pub fn as_addr(&self) -> Option<Address> {
+        match self {
+            LogValue::Addr(a) => Some(*a),
+            _ => None,
+        }
+    }
+
+    /// Returns the amount if this value is an [`LogValue::Amount`].
+    pub fn as_amount(&self) -> Option<u128> {
+        match self {
+            LogValue::Amount(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    /// Returns the token if this value is a [`LogValue::Token`].
+    pub fn as_token(&self) -> Option<TokenId> {
+        match self {
+            LogValue::Token(t) => Some(*t),
+            _ => None,
+        }
+    }
+}
+
+/// One emitted event log.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct EventLog {
+    /// Position in the transaction's unified action stream (shared ordering
+    /// with transfers and call frames).
+    pub seq: u32,
+    /// Contract that emitted the log.
+    pub emitter: Address,
+    /// Event name, e.g. `"FlashLoan"` or `"Swap"`.
+    pub name: String,
+    /// Named parameters in declaration order.
+    pub params: Vec<(String, LogValue)>,
+}
+
+impl EventLog {
+    /// Looks up a parameter by name.
+    pub fn param(&self, name: &str) -> Option<&LogValue> {
+        self.params.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn param_lookup() {
+        let log = EventLog {
+            seq: 3,
+            emitter: Address::from_u64(9),
+            name: "FlashLoan".into(),
+            params: vec![
+                ("target".into(), LogValue::Addr(Address::from_u64(1))),
+                ("amount".into(), LogValue::Amount(500)),
+                ("asset".into(), LogValue::Token(TokenId::ETH)),
+            ],
+        };
+        assert_eq!(log.param("amount").and_then(LogValue::as_amount), Some(500));
+        assert_eq!(
+            log.param("target").and_then(LogValue::as_addr),
+            Some(Address::from_u64(1))
+        );
+        assert_eq!(
+            log.param("asset").and_then(LogValue::as_token),
+            Some(TokenId::ETH)
+        );
+        assert!(log.param("missing").is_none());
+        assert!(log.param("amount").unwrap().as_addr().is_none());
+    }
+}

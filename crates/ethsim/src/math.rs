@@ -1,0 +1,270 @@
+//! Overflow-checked amount arithmetic.
+//!
+//! Ledger amounts are `u128` raw units, but AMM invariants multiply two
+//! ledger amounts (e.g. the constant product `x * y` of a Uniswap V2 pool
+//! holding `1e22` wei of ETH and `1e13` units of USDC), which overflows
+//! `u128`. This module provides [`mul_div`] with a full 256-bit intermediate,
+//! plus checked helpers and an integer square root used by LP-share minting.
+
+use crate::error::SimError;
+use crate::Result;
+
+/// Computes `a * b / d` with a 256-bit intermediate product, flooring.
+///
+/// # Errors
+/// Returns [`SimError::DivisionByZero`] when `d == 0` and
+/// [`SimError::Overflow`] when the final quotient does not fit in `u128`.
+///
+/// ```
+/// # use ethsim::math::mul_div;
+/// // 1e30 * 1e30 / 1e30 = 1e30 — the intermediate product needs 200 bits.
+/// let e30 = 10u128.pow(30);
+/// assert_eq!(mul_div(e30, e30, e30).unwrap(), e30);
+/// ```
+pub fn mul_div(a: u128, b: u128, d: u128) -> Result<u128> {
+    if d == 0 {
+        return Err(SimError::DivisionByZero);
+    }
+    let (hi, lo) = mul_u128(a, b);
+    div_256_by_128(hi, lo, d)
+}
+
+/// Computes `a * b / d`, rounding the quotient up.
+///
+/// Used by fee math where the protocol rounds in its own favour.
+///
+/// # Errors
+/// Same as [`mul_div`].
+pub fn mul_div_ceil(a: u128, b: u128, d: u128) -> Result<u128> {
+    if d == 0 {
+        return Err(SimError::DivisionByZero);
+    }
+    let floor = mul_div(a, b, d)?;
+    let (hi, lo) = mul_u128(a, b);
+    // Remainder check: a*b - floor*d == 0 ?
+    let (fhi, flo) = mul_u128(floor, d);
+    if fhi == hi && flo == lo {
+        Ok(floor)
+    } else {
+        floor.checked_add(1).ok_or(SimError::Overflow)
+    }
+}
+
+/// Checked addition that maps overflow to [`SimError::Overflow`].
+///
+/// # Errors
+/// Returns [`SimError::Overflow`] if `a + b` exceeds `u128::MAX`.
+pub fn add(a: u128, b: u128) -> Result<u128> {
+    a.checked_add(b).ok_or(SimError::Overflow)
+}
+
+/// Checked subtraction that maps underflow to [`SimError::Overflow`].
+///
+/// # Errors
+/// Returns [`SimError::Overflow`] if `b > a`.
+pub fn sub(a: u128, b: u128) -> Result<u128> {
+    a.checked_sub(b).ok_or(SimError::Overflow)
+}
+
+/// Checked multiplication that maps overflow to [`SimError::Overflow`].
+///
+/// # Errors
+/// Returns [`SimError::Overflow`] if `a * b` exceeds `u128::MAX`.
+pub fn mul(a: u128, b: u128) -> Result<u128> {
+    a.checked_mul(b).ok_or(SimError::Overflow)
+}
+
+/// Floor of the square root of `a * b`, computed with a 256-bit intermediate.
+///
+/// Uniswap V2 mints `sqrt(amount0 * amount1)` LP shares on first liquidity
+/// provision; both amounts can be ~1e22, so the product needs 256 bits.
+pub fn sqrt_mul(a: u128, b: u128) -> u128 {
+    let (hi, lo) = mul_u128(a, b);
+    if hi == 0 {
+        return isqrt(lo);
+    }
+    // Newton's method on the 256-bit value using a u128 estimate.
+    // Initial guess: sqrt(hi) << 64 is >= true root / 2.
+    let mut x = (isqrt(hi).saturating_add(1)) << 64;
+    if x == 0 {
+        x = u128::MAX;
+    }
+    // Iterate x = (x + n/x) / 2 where n/x is a 256/128 division.
+    for _ in 0..64 {
+        let q = div_256_by_128(hi, lo, x).unwrap_or(u128::MAX);
+        let nx = (x >> 1) + (q >> 1) + (x & q & 1);
+        if nx >= x {
+            break;
+        }
+        x = nx;
+    }
+    // x may overshoot by one; correct downwards.
+    while {
+        let (xh, xl) = mul_u128(x, x);
+        xh > hi || (xh == hi && xl > lo)
+    } {
+        x -= 1;
+    }
+    x
+}
+
+/// Integer square root of a `u128`.
+pub fn isqrt(n: u128) -> u128 {
+    if n < 2 {
+        return n;
+    }
+    let mut x = 1u128 << ((128 - n.leading_zeros()).div_ceil(2));
+    loop {
+        let nx = (x + n / x) >> 1;
+        if nx >= x {
+            break;
+        }
+        x = nx;
+    }
+    x
+}
+
+/// Full 128×128 → 256-bit multiplication, returning `(hi, lo)` limbs.
+fn mul_u128(a: u128, b: u128) -> (u128, u128) {
+    const MASK: u128 = (1u128 << 64) - 1;
+    let (a_hi, a_lo) = (a >> 64, a & MASK);
+    let (b_hi, b_lo) = (b >> 64, b & MASK);
+
+    let ll = a_lo * b_lo;
+    let lh = a_lo * b_hi;
+    let hl = a_hi * b_lo;
+    let hh = a_hi * b_hi;
+
+    let mid = (ll >> 64) + (lh & MASK) + (hl & MASK);
+    let lo = (mid << 64) | (ll & MASK);
+    let hi = hh + (lh >> 64) + (hl >> 64) + (mid >> 64);
+    (hi, lo)
+}
+
+/// Divides the 256-bit value `(hi, lo)` by `d`, erroring when the quotient
+/// does not fit in a `u128`.
+fn div_256_by_128(hi: u128, lo: u128, d: u128) -> Result<u128> {
+    if d == 0 {
+        return Err(SimError::DivisionByZero);
+    }
+    if hi == 0 {
+        return Ok(lo / d);
+    }
+    if hi >= d {
+        // Quotient would need more than 128 bits.
+        return Err(SimError::Overflow);
+    }
+    // Bit-by-bit long division on (hi, lo); 256 iterations worst case but
+    // hi < d guarantees the quotient fits.
+    let mut rem: u128 = hi;
+    let mut q: u128 = 0;
+    for i in (0..128).rev() {
+        let bit = (lo >> i) & 1;
+        let carry = rem >> 127;
+        rem = (rem << 1) | bit;
+        q <<= 1;
+        if carry == 1 || rem >= d {
+            rem = rem.wrapping_sub(d);
+            q |= 1;
+        }
+    }
+    Ok(q)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mul_div_small() {
+        assert_eq!(mul_div(6, 7, 2).unwrap(), 21);
+        assert_eq!(mul_div(0, 7, 2).unwrap(), 0);
+        assert_eq!(mul_div(7, 3, 2).unwrap(), 10); // floors
+    }
+
+    #[test]
+    fn mul_div_ceil_rounds_up() {
+        assert_eq!(mul_div_ceil(7, 3, 2).unwrap(), 11);
+        assert_eq!(mul_div_ceil(6, 4, 2).unwrap(), 12); // exact stays exact
+    }
+
+    #[test]
+    fn mul_div_large_intermediate() {
+        let e30 = 10u128.pow(30);
+        assert_eq!(mul_div(e30, e30, e30).unwrap(), e30);
+        let x = u128::MAX;
+        assert_eq!(mul_div(x, x, x).unwrap(), x);
+        assert_eq!(mul_div(x, 1_000_000, 1_000_000).unwrap(), x);
+    }
+
+    #[test]
+    fn mul_div_errors() {
+        assert!(matches!(mul_div(1, 1, 0), Err(SimError::DivisionByZero)));
+        assert!(matches!(
+            mul_div(u128::MAX, u128::MAX, 1),
+            Err(SimError::Overflow)
+        ));
+    }
+
+    #[test]
+    fn checked_helpers() {
+        assert_eq!(add(1, 2).unwrap(), 3);
+        assert!(add(u128::MAX, 1).is_err());
+        assert_eq!(sub(5, 2).unwrap(), 3);
+        assert!(sub(2, 5).is_err());
+        assert_eq!(mul(3, 4).unwrap(), 12);
+        assert!(mul(u128::MAX, 2).is_err());
+    }
+
+    #[test]
+    fn isqrt_basics() {
+        assert_eq!(isqrt(0), 0);
+        assert_eq!(isqrt(1), 1);
+        assert_eq!(isqrt(3), 1);
+        assert_eq!(isqrt(4), 2);
+        assert_eq!(isqrt(99), 9);
+        assert_eq!(isqrt(100), 10);
+        let big = u128::MAX;
+        let r = isqrt(big);
+        assert!(r * r <= big);
+        assert!((r + 1).checked_mul(r + 1).map(|v| v > big).unwrap_or(true));
+    }
+
+    #[test]
+    fn sqrt_mul_matches_isqrt_for_small() {
+        assert_eq!(sqrt_mul(4, 9), 6);
+        assert_eq!(sqrt_mul(2, 2), 2);
+        assert_eq!(sqrt_mul(0, 12345), 0);
+    }
+
+    #[test]
+    fn sqrt_mul_large() {
+        // (1e22)^2 -> 1e22
+        let e22 = 10u128.pow(22);
+        assert_eq!(sqrt_mul(e22, e22), e22);
+        // verify floor property on a non-square
+        let a = 10u128.pow(25) + 7;
+        let b = 10u128.pow(23) + 11;
+        let r = sqrt_mul(a, b);
+        let (h1, l1) = super::mul_u128(r, r);
+        let (h2, l2) = super::mul_u128(a, b);
+        assert!(h1 < h2 || (h1 == h2 && l1 <= l2), "floor property");
+        let r1 = r + 1;
+        let (h3, l3) = super::mul_u128(r1, r1);
+        assert!(h3 > h2 || (h3 == h2 && l3 > l2), "tightness");
+    }
+
+    #[test]
+    fn div_256_matches_native_when_hi_zero() {
+        assert_eq!(div_256_by_128(0, 1000, 7).unwrap(), 142);
+    }
+
+    #[test]
+    fn mul_u128_known_values() {
+        assert_eq!(mul_u128(0, u128::MAX), (0, 0));
+        assert_eq!(mul_u128(1, u128::MAX), (0, u128::MAX));
+        assert_eq!(mul_u128(2, u128::MAX), (1, u128::MAX - 1));
+        let (hi, lo) = mul_u128(1u128 << 127, 4);
+        assert_eq!((hi, lo), (2, 0));
+    }
+}

@@ -1,0 +1,496 @@
+//! Journaled world state with atomic revert.
+//!
+//! The world state holds accounts, native-Ether balances, the token registry
+//! with per-token ledgers, free-form contract storage, and the contract
+//! creation records used by account tagging. Every mutation appends an undo
+//! entry to an internal journal; [`WorldState::snapshot`] /
+//! [`WorldState::revert_to`] give the transaction executor the atomicity
+//! property flash loans depend on (paper §I: "if a user fails to repay the
+//! borrowed assets, the flash loan transaction will be aborted").
+
+use std::collections::HashMap;
+
+use serde::{Deserialize, Serialize};
+
+use crate::address::Address;
+use crate::creation::CreationRecord;
+use crate::error::SimError;
+use crate::token::{TokenId, TokenInfo};
+use crate::Result;
+
+/// Kind of an Ethereum account (paper §II-A).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccountKind {
+    /// Externally owned account, controlled by private keys.
+    Eoa,
+    /// Contract account, controlled by contract code.
+    Contract,
+}
+
+/// Per-account metadata.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Account {
+    /// EOA or contract.
+    pub kind: AccountKind,
+    /// Creating account (`None` for EOAs and genesis contracts).
+    pub creator: Option<Address>,
+    /// Creation nonce, incremented per contract created by this account.
+    pub nonce: u64,
+    /// Whether the contract has self-destructed. The paper (§VI-D2) notes
+    /// attackers call `selfdestruct` to hide, but the history remains
+    /// replayable — we keep the account's records for exactly that reason.
+    pub destroyed: bool,
+}
+
+/// Typed key into a contract's journaled storage.
+///
+/// Protocol implementations keep all mutable state here so that a
+/// transaction revert restores them for free, matching EVM semantics.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum SKey {
+    /// A scalar field, keyed by a protocol-chosen slot number.
+    Field(u16),
+    /// A mapping field keyed by address (e.g. per-user deposits).
+    AddrMap(u16, Address),
+    /// A mapping field keyed by token (e.g. per-asset reserves).
+    TokenMap(u16, TokenId),
+    /// A mapping field keyed by (address, token).
+    AddrTokenMap(u16, Address, TokenId),
+}
+
+/// Undo-journal entries. Each records the *previous* value of whatever the
+/// mutation touched.
+#[derive(Clone, Debug)]
+enum JournalEntry {
+    EthBalance(Address, u128),
+    TokenBalance(TokenId, Address, u128),
+    TokenSupply(TokenId, u128),
+    Storage(Address, SKey, Option<u128>),
+    AccountCreated(Address),
+    CreationPushed,
+    Nonce(Address, u64),
+    Destroyed(Address, bool),
+}
+
+/// Opaque snapshot token for [`WorldState::revert_to`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Snapshot(usize);
+
+/// The complete journaled chain state.
+#[derive(Debug, Default)]
+pub struct WorldState {
+    accounts: HashMap<Address, Account>,
+    eth_balances: HashMap<Address, u128>,
+    token_balances: HashMap<(TokenId, Address), u128>,
+    token_supply: Vec<u128>,
+    tokens: Vec<TokenInfo>,
+    storage: HashMap<(Address, SKey), u128>,
+    creations: Vec<CreationRecord>,
+    journal: Vec<JournalEntry>,
+}
+
+impl WorldState {
+    /// Creates an empty world with native ETH pre-registered as token 0.
+    pub fn new() -> Self {
+        let mut s = WorldState::default();
+        s.tokens.push(TokenInfo {
+            symbol: "ETH".into(),
+            decimals: 18,
+            contract: Address::ZERO,
+        });
+        s.token_supply.push(0);
+        s
+    }
+
+    // ----- accounts ------------------------------------------------------
+
+    /// Registers an externally owned account.
+    pub fn create_eoa(&mut self, addr: Address) {
+        if !self.accounts.contains_key(&addr) {
+            self.journal.push(JournalEntry::AccountCreated(addr));
+            self.accounts.insert(
+                addr,
+                Account {
+                    kind: AccountKind::Eoa,
+                    creator: None,
+                    nonce: 0,
+                    destroyed: false,
+                },
+            );
+        }
+    }
+
+    /// Creates a contract account owned by `creator`, deriving a fresh
+    /// address from the creator's nonce and recording the creation
+    /// relationship (the substrate's XBlock-ETH equivalent).
+    ///
+    /// # Errors
+    /// Returns [`SimError::UnknownAccount`] if `creator` does not exist.
+    pub fn create_contract(&mut self, creator: Address, block: u64) -> Result<Address> {
+        let acct = self
+            .accounts
+            .get_mut(&creator)
+            .ok_or(SimError::UnknownAccount(creator))?;
+        let nonce = acct.nonce;
+        self.journal.push(JournalEntry::Nonce(creator, nonce));
+        acct.nonce += 1;
+        let addr = Address::derive(creator, nonce);
+        self.journal.push(JournalEntry::AccountCreated(addr));
+        self.accounts.insert(
+            addr,
+            Account {
+                kind: AccountKind::Contract,
+                creator: Some(creator),
+                nonce: 0,
+                destroyed: false,
+            },
+        );
+        self.journal.push(JournalEntry::CreationPushed);
+        self.creations.push(CreationRecord {
+            creator,
+            created: addr,
+            block,
+        });
+        Ok(addr)
+    }
+
+    /// Marks a contract self-destructed (paper §VI-D2). The account record
+    /// and its history remain queryable — exactly as on the real chain,
+    /// where the code "remains in the entire blockchain history and can be
+    /// replayed exactly".
+    ///
+    /// # Errors
+    /// Returns [`SimError::UnknownAccount`] for unknown addresses and
+    /// [`SimError::WrongAccountKind`] for EOAs.
+    pub fn self_destruct(&mut self, contract: Address) -> Result<()> {
+        let acct = self
+            .accounts
+            .get_mut(&contract)
+            .ok_or(SimError::UnknownAccount(contract))?;
+        if acct.kind != AccountKind::Contract {
+            return Err(SimError::WrongAccountKind(contract));
+        }
+        self.journal
+            .push(JournalEntry::Destroyed(contract, acct.destroyed));
+        acct.destroyed = true;
+        Ok(())
+    }
+
+    /// Looks up an account.
+    pub fn account(&self, addr: Address) -> Option<&Account> {
+        self.accounts.get(&addr)
+    }
+
+    /// Whether `addr` exists (EOA or contract).
+    pub fn exists(&self, addr: Address) -> bool {
+        self.accounts.contains_key(&addr)
+    }
+
+    /// All creation records, in creation order.
+    pub fn creations(&self) -> &[CreationRecord] {
+        &self.creations
+    }
+
+    /// Iterates all known accounts.
+    pub fn accounts(&self) -> impl Iterator<Item = (&Address, &Account)> {
+        self.accounts.iter()
+    }
+
+    // ----- tokens ---------------------------------------------------------
+
+    /// Registers a new ERC20-style token and returns its id.
+    pub fn register_token(
+        &mut self,
+        symbol: impl Into<String>,
+        decimals: u8,
+        contract: Address,
+    ) -> TokenId {
+        let id = TokenId(self.tokens.len() as u32);
+        self.tokens.push(TokenInfo {
+            symbol: symbol.into(),
+            decimals,
+            contract,
+        });
+        self.token_supply.push(0);
+        id
+    }
+
+    /// Token metadata lookup.
+    ///
+    /// # Errors
+    /// Returns [`SimError::UnknownToken`] for unregistered ids.
+    pub fn token(&self, id: TokenId) -> Result<&TokenInfo> {
+        self.tokens.get(id.index()).ok_or(SimError::UnknownToken(id))
+    }
+
+    /// Finds a token id by its symbol (first match).
+    pub fn token_by_symbol(&self, symbol: &str) -> Option<TokenId> {
+        self.tokens
+            .iter()
+            .position(|t| t.symbol == symbol)
+            .map(|i| TokenId(i as u32))
+    }
+
+    /// Number of registered tokens (including ETH).
+    pub fn token_count(&self) -> usize {
+        self.tokens.len()
+    }
+
+    /// Total minted supply of a token.
+    pub fn total_supply(&self, id: TokenId) -> u128 {
+        self.token_supply.get(id.index()).copied().unwrap_or(0)
+    }
+
+    // ----- balances -------------------------------------------------------
+
+    /// Native Ether balance of `addr`.
+    pub fn eth_balance(&self, addr: Address) -> u128 {
+        self.eth_balances.get(&addr).copied().unwrap_or(0)
+    }
+
+    /// ERC20 balance of `addr` for `token`; for [`TokenId::ETH`] this is the
+    /// native balance.
+    pub fn balance(&self, token: TokenId, addr: Address) -> u128 {
+        if token.is_eth() {
+            self.eth_balance(addr)
+        } else {
+            self.token_balances
+                .get(&(token, addr))
+                .copied()
+                .unwrap_or(0)
+        }
+    }
+
+    /// Credits native Ether out of thin air (genesis funding / block
+    /// rewards). Journaled like every other mutation.
+    ///
+    /// # Errors
+    /// Returns [`SimError::Overflow`] if the balance would exceed `u128`.
+    pub fn credit_eth(&mut self, addr: Address, amount: u128) -> Result<()> {
+        let old = self.eth_balance(addr);
+        let new = old.checked_add(amount).ok_or(SimError::Overflow)?;
+        self.journal.push(JournalEntry::EthBalance(addr, old));
+        self.eth_balances.insert(addr, new);
+        Ok(())
+    }
+
+    pub(crate) fn set_eth_balance_journaled(&mut self, addr: Address, new: u128) {
+        let old = self.eth_balance(addr);
+        self.journal.push(JournalEntry::EthBalance(addr, old));
+        self.eth_balances.insert(addr, new);
+    }
+
+    pub(crate) fn set_token_balance_journaled(
+        &mut self,
+        token: TokenId,
+        addr: Address,
+        new: u128,
+    ) {
+        let old = self.balance(token, addr);
+        self.journal
+            .push(JournalEntry::TokenBalance(token, addr, old));
+        self.token_balances.insert((token, addr), new);
+    }
+
+    pub(crate) fn set_supply_journaled(&mut self, token: TokenId, new: u128) {
+        let old = self.total_supply(token);
+        self.journal.push(JournalEntry::TokenSupply(token, old));
+        if let Some(slot) = self.token_supply.get_mut(token.index()) {
+            *slot = new;
+        }
+    }
+
+    // ----- contract storage ------------------------------------------------
+
+    /// Reads a storage slot (0 when never written).
+    pub fn storage(&self, contract: Address, key: SKey) -> u128 {
+        self.storage.get(&(contract, key)).copied().unwrap_or(0)
+    }
+
+    /// Writes a storage slot, journaled.
+    pub fn set_storage(&mut self, contract: Address, key: SKey, value: u128) {
+        let old = self.storage.get(&(contract, key)).copied();
+        self.journal.push(JournalEntry::Storage(contract, key, old));
+        self.storage.insert((contract, key), value);
+    }
+
+    // ----- snapshots --------------------------------------------------------
+
+    /// Takes a snapshot of the journal position.
+    pub fn snapshot(&self) -> Snapshot {
+        Snapshot(self.journal.len())
+    }
+
+    /// Rolls every mutation made after `snap` back, in reverse order.
+    pub fn revert_to(&mut self, snap: Snapshot) {
+        while self.journal.len() > snap.0 {
+            match self.journal.pop().expect("journal length checked") {
+                JournalEntry::EthBalance(addr, old) => {
+                    self.eth_balances.insert(addr, old);
+                }
+                JournalEntry::TokenBalance(token, addr, old) => {
+                    self.token_balances.insert((token, addr), old);
+                }
+                JournalEntry::TokenSupply(token, old) => {
+                    if let Some(slot) = self.token_supply.get_mut(token.index()) {
+                        *slot = old;
+                    }
+                }
+                JournalEntry::Storage(contract, key, old) => match old {
+                    Some(v) => {
+                        self.storage.insert((contract, key), v);
+                    }
+                    None => {
+                        self.storage.remove(&(contract, key));
+                    }
+                },
+                JournalEntry::AccountCreated(addr) => {
+                    self.accounts.remove(&addr);
+                }
+                JournalEntry::CreationPushed => {
+                    self.creations.pop();
+                }
+                JournalEntry::Nonce(addr, old) => {
+                    if let Some(a) = self.accounts.get_mut(&addr) {
+                        a.nonce = old;
+                    }
+                }
+                JournalEntry::Destroyed(addr, old) => {
+                    if let Some(a) = self.accounts.get_mut(&addr) {
+                        a.destroyed = old;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Discards undo history older than the current position (commit).
+    /// Called between transactions to bound journal growth.
+    pub fn commit(&mut self) {
+        self.journal.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn world_with_eoa() -> (WorldState, Address) {
+        let mut w = WorldState::new();
+        let a = Address::from_seed("alice");
+        w.create_eoa(a);
+        (w, a)
+    }
+
+    #[test]
+    fn eth_is_preregistered() {
+        let w = WorldState::new();
+        assert_eq!(w.token(TokenId::ETH).unwrap().symbol, "ETH");
+        assert_eq!(w.token(TokenId::ETH).unwrap().decimals, 18);
+        assert_eq!(w.token_count(), 1);
+    }
+
+    #[test]
+    fn register_and_lookup_token() {
+        let mut w = WorldState::new();
+        let id = w.register_token("WBTC", 8, Address::from_seed("wbtc"));
+        assert_eq!(w.token(id).unwrap().symbol, "WBTC");
+        assert_eq!(w.token_by_symbol("WBTC"), Some(id));
+        assert_eq!(w.token_by_symbol("NOPE"), None);
+        assert!(w.token(TokenId::from_index(99)).is_err());
+    }
+
+    #[test]
+    fn contract_creation_records_relationship() {
+        let (mut w, a) = world_with_eoa();
+        let c1 = w.create_contract(a, 10).unwrap();
+        let c2 = w.create_contract(c1, 11).unwrap();
+        assert_ne!(c1, c2);
+        assert_eq!(w.account(c1).unwrap().creator, Some(a));
+        assert_eq!(w.account(c2).unwrap().creator, Some(c1));
+        assert_eq!(w.creations().len(), 2);
+        assert_eq!(w.creations()[1].creator, c1);
+        assert!(w.create_contract(Address::from_u64(404), 0).is_err());
+    }
+
+    #[test]
+    fn self_destruct_keeps_history() {
+        let (mut w, a) = world_with_eoa();
+        let c = w.create_contract(a, 0).unwrap();
+        w.self_destruct(c).unwrap();
+        assert!(w.account(c).unwrap().destroyed);
+        assert_eq!(w.creations().len(), 1, "creation record survives");
+        assert!(w.self_destruct(a).is_err(), "EOAs cannot self-destruct");
+        assert!(w.self_destruct(Address::from_u64(404)).is_err());
+    }
+
+    #[test]
+    fn balances_default_to_zero() {
+        let (w, a) = world_with_eoa();
+        assert_eq!(w.eth_balance(a), 0);
+        assert_eq!(w.balance(TokenId::from_index(1), a), 0);
+    }
+
+    #[test]
+    fn revert_restores_everything() {
+        let (mut w, a) = world_with_eoa();
+        let tok = w.register_token("T", 18, Address::from_seed("t"));
+        w.credit_eth(a, 100).unwrap();
+        w.commit();
+
+        let snap = w.snapshot();
+        let c = w.create_contract(a, 5).unwrap();
+        w.set_eth_balance_journaled(a, 40);
+        w.set_token_balance_journaled(tok, a, 77);
+        w.set_supply_journaled(tok, 77);
+        w.set_storage(c, SKey::Field(0), 9);
+        w.self_destruct(c).unwrap();
+        assert_eq!(w.eth_balance(a), 40);
+
+        w.revert_to(snap);
+        assert_eq!(w.eth_balance(a), 100);
+        assert_eq!(w.balance(tok, a), 0);
+        assert_eq!(w.total_supply(tok), 0);
+        assert!(!w.exists(c));
+        assert_eq!(w.creations().len(), 0);
+        assert_eq!(w.storage(c, SKey::Field(0)), 0);
+        assert_eq!(w.account(a).unwrap().nonce, 0, "nonce restored");
+    }
+
+    #[test]
+    fn nested_snapshots_revert_partially() {
+        let (mut w, a) = world_with_eoa();
+        w.credit_eth(a, 10).unwrap();
+        let outer = w.snapshot();
+        w.set_eth_balance_journaled(a, 20);
+        let inner = w.snapshot();
+        w.set_eth_balance_journaled(a, 30);
+        w.revert_to(inner);
+        assert_eq!(w.eth_balance(a), 20);
+        w.revert_to(outer);
+        assert_eq!(w.eth_balance(a), 10);
+    }
+
+    #[test]
+    fn storage_keys_are_distinct() {
+        let (mut w, a) = world_with_eoa();
+        let c = w.create_contract(a, 0).unwrap();
+        let t = TokenId::from_index(1);
+        w.set_storage(c, SKey::Field(0), 1);
+        w.set_storage(c, SKey::TokenMap(0, t), 2);
+        w.set_storage(c, SKey::AddrMap(0, a), 3);
+        w.set_storage(c, SKey::AddrTokenMap(0, a, t), 4);
+        assert_eq!(w.storage(c, SKey::Field(0)), 1);
+        assert_eq!(w.storage(c, SKey::TokenMap(0, t)), 2);
+        assert_eq!(w.storage(c, SKey::AddrMap(0, a)), 3);
+        assert_eq!(w.storage(c, SKey::AddrTokenMap(0, a, t)), 4);
+    }
+
+    #[test]
+    fn create_eoa_is_idempotent() {
+        let (mut w, a) = world_with_eoa();
+        w.credit_eth(a, 5).unwrap();
+        w.create_eoa(a);
+        assert_eq!(w.eth_balance(a), 5);
+    }
+}

@@ -1,0 +1,155 @@
+//! The token registry: native ETH plus ERC20-style fungible tokens.
+//!
+//! The paper (§II-A) deals with two asset classes — native Ether and ERC20
+//! tokens. Both are represented uniformly here by a [`TokenId`] into the
+//! world-state token registry; `TokenId::ETH` is pre-registered. LP tokens
+//! minted by liquidity pools are ordinary registry entries too.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::address::Address;
+
+/// Identifier of a registered token.
+///
+/// `TokenId(0)` is always native ETH. All other ids are handed out by
+/// [`crate::state::WorldState::register_token`].
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+pub struct TokenId(pub(crate) u32);
+
+impl TokenId {
+    /// The native Ether pseudo-token (always id 0).
+    pub const ETH: TokenId = TokenId(0);
+
+    /// Raw registry index.
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is native ETH.
+    pub const fn is_eth(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Constructs a token id from a raw index.
+    ///
+    /// Intended for deserialization and test fixtures; ids that were never
+    /// registered will fail lookups against the registry.
+    pub const fn from_index(index: u32) -> Self {
+        TokenId(index)
+    }
+}
+
+impl fmt::Display for TokenId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "token#{}", self.0)
+    }
+}
+
+impl fmt::Debug for TokenId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "TokenId({})", self.0)
+    }
+}
+
+/// Metadata for a registered token.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TokenInfo {
+    /// Ticker symbol, e.g. `"WBTC"`.
+    pub symbol: String,
+    /// Number of decimals in the raw unit representation (18 for ETH).
+    pub decimals: u8,
+    /// Contract address of the token (zero for native ETH).
+    pub contract: Address,
+}
+
+impl TokenInfo {
+    /// Converts a whole-token count into raw units
+    /// (e.g. `units(3)` for an 18-decimals token is `3 * 10^18`).
+    ///
+    /// # Panics
+    /// Panics on overflow; whole-token inputs in scenarios are far below the
+    /// overflow boundary (u128 holds ~3.4e38; 18 decimals leaves 1e20 whole
+    /// tokens of headroom).
+    pub fn units(&self, whole: u128) -> u128 {
+        whole
+            .checked_mul(10u128.pow(self.decimals as u32))
+            .expect("token amount overflow")
+    }
+
+    /// Converts fractional whole tokens (e.g. `1.5`) into raw units,
+    /// truncating sub-unit dust. Intended for scenario scripting, not ledger
+    /// math.
+    pub fn units_f64(&self, whole: f64) -> u128 {
+        let scaled = whole * 10f64.powi(self.decimals as i32);
+        if scaled <= 0.0 {
+            0
+        } else {
+            scaled as u128
+        }
+    }
+
+    /// Converts raw units back to whole tokens as `f64` (for reports and
+    /// exchange-rate math; the ledger itself never leaves `u128`).
+    pub fn to_whole(&self, raw: u128) -> f64 {
+        raw as f64 / 10f64.powi(self.decimals as i32)
+    }
+
+    /// Human-readable amount rendering, e.g. `"112.000000 WBTC"`.
+    pub fn format(&self, raw: u128) -> String {
+        format!("{:.6} {}", self.to_whole(raw), self.symbol)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wbtc() -> TokenInfo {
+        TokenInfo {
+            symbol: "WBTC".into(),
+            decimals: 8,
+            contract: Address::from_seed("wbtc"),
+        }
+    }
+
+    #[test]
+    fn eth_is_id_zero() {
+        assert!(TokenId::ETH.is_eth());
+        assert!(!TokenId::from_index(3).is_eth());
+        assert_eq!(TokenId::ETH.index(), 0);
+    }
+
+    #[test]
+    fn units_scale_by_decimals() {
+        let t = wbtc();
+        assert_eq!(t.units(112), 112 * 100_000_000);
+        assert_eq!(t.units_f64(0.5), 50_000_000);
+        assert_eq!(t.units_f64(-1.0), 0);
+    }
+
+    #[test]
+    fn whole_roundtrip() {
+        let t = wbtc();
+        let raw = t.units(49);
+        assert!((t.to_whole(raw) - 49.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn format_contains_symbol() {
+        let t = wbtc();
+        assert_eq!(t.format(t.units(2)), "2.000000 WBTC");
+    }
+
+    #[test]
+    #[should_panic(expected = "token amount overflow")]
+    fn units_panics_on_overflow() {
+        let t = TokenInfo {
+            symbol: "X".into(),
+            decimals: 18,
+            contract: Address::ZERO,
+        };
+        let _ = t.units(u128::MAX / 2);
+    }
+}

@@ -1,0 +1,86 @@
+//! Account-level asset transfers — the detector's primary input.
+//!
+//! The paper (§V-A, Fig. 6) denotes the *i*-th asset transfer of a
+//! transaction as the tuple `T_i = (sender, receiver, amount, token)`.
+//! Ether transfers live in internal transactions while ERC20 transfers live
+//! in event logs; the authors modified Geth to recover the happened-before
+//! relationship between the two streams. Our substrate records every
+//! transfer at the moment it happens with a monotone sequence number, so the
+//! journal is *born* totally ordered.
+
+use serde::{Deserialize, Serialize};
+
+use crate::address::Address;
+use crate::token::TokenId;
+
+/// One account-level asset transfer, in happened-before order within its
+/// transaction (`seq` is the position in the transaction's unified
+/// action stream, shared with logs and call frames).
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Transfer {
+    /// Position in the transaction's unified action stream.
+    pub seq: u32,
+    /// Paying account (the BlackHole [`Address::ZERO`] for mints).
+    pub sender: Address,
+    /// Receiving account (the BlackHole for burns).
+    pub receiver: Address,
+    /// Raw token units moved.
+    pub amount: u128,
+    /// Asset moved ([`TokenId::ETH`] for native Ether).
+    pub token: TokenId,
+}
+
+impl Transfer {
+    /// Whether this transfer mints new tokens (sender is the BlackHole).
+    ///
+    /// Newly minted tokens are transferred from the BlackHole address
+    /// (paper §V-C, mint-liquidity detection).
+    pub fn is_mint(&self) -> bool {
+        self.sender.is_zero()
+    }
+
+    /// Whether this transfer burns tokens (receiver is the BlackHole).
+    pub fn is_burn(&self) -> bool {
+        self.receiver.is_zero()
+    }
+
+    /// Whether this is a native-Ether transfer (recorded from internal
+    /// transactions on real Ethereum) as opposed to an ERC20 transfer
+    /// (recorded from event logs).
+    pub fn is_native(&self) -> bool {
+        self.token.is_eth()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(sender: Address, receiver: Address, token: TokenId) -> Transfer {
+        Transfer {
+            seq: 0,
+            sender,
+            receiver,
+            amount: 1,
+            token,
+        }
+    }
+
+    #[test]
+    fn mint_burn_classification() {
+        let a = Address::from_u64(1);
+        let lp = TokenId::from_index(5);
+        assert!(t(Address::ZERO, a, lp).is_mint());
+        assert!(!t(Address::ZERO, a, lp).is_burn());
+        assert!(t(a, Address::ZERO, lp).is_burn());
+        assert!(!t(a, a, lp).is_mint());
+    }
+
+    #[test]
+    fn native_classification() {
+        let a = Address::from_u64(1);
+        let b = Address::from_u64(2);
+        assert!(t(a, b, TokenId::ETH).is_native());
+        assert!(!t(a, b, TokenId::from_index(1)).is_native());
+    }
+}

@@ -1,0 +1,167 @@
+//! Transactions, execution traces, and receipts.
+//!
+//! A [`TxRecord`] is what "replaying a transaction in the modified Geth"
+//! yields in the paper: the full ordered trace of transfers, logs and call
+//! frames, plus metadata (initiator, entry contract, block). LeiShen
+//! consumes `TxRecord`s directly.
+
+use serde::{Deserialize, Serialize};
+
+use crate::address::Address;
+use crate::frame::CallFrame;
+use crate::log::EventLog;
+use crate::transfer::Transfer;
+
+/// Identifier of an executed transaction (its global execution index).
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct TxId(pub u64);
+
+impl std::fmt::Display for TxId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "tx#{}", self.0)
+    }
+}
+
+/// Outcome of transaction execution.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub enum TxStatus {
+    /// The transaction committed; all its effects are in the world state.
+    Success,
+    /// The transaction reverted; the world state was rolled back atomically.
+    /// The string carries the revert reason.
+    Reverted(String),
+}
+
+impl TxStatus {
+    /// Whether the transaction committed.
+    pub fn is_success(&self) -> bool {
+        matches!(self, TxStatus::Success)
+    }
+}
+
+/// The ordered execution trace of one transaction.
+///
+/// All three streams share a single `seq` counter, so interleaving between
+/// native transfers, token transfers, logs and calls is fully recoverable —
+/// the property the paper's Geth modification exists to provide.
+#[derive(Clone, Debug, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxTrace {
+    /// Account-level asset transfers in happened-before order.
+    pub transfers: Vec<Transfer>,
+    /// Event logs in emission order.
+    pub logs: Vec<EventLog>,
+    /// Call frames in entry order.
+    pub frames: Vec<CallFrame>,
+    /// Contracts created during the transaction, in creation order.
+    pub created: Vec<Address>,
+}
+
+impl TxTrace {
+    /// Number of recorded actions across all streams.
+    pub fn len(&self) -> usize {
+        self.transfers.len() + self.logs.len() + self.frames.len()
+    }
+
+    /// Whether the trace recorded no actions at all.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Returns the names of all invoked functions, in call order.
+    pub fn function_names(&self) -> impl Iterator<Item = &str> {
+        self.frames.iter().map(|f| f.function.as_str())
+    }
+
+    /// Whether some frame invoked `function` on `callee`.
+    pub fn called(&self, callee: Address, function: &str) -> bool {
+        self.frames
+            .iter()
+            .any(|f| f.callee == callee && f.function == function)
+    }
+
+    /// Whether some log named `name` was emitted by `emitter`.
+    pub fn emitted(&self, emitter: Address, name: &str) -> bool {
+        self.logs
+            .iter()
+            .any(|l| l.emitter == emitter && l.name == name)
+    }
+}
+
+/// A fully executed transaction: metadata plus trace.
+#[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TxRecord {
+    /// Global transaction id.
+    pub id: TxId,
+    /// Block number the transaction was included in.
+    pub block: u64,
+    /// Unix timestamp of that block.
+    pub timestamp: u64,
+    /// The externally owned account that initiated the transaction.
+    pub from: Address,
+    /// The entry-point contract (or EOA for simple transfers).
+    pub to: Address,
+    /// Name of the externally invoked function.
+    pub function: String,
+    /// Commit/revert outcome.
+    pub status: TxStatus,
+    /// Ordered execution trace.
+    pub trace: TxTrace,
+}
+
+impl TxRecord {
+    /// The transaction initiator — in an attack this is the attacker's EOA;
+    /// the flash-loan *borrower* contract is usually `self.to` or a contract
+    /// it created (paper Fig. 2).
+    pub fn initiator(&self) -> Address {
+        self.from
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::token::TokenId;
+
+    #[test]
+    fn status_helpers() {
+        assert!(TxStatus::Success.is_success());
+        assert!(!TxStatus::Reverted("r".into()).is_success());
+    }
+
+    #[test]
+    fn trace_queries() {
+        let a = Address::from_u64(1);
+        let b = Address::from_u64(2);
+        let mut trace = TxTrace::default();
+        assert!(trace.is_empty());
+        trace.frames.push(CallFrame {
+            seq: 0,
+            depth: 0,
+            caller: a,
+            callee: b,
+            function: "swap".into(),
+            value: 0,
+        });
+        trace.logs.push(EventLog {
+            seq: 1,
+            emitter: b,
+            name: "Swap".into(),
+            params: vec![],
+        });
+        trace.transfers.push(Transfer {
+            seq: 2,
+            sender: a,
+            receiver: b,
+            amount: 5,
+            token: TokenId::ETH,
+        });
+        assert_eq!(trace.len(), 3);
+        assert!(trace.called(b, "swap"));
+        assert!(!trace.called(a, "swap"));
+        assert!(trace.emitted(b, "Swap"));
+        assert!(!trace.emitted(b, "Mint"));
+        assert_eq!(trace.function_names().collect::<Vec<_>>(), vec!["swap"]);
+    }
+}

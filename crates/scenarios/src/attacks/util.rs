@@ -1,0 +1,253 @@
+//! Building blocks shared by the trace-scripted attack scenarios.
+//!
+//! Scripted attacks reproduce the *published transfer structure* of each
+//! incident: who paid whom, in what order, through which intermediaries,
+//! and which event logs fired. These helpers encode the recurring shapes:
+//! direct swaps, routed swaps (intermediary breaks account-level
+//! adjacency), vault share mints/burns, and split-account trades for
+//! untaggable victims.
+
+use ethsim::{Address, LogValue, Result, TokenId, TxContext};
+
+/// A direct two-transfer swap: `a` pays `app`, `app` pays back. Adjacent
+/// at account level (DeFiRanger-visible) and at app level.
+pub fn direct_swap(
+    ctx: &mut TxContext<'_>,
+    a: Address,
+    app: Address,
+    sell_amount: u128,
+    sell_token: TokenId,
+    buy_amount: u128,
+    buy_token: TokenId,
+) -> Result<()> {
+    ctx.transfer_token(sell_token, a, app, sell_amount)?;
+    ctx.transfer_token(buy_token, app, a, buy_amount)
+}
+
+/// A swap routed through `via` with identical pass-through amounts: LeiShen
+/// merges the hops (rule 3) or removes them (rule 1 when `via` shares the
+/// attacker's tag); account-level analysis sees no adjacent trade pair.
+#[allow(clippy::too_many_arguments)]
+pub fn routed_swap(
+    ctx: &mut TxContext<'_>,
+    a: Address,
+    via: Address,
+    app: Address,
+    sell_amount: u128,
+    sell_token: TokenId,
+    buy_amount: u128,
+    buy_token: TokenId,
+) -> Result<()> {
+    ctx.transfer_token(sell_token, a, via, sell_amount)?;
+    ctx.transfer_token(sell_token, via, app, sell_amount)?;
+    ctx.transfer_token(buy_token, app, via, buy_amount)?;
+    ctx.transfer_token(buy_token, via, a, buy_amount)
+}
+
+/// A swap against an application that uses **separate in/out contracts**:
+/// `a` pays `app_in` while `app_out` pays `a`. When the two contracts
+/// share an application tag LeiShen still sees one swap; when they are
+/// untaggable (conflicting creation trees, Fig. 7c) the trade never forms —
+/// the JulSwap / PancakeHunny failure mode.
+#[allow(clippy::too_many_arguments)]
+pub fn split_swap(
+    ctx: &mut TxContext<'_>,
+    a: Address,
+    app_in: Address,
+    app_out: Address,
+    sell_amount: u128,
+    sell_token: TokenId,
+    buy_amount: u128,
+    buy_token: TokenId,
+) -> Result<()> {
+    ctx.transfer_token(sell_token, a, app_in, sell_amount)?;
+    ctx.transfer_token(buy_token, app_out, a, buy_amount)
+}
+
+/// A vault-style share purchase: deposit `underlying`, mint `shares` from
+/// the BlackHole (Table III mint-liquidity shape). Optionally emits the
+/// standard `Deposit` event explorers parse.
+#[allow(clippy::too_many_arguments)]
+pub fn deposit_mint(
+    ctx: &mut TxContext<'_>,
+    a: Address,
+    vault: Address,
+    amount: u128,
+    underlying: TokenId,
+    shares: u128,
+    share_token: TokenId,
+    emit_event: bool,
+) -> Result<()> {
+    ctx.transfer_token(underlying, a, vault, amount)?;
+    ctx.mint_token(share_token, a, shares)?;
+    if emit_event {
+        ctx.emit_log(
+            vault,
+            "Deposit",
+            vec![
+                ("who".into(), LogValue::Addr(a)),
+                ("amount".into(), LogValue::Amount(amount)),
+                ("shares".into(), LogValue::Amount(shares)),
+                ("underlying".into(), LogValue::Token(underlying)),
+                ("shareToken".into(), LogValue::Token(share_token)),
+            ],
+        );
+    }
+    Ok(())
+}
+
+/// The inverse of [`deposit_mint`]: burn shares, withdraw underlying.
+#[allow(clippy::too_many_arguments)]
+pub fn withdraw_burn(
+    ctx: &mut TxContext<'_>,
+    a: Address,
+    vault: Address,
+    shares: u128,
+    share_token: TokenId,
+    amount: u128,
+    underlying: TokenId,
+    emit_event: bool,
+) -> Result<()> {
+    ctx.burn_token(share_token, a, shares)?;
+    ctx.transfer_token(underlying, vault, a, amount)?;
+    if emit_event {
+        ctx.emit_log(
+            vault,
+            "Withdraw",
+            vec![
+                ("who".into(), LogValue::Addr(a)),
+                ("amount".into(), LogValue::Amount(amount)),
+                ("shares".into(), LogValue::Amount(shares)),
+                ("underlying".into(), LogValue::Token(underlying)),
+                ("shareToken".into(), LogValue::Token(share_token)),
+            ],
+        );
+    }
+    Ok(())
+}
+
+/// Emits a Uniswap-style `Swap` event (for protocols whose trades are
+/// explorer-visible even when scripted).
+pub fn emit_swap_event(
+    ctx: &mut TxContext<'_>,
+    emitter: Address,
+    trader: Address,
+    sell_amount: u128,
+    sell_token: TokenId,
+    buy_amount: u128,
+    buy_token: TokenId,
+) {
+    ctx.emit_log(
+        emitter,
+        "Swap",
+        vec![
+            ("sender".into(), LogValue::Addr(trader)),
+            ("tokenIn".into(), LogValue::Token(sell_token)),
+            ("amountIn".into(), LogValue::Amount(sell_amount)),
+            ("tokenOut".into(), LogValue::Token(buy_token)),
+            ("amountOut".into(), LogValue::Amount(buy_amount)),
+        ],
+    );
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ethsim::{Chain, ChainConfig};
+
+    fn setup() -> (Chain, Address, Address, TokenId) {
+        let mut chain = Chain::new(ChainConfig::default());
+        let a = chain.create_eoa("a");
+        let app = chain.create_eoa("app");
+        let deployer = chain.create_eoa("d");
+        let mut tok = None;
+        chain
+            .execute(deployer, deployer, "t", |ctx| {
+                let c = ctx.create_contract(deployer)?;
+                let t = ctx.register_token("X", 18, c);
+                ctx.mint_token(t, app, 1_000_000)?;
+                Ok(())
+                    .map(|_| tok = Some(t))
+            })
+            .unwrap();
+        chain.state_mut().credit_eth(a, 1_000_000).unwrap();
+        (chain, a, app, tok.unwrap())
+    }
+
+    #[test]
+    fn direct_swap_is_two_transfers() {
+        let (mut chain, a, app, x) = setup();
+        let tx = chain
+            .execute(a, app, "swap", |ctx| {
+                direct_swap(ctx, a, app, 100, TokenId::ETH, 50, x)
+            })
+            .unwrap();
+        let rec = chain.replay(tx).unwrap();
+        assert_eq!(rec.trace.transfers.len(), 2);
+        assert_eq!(chain.state().balance(x, a), 50);
+    }
+
+    #[test]
+    fn routed_swap_passes_amounts_exactly() {
+        let (mut chain, a, app, x) = setup();
+        let via = chain.create_eoa("router");
+        let tx = chain
+            .execute(a, app, "swap", |ctx| {
+                routed_swap(ctx, a, via, app, 100, TokenId::ETH, 50, x)
+            })
+            .unwrap();
+        let rec = chain.replay(tx).unwrap();
+        assert_eq!(rec.trace.transfers.len(), 4);
+        assert_eq!(chain.state().balance(x, via), 0, "router keeps nothing");
+        assert_eq!(chain.state().balance(x, a), 50);
+    }
+
+    #[test]
+    fn deposit_withdraw_roundtrip_with_events() {
+        let (mut chain, a, vault, _) = setup();
+        let deployer = chain.create_eoa("d2");
+        let mut share = None;
+        chain
+            .execute(deployer, deployer, "t", |ctx| {
+                let c = ctx.create_contract(deployer)?;
+                share = Some(ctx.register_token("fX", 18, c));
+                Ok(())
+            })
+            .unwrap();
+        let share = share.unwrap();
+        chain.state_mut().credit_eth(vault, 1_000).unwrap();
+        let tx = chain
+            .execute(a, vault, "cycle", |ctx| {
+                deposit_mint(ctx, a, vault, 100, TokenId::ETH, 90, share, true)?;
+                withdraw_burn(ctx, a, vault, 90, share, 101, TokenId::ETH, true)
+            })
+            .unwrap();
+        let rec = chain.replay(tx).unwrap();
+        assert!(rec.status.is_success());
+        assert!(rec.trace.emitted(vault, "Deposit"));
+        assert!(rec.trace.emitted(vault, "Withdraw"));
+        // mint and burn bracket the underlying transfers
+        assert!(rec.trace.transfers.iter().any(|t| t.is_mint()));
+        assert!(rec.trace.transfers.iter().any(|t| t.is_burn()));
+    }
+
+    #[test]
+    fn split_swap_uses_two_counterparties() {
+        let (mut chain, a, app_in, x) = setup();
+        let app_out = chain.create_eoa("app-out");
+        chain
+            .execute(a, app_in, "fund", |ctx| {
+                ctx.mint_token(x, app_out, 1_000)?;
+                Ok(())
+            })
+            .unwrap();
+        let tx = chain
+            .execute(a, app_in, "swap", |ctx| {
+                split_swap(ctx, a, app_in, app_out, 100, TokenId::ETH, 50, x)
+            })
+            .unwrap();
+        let rec = chain.replay(tx).unwrap();
+        assert_eq!(rec.trace.transfers[0].receiver, app_in);
+        assert_eq!(rec.trace.transfers[1].sender, app_out);
+    }
+}

@@ -1,0 +1,143 @@
+//! Post-attack profit laundering scripts (paper §VI-D2).
+//!
+//! After a successful attack, "some attackers transfer profits through
+//! multi-level intermediary accounts … and some attackers utilize
+//! coin-mixing services". These builders run those follow-up transactions
+//! on the world so the `leishen::forensics` tracer has something real to
+//! trace.
+
+use defi::MixerNote;
+use ethsim::{Address, TxId};
+
+use crate::world::World;
+
+/// The executed laundering flow.
+#[derive(Clone, Debug)]
+pub struct LaunderingOutcome {
+    /// The follow-up transactions, in order.
+    pub txs: Vec<TxId>,
+    /// Intermediary EOAs (attacker-controlled, unlabeled, fresh).
+    pub intermediaries: Vec<Address>,
+    /// Amount pushed into the mixer (multiple of the denomination).
+    pub mixed_amount: u128,
+    /// The clean-side recipient of the mixer withdrawals.
+    pub clean_recipient: Address,
+    /// Amount cashed out directly (no mixer).
+    pub direct_amount: u128,
+    /// Direct cash-out sink.
+    pub direct_recipient: Address,
+}
+
+/// Launders `attacker`'s ETH profit: a slice goes through a chain of
+/// `hops` intermediary accounts into the Tornado-style mixer and out to a
+/// fresh address; the remainder is cashed out directly.
+///
+/// # Panics
+/// Panics when the attacker holds less than `mixer_notes` denominations.
+pub fn launder_profit(
+    world: &mut World,
+    attacker: Address,
+    hops: usize,
+    mixer_notes: u32,
+) -> LaunderingOutcome {
+    let denomination = world.tornado.denomination;
+    let mixed_amount = denomination * mixer_notes as u128;
+    let balance = world.chain.state().eth_balance(attacker);
+    assert!(
+        balance >= mixed_amount,
+        "attacker holds {balance}, needs {mixed_amount}"
+    );
+    let direct_amount = balance - mixed_amount;
+
+    let mut txs = Vec::new();
+    let mut intermediaries = Vec::new();
+
+    // Hop chain: attacker -> i1 -> i2 -> … -> in.
+    let mut holder = attacker;
+    for hop in 0..hops {
+        let next = world
+            .chain
+            .create_eoa(&format!("laundry hop {hop} of {attacker}"));
+        intermediaries.push(next);
+        let amount = mixed_amount;
+        txs.push(world.execute(holder, next, "transfer", |ctx| {
+            ctx.transfer_eth(holder, next, amount)
+        }));
+        world.chain.advance_blocks(30); // minutes apart, as observed
+        holder = next;
+    }
+
+    // The last hop deposits the notes…
+    let tornado = world.tornado;
+    let mut notes: Vec<MixerNote> = Vec::new();
+    txs.push(world.execute(holder, tornado.address, "mix", |ctx| {
+        for _ in 0..mixer_notes {
+            notes.push(tornado.deposit(ctx, holder)?);
+        }
+        Ok(())
+    }));
+    world.chain.advance_blocks(7_000); // ~a day later
+
+    // …and a fresh, historyless address withdraws them.
+    let clean_recipient = world.chain.create_eoa("clean exit");
+    txs.push(world.execute(clean_recipient, tornado.address, "unmix", |ctx| {
+        for note in notes.drain(..) {
+            tornado.withdraw(ctx, note, clean_recipient)?;
+        }
+        Ok(())
+    }));
+
+    // Remainder cashed out directly (an exchange deposit address, say).
+    let direct_recipient = world.chain.create_eoa("exchange deposit");
+    if direct_amount > 0 {
+        txs.push(world.execute(attacker, direct_recipient, "cashout", |ctx| {
+            ctx.transfer_eth(attacker, direct_recipient, direct_amount)
+        }));
+    }
+
+    LaunderingOutcome {
+        txs,
+        intermediaries,
+        mixed_amount,
+        clean_recipient,
+        direct_amount,
+        direct_recipient,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::world::E18;
+
+    #[test]
+    fn laundering_flow_executes() {
+        let mut world = World::new();
+        let attacker = world.chain.create_eoa("rich attacker");
+        world.fund_eth(attacker, 350 * E18);
+        let outcome = launder_profit(&mut world, attacker, 3, 3);
+        assert_eq!(outcome.intermediaries.len(), 3);
+        assert_eq!(outcome.mixed_amount, 300 * E18);
+        assert_eq!(outcome.direct_amount, 50 * E18);
+        for tx in &outcome.txs {
+            assert!(world.chain.replay(*tx).unwrap().status.is_success());
+        }
+        assert_eq!(
+            world.chain.state().eth_balance(outcome.clean_recipient),
+            300 * E18
+        );
+        assert_eq!(
+            world.chain.state().eth_balance(outcome.direct_recipient),
+            50 * E18
+        );
+        assert_eq!(world.chain.state().eth_balance(attacker), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "needs")]
+    fn laundering_requires_funds() {
+        let mut world = World::new();
+        let poor = world.chain.create_eoa("poor");
+        launder_profit(&mut world, poor, 1, 5);
+    }
+}

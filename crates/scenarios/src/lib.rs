@@ -1,0 +1,34 @@
+//! # leishen-scenarios — attacks, workloads and the synthetic wild corpus
+//!
+//! The paper evaluates LeiShen on (a) 22 real-world flpAttacks (Tables I
+//! and IV) and (b) 272,984 wild flash-loan transactions from the first
+//! 14,500,000 Ethereum blocks (Tables V–VII, Figs. 1 and 8). Neither input
+//! is available offline, so this crate rebuilds both:
+//!
+//! * [`world`] — a standard deployment of the whole protocol suite
+//!   (tokens, Uniswap, flash-loan providers, aggregator, label cloud, USD
+//!   prices) that every scenario runs on;
+//! * [`attacks`] — each of the 22 studied attacks re-scripted from its
+//!   published step-by-step description, with Table I / Table IV expected
+//!   outcomes as machine-checkable metadata;
+//! * [`benign`] — legitimate flash-loan workloads (arbitrage, collateral
+//!   swap, routed trades, aggregator strategies) and the near-miss
+//!   confusers the precision study needs;
+//! * [`generator`] — a seeded synthetic transaction stream over the paper's
+//!   Jan 2020 – Apr 2022 timeline whose composition reproduces the shapes
+//!   of Fig. 1, Fig. 8 and Tables V–VII;
+//! * [`prices`] — attack-day USD prices for profit accounting.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod attacks;
+pub mod benign;
+pub mod generator;
+pub mod laundering;
+pub mod prices;
+pub mod world;
+
+pub use attacks::{run_all_attacks, AttackSpec, ExecutedAttack};
+pub use generator::{GeneratedTx, Generator, GeneratorConfig, TxClass};
+pub use world::World;

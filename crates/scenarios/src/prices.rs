@@ -1,0 +1,35 @@
+//! Attack-day USD prices for Table VII profit accounting.
+//!
+//! The paper values profits "with average asset prices on the attack day".
+//! We pin one representative 2020–2021 price per asset; scenario-specific
+//! exotic tokens get their prices registered at deployment time.
+
+/// USD per whole token for the standard world's base assets.
+pub mod usd {
+    /// Ether.
+    pub const ETH: f64 = 2_000.0;
+    /// Wrapped Bitcoin.
+    pub const WBTC: f64 = 50_000.0;
+    /// USD Coin.
+    pub const USDC: f64 = 1.0;
+    /// Tether.
+    pub const USDT: f64 = 1.0;
+    /// Dai.
+    pub const DAI: f64 = 1.0;
+    /// Synthetix USD.
+    pub const SUSD: f64 = 1.0;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::usd;
+
+    #[test]
+    fn stables_are_one_dollar() {
+        for p in [usd::USDC, usd::USDT, usd::DAI, usd::SUSD] {
+            assert!((p - 1.0).abs() < f64::EPSILON);
+        }
+        let (wbtc, eth) = (usd::WBTC, usd::ETH);
+        assert!(wbtc > eth);
+    }
+}

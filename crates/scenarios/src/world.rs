@@ -1,0 +1,448 @@
+//! The standard world: a full DeFi deployment every scenario runs on.
+//!
+//! Mirrors the on-chain landscape the paper's corpus lives in: base tokens,
+//! WETH, deep Uniswap pairs, the three flash-loan providers of Table II,
+//! a Kyber-style aggregator, an Etherscan-like label cloud, and attack-day
+//! USD prices. Attack scripts extend the world with their victim protocols
+//! (vaults, weighted pools, lending markets) before executing.
+
+use defi::labels::apps;
+use defi::{
+    AavePool, DydxSolo, LabelService, Mixer, TokenDeployment, UniswapV2Factory, UniswapV2Pair,
+    Weth, YieldAggregator,
+};
+use ethsim::{Address, Chain, ChainConfig, Result, TokenId, TxContext};
+use leishen::analytics::UsdPriceTable;
+use leishen::{ChainView, Labels};
+
+use crate::prices::usd;
+
+/// Wei per ETH.
+pub const E18: u128 = 1_000_000_000_000_000_000;
+/// Raw units per USDC/USDT (6 decimals).
+pub const E6: u128 = 1_000_000;
+/// Raw units per WBTC (8 decimals).
+pub const E8: u128 = 100_000_000;
+
+/// The fully deployed standard world.
+pub struct World {
+    /// The chain all scenarios execute on.
+    pub chain: Chain,
+    /// The protocol-side label registry (Etherscan label cloud).
+    pub labels: LabelService,
+    /// Attack-day USD prices for profit accounting.
+    pub prices: UsdPriceTable,
+    /// The Wrapped Ether contract.
+    pub weth: Weth,
+    /// Deep-pocketed liquidity provider used in world setup.
+    pub whale: Address,
+    /// USD Coin (6 decimals).
+    pub usdc: TokenDeployment,
+    /// Tether (6 decimals).
+    pub usdt: TokenDeployment,
+    /// Dai (18 decimals).
+    pub dai: TokenDeployment,
+    /// Wrapped Bitcoin (8 decimals).
+    pub wbtc: TokenDeployment,
+    /// Synthetix USD (18 decimals).
+    pub susd: TokenDeployment,
+    /// The Uniswap factory.
+    pub uniswap: UniswapV2Factory,
+    /// ETH/USDC pair (very deep — Harvest borrows 50M USDC here).
+    pub pair_eth_usdc: UniswapV2Pair,
+    /// ETH/WBTC pair (tuned so bZx-1's pump moves ~49 → ~74+ ETH/WBTC).
+    pub pair_eth_wbtc: UniswapV2Pair,
+    /// ETH/sUSD pair (bZx-2's 18-buy target).
+    pub pair_eth_susd: UniswapV2Pair,
+    /// ETH/DAI pair.
+    pub pair_eth_dai: UniswapV2Pair,
+    /// AAVE flash-loan pool.
+    pub aave: AavePool,
+    /// dYdX SoloMargin.
+    pub dydx: DydxSolo,
+    /// Kyber-style routing aggregator.
+    pub kyber: YieldAggregator,
+    /// Tornado-style coin mixer (100 ETH denomination) — the §VI-D2
+    /// laundering sink.
+    pub tornado: Mixer,
+    attacker_counter: u32,
+}
+
+impl World {
+    /// Deploys the standard world from genesis. Deterministic: two calls
+    /// yield identical chains.
+    ///
+    /// # Panics
+    /// Panics if any genesis deployment fails (programming error).
+    pub fn new() -> World {
+        let mut chain = Chain::new(ChainConfig::default());
+        let mut labels = LabelService::new();
+        let mut prices = UsdPriceTable::new();
+
+        let whale = chain.create_eoa("world whale");
+        chain
+            .state_mut()
+            .credit_eth(whale, 10_000_000 * E18)
+            .expect("genesis funding");
+
+        let weth_deployer = chain.create_eoa("weth deployer");
+        let weth = Weth::deploy(&mut chain, &mut labels, weth_deployer).expect("weth");
+
+        let token_deployer = chain.create_eoa("token authority");
+        let usdc = TokenDeployment::deploy(
+            &mut chain,
+            &mut labels,
+            token_deployer,
+            "USDC",
+            6,
+            Some("USDC"),
+        )
+        .expect("usdc");
+        let usdt = TokenDeployment::deploy(
+            &mut chain,
+            &mut labels,
+            token_deployer,
+            "USDT",
+            6,
+            Some("USDT"),
+        )
+        .expect("usdt");
+        let dai = TokenDeployment::deploy(
+            &mut chain,
+            &mut labels,
+            token_deployer,
+            "DAI",
+            18,
+            Some("DAI"),
+        )
+        .expect("dai");
+        let wbtc = TokenDeployment::deploy(
+            &mut chain,
+            &mut labels,
+            token_deployer,
+            "WBTC",
+            8,
+            Some("WBTC"),
+        )
+        .expect("wbtc");
+        let susd = TokenDeployment::deploy(
+            &mut chain,
+            &mut labels,
+            token_deployer,
+            "sUSD",
+            18,
+            Some("sUSD"),
+        )
+        .expect("susd");
+
+        prices.set_whole(TokenId::ETH, usd::ETH, 18);
+        prices.set_whole(weth.token, usd::ETH, 18);
+        prices.set_whole(usdc.id, usd::USDC, 6);
+        prices.set_whole(usdt.id, usd::USDT, 6);
+        prices.set_whole(dai.id, usd::DAI, 18);
+        prices.set_whole(wbtc.id, usd::WBTC, 8);
+        prices.set_whole(susd.id, usd::SUSD, 18);
+
+        let uniswap_deployer = chain.create_eoa("uniswap deployer");
+        let uniswap = UniswapV2Factory::deploy_canonical(&mut chain, &mut labels, uniswap_deployer)
+            .expect("uniswap factory");
+        let pair_eth_usdc =
+            UniswapV2Pair::deploy(&mut chain, &uniswap, TokenId::ETH, usdc.id, "UNI-V2 ETH/USDC")
+                .expect("pair");
+        let pair_eth_wbtc =
+            UniswapV2Pair::deploy(&mut chain, &uniswap, TokenId::ETH, wbtc.id, "UNI-V2 ETH/WBTC")
+                .expect("pair");
+        let pair_eth_susd =
+            UniswapV2Pair::deploy(&mut chain, &uniswap, TokenId::ETH, susd.id, "UNI-V2 ETH/sUSD")
+                .expect("pair");
+        let pair_eth_dai =
+            UniswapV2Pair::deploy(&mut chain, &uniswap, TokenId::ETH, dai.id, "UNI-V2 ETH/DAI")
+                .expect("pair");
+
+        let aave_deployer = chain.create_eoa("aave deployer");
+        let aave = AavePool::deploy(&mut chain, &mut labels, aave_deployer).expect("aave");
+        let dydx_deployer = chain.create_eoa("dydx deployer");
+        let dydx = DydxSolo::deploy(&mut chain, &mut labels, dydx_deployer).expect("dydx");
+        let kyber_operator = chain.create_eoa("kyber operator");
+        let kyber = YieldAggregator::deploy(&mut chain, &mut labels, kyber_operator, apps::KYBER)
+            .expect("kyber");
+        let tornado_deployer = chain.create_eoa("tornado deployer");
+        let tornado = Mixer::deploy(
+            &mut chain,
+            &mut labels,
+            tornado_deployer,
+            100 * E18,
+            "Tornado Cash",
+        )
+        .expect("tornado");
+
+        // Seed liquidity. ETH/USDC is the deepest pool on mainnet and the
+        // Harvest attack borrows 50M USDC from Uniswap, so make it deep.
+        let seed = |chain: &mut Chain| -> Result<()> {
+            let w = whale;
+            chain.execute(w, Address::ZERO, "genesisSeed", |ctx| {
+                ctx.mint_token(usdc.id, w, 500_000_000 * E6)?;
+                ctx.mint_token(usdt.id, w, 500_000_000 * E6)?;
+                ctx.mint_token(dai.id, w, 300_000_000 * E18)?;
+                ctx.mint_token(wbtc.id, w, 10_000 * E8)?;
+                ctx.mint_token(susd.id, w, 50_000_000 * E18)?;
+
+                // 2,000 USDC per ETH; 100M USDC deep.
+                pair_eth_usdc.add_liquidity(ctx, w, 50_000 * E18, 100_000_000 * E6)?;
+                // 49.0 ETH per WBTC: 11,270 ETH / 230 WBTC (bZx-1 borrows
+                // 112 WBTC against 5,500 ETH at this price).
+                pair_eth_wbtc.add_liquidity(ctx, w, 11_270 * E18, 230 * E8)?;
+                // 0.0038 ETH per sUSD, shallow as the 2020 pool was —
+                // bZx-2's 18 × 20 ETH buys must move it 0.0038 → ~0.009.
+                pair_eth_susd.add_liquidity(ctx, w, 660 * E18, 173_684 * E18)?;
+                // 2,000 DAI per ETH; deep enough for the wild generator's
+                // largest DAI flash swaps (the $6.1M-profit attack).
+                pair_eth_dai.add_liquidity(ctx, w, 100_000 * E18, 200_000_000 * E18)?;
+
+                // Flash-loan reserves.
+                ctx.transfer_eth(w, aave.address, 500_000 * E18)?;
+                ctx.mint_token(usdc.id, aave.address, 200_000_000 * E6)?;
+                ctx.mint_token(dai.id, aave.address, 100_000_000 * E18)?;
+                ctx.transfer_eth(w, dydx.address, 500_000 * E18)?;
+                ctx.mint_token(usdc.id, dydx.address, 100_000_000 * E6)?;
+                ctx.mint_token(dai.id, dydx.address, 100_000_000 * E18)?;
+                Ok(())
+            })?;
+            Ok(())
+        };
+        seed(&mut chain).expect("liquidity seeding");
+
+        World {
+            chain,
+            labels,
+            prices,
+            weth,
+            whale,
+            usdc,
+            usdt,
+            dai,
+            wbtc,
+            susd,
+            uniswap,
+            pair_eth_usdc,
+            pair_eth_wbtc,
+            pair_eth_susd,
+            pair_eth_dai,
+            aave,
+            dydx,
+            kyber,
+            tornado,
+            attacker_counter: 0,
+        }
+    }
+
+    /// Deploys an unlabeled token and registers its USD price.
+    pub fn deploy_token(
+        &mut self,
+        symbol: &str,
+        decimals: u8,
+        usd_per_whole: f64,
+    ) -> TokenDeployment {
+        let deployer = self.chain.create_eoa(&format!("{symbol} deployer"));
+        let t = TokenDeployment::deploy(&mut self.chain, &mut self.labels, deployer, symbol, decimals, None)
+            .expect("token deploy");
+        self.prices.set_whole(t.id, usd_per_whole, decimals);
+        t
+    }
+
+    /// Creates an attacker: a fresh EOA plus an attack contract it deploys
+    /// in its own transaction (paper Fig. 2, step 1). Both are unlabeled —
+    /// tagging groups them by their shared creation-tree root.
+    pub fn create_attacker(&mut self, name: &str) -> (Address, Address) {
+        self.attacker_counter += 1;
+        let eoa = self
+            .chain
+            .create_eoa(&format!("attacker {} #{}", name, self.attacker_counter));
+        let mut contract = None;
+        self.chain
+            .execute(eoa, eoa, "deployAttackContract", |ctx| {
+                contract = Some(ctx.create_contract(eoa)?);
+                Ok(())
+            })
+            .expect("attack contract deploy");
+        (eoa, contract.expect("deploy ran"))
+    }
+
+    /// Deploys a labeled scripted application: a labeled deployer EOA plus
+    /// `n_contracts` unlabeled child contracts (tagged via the creation
+    /// tree, as Etherscan labels factories but not every pool).
+    pub fn scripted_app(&mut self, app_name: &str, n_contracts: usize) -> Vec<Address> {
+        let deployer = self.chain.create_eoa(&format!("{app_name} deployer"));
+        self.labels.set(deployer, app_name);
+        let mut out = Vec::with_capacity(n_contracts);
+        self.chain
+            .execute(deployer, deployer, "deployApp", |ctx| {
+                for _ in 0..n_contracts {
+                    out.push(ctx.create_contract(deployer)?);
+                }
+                Ok(())
+            })
+            .expect("scripted app deploy");
+        out
+    }
+
+    /// Deploys an application whose contracts sit in creation trees with
+    /// **conflicting** labels (paper Fig. 7c): each returned contract has
+    /// descendants labeled with *both* application names, so its tag set
+    /// has two entries and it cannot be tagged — the JulSwap /
+    /// PancakeHunny failure mode.
+    pub fn conflicted_app(&mut self, label_a: &str, label_b: &str) -> (Address, Address) {
+        let deployer = self
+            .chain
+            .create_eoa(&format!("conflicted {label_a}/{label_b}"));
+        let mut parents = Vec::new();
+        let mut children = Vec::new();
+        self.chain
+            .execute(deployer, deployer, "deployConflicted", |ctx| {
+                for _ in 0..2 {
+                    let parent = ctx.create_contract(deployer)?;
+                    // Each parent deploys one pool of each protocol family
+                    // (the "open to public deployment" case the paper
+                    // describes): conflicting descendants.
+                    children.push(ctx.create_contract(parent)?);
+                    children.push(ctx.create_contract(parent)?);
+                    parents.push(parent);
+                }
+                Ok(())
+            })
+            .expect("conflicted app deploy");
+        self.labels.set(children[0], label_a);
+        self.labels.set(children[1], label_b);
+        self.labels.set(children[2], label_a);
+        self.labels.set(children[3], label_b);
+        (parents[0], parents[1])
+    }
+
+    /// Funds an address with native ETH outside any transaction.
+    pub fn fund_eth(&mut self, who: Address, amount: u128) {
+        self.chain
+            .state_mut()
+            .credit_eth(who, amount)
+            .expect("funding");
+    }
+
+    /// Mints tokens to an address via a funding transaction.
+    pub fn fund_token(&mut self, token: TokenId, who: Address, amount: u128) {
+        let whale = self.whale;
+        self.chain
+            .execute(whale, Address::ZERO, "fund", |ctx| {
+                ctx.mint_token(token, who, amount)
+            })
+            .expect("token funding");
+    }
+
+    /// Converts the protocol-side label service into the detector's label
+    /// cloud.
+    pub fn detector_labels(&self) -> Labels {
+        self.labels
+            .iter()
+            .map(|(a, l)| (a, l.to_string()))
+            .collect()
+    }
+
+    /// Builds a [`ChainView`] over borrowed labels (caller keeps the
+    /// `Labels` alive).
+    pub fn view<'a>(&self, labels: &'a Labels) -> ChainView<'a> {
+        ChainView::new(labels, self.chain.state().creations(), Some(self.weth.token))
+    }
+
+    /// Convenience: runs a closure as a scripted transaction from `from`.
+    ///
+    /// # Panics
+    /// Panics if the executor itself fails (never for in-tx reverts).
+    pub fn execute(
+        &mut self,
+        from: Address,
+        to: Address,
+        function: &str,
+        body: impl FnOnce(&mut TxContext<'_>) -> Result<()>,
+    ) -> ethsim::TxId {
+        self.chain.execute(from, to, function, body).expect("executor")
+    }
+}
+
+impl Default for World {
+    fn default() -> Self {
+        World::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn world_deploys_consistently() {
+        let w = World::new();
+        assert_eq!(w.chain.state().token_by_symbol("USDC"), Some(w.usdc.id));
+        assert_eq!(w.chain.state().token_by_symbol("WETH"), Some(w.weth.token));
+        assert!(w.labels.get(w.aave.address).is_some());
+        assert!(w.labels.get(w.dydx.address).is_some());
+        assert!(w.labels.get(w.kyber.address).is_some());
+        assert!(w.prices.has(TokenId::ETH));
+        assert!(w.prices.has(w.wbtc.id));
+    }
+
+    #[test]
+    fn pairs_have_expected_prices() {
+        let mut w = World::new();
+        let whale = w.whale;
+        let (p_wbtc, p_usdc, p_susd) = {
+            let pair_wbtc = w.pair_eth_wbtc;
+            let pair_usdc = w.pair_eth_usdc;
+            let pair_susd = w.pair_eth_susd;
+            let mut out = (0.0, 0.0, 0.0);
+            w.execute(whale, Address::ZERO, "probe", |ctx| {
+                out.0 = pair_wbtc.spot_price(ctx, pair_wbtc.token1)?; // ETH per WBTC
+                out.1 = pair_usdc.spot_price(ctx, TokenId::ETH)?; // USDC per ETH
+                out.2 = pair_susd.spot_price(ctx, pair_susd.token1)?; // ETH per sUSD
+                Ok(())
+            });
+            out
+        };
+        assert!((p_wbtc - 49.13).abs() < 0.2, "ETH/WBTC {p_wbtc}");
+        assert!((p_usdc - 2_000.0).abs() < 1.0, "USDC/ETH {p_usdc}");
+        assert!((p_susd - 0.0038).abs() < 0.0002, "ETH/sUSD {p_susd}");
+    }
+
+    #[test]
+    fn attacker_and_eoa_share_a_creation_root() {
+        let mut w = World::new();
+        let (eoa, contract) = w.create_attacker("test");
+        let labels = w.detector_labels();
+        let view = w.view(&labels);
+        let t1 = leishen::tagging::tag_of(eoa, view.labels(), view.creations());
+        let t2 = leishen::tagging::tag_of(contract, view.labels(), view.creations());
+        assert_eq!(t1, t2, "EOA and attack contract share an identity");
+    }
+
+    #[test]
+    fn conflicted_app_contracts_are_untaggable() {
+        let mut w = World::new();
+        let (c_in, c_out) = w.conflicted_app("JulSwap", "Venus");
+        let labels = w.detector_labels();
+        let view = w.view(&labels);
+        let t_in = leishen::tagging::tag_of(c_in, view.labels(), view.creations());
+        let t_out = leishen::tagging::tag_of(c_out, view.labels(), view.creations());
+        assert!(t_in.is_unknown());
+        assert!(t_out.is_unknown());
+        assert_ne!(t_in, t_out, "distinct unknowns never merge");
+    }
+
+    #[test]
+    fn scripted_app_contracts_inherit_the_label() {
+        let mut w = World::new();
+        let contracts = w.scripted_app("Cheese Bank", 2);
+        let labels = w.detector_labels();
+        let view = w.view(&labels);
+        for c in contracts {
+            let t = leishen::tagging::tag_of(c, view.labels(), view.creations());
+            assert_eq!(t.app_name(), Some("Cheese Bank"));
+        }
+    }
+}

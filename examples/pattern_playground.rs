@@ -1,0 +1,106 @@
+//! Pattern playground: hand-build trades and see which patterns fire.
+//!
+//! A tour of the KRP / SBS / MBS matchers on synthetic trade lists —
+//! useful for understanding exactly where the paper's thresholds bite.
+//!
+//! ```sh
+//! cargo run --example pattern_playground
+//! ```
+
+use ethsim::TokenId;
+use leishen::patterns::{match_all, PatternKind};
+use leishen::tagging::Tag;
+use leishen::trades::{Trade, TradeKind};
+use leishen::DetectorConfig;
+
+fn buy(seq: u32, buyer: &Tag, seller: &Tag, sell: u128, buy: u128) -> Trade {
+    Trade {
+        seq,
+        kind: TradeKind::Swap,
+        buyer: buyer.clone(),
+        seller: seller.clone(),
+        sells: vec![(sell, TokenId::ETH)],
+        buys: vec![(buy, TokenId::from_index(1))],
+    }
+}
+
+fn sell(seq: u32, buyer: &Tag, seller: &Tag, sell: u128, buy: u128) -> Trade {
+    Trade {
+        seq,
+        kind: TradeKind::Swap,
+        buyer: buyer.clone(),
+        seller: seller.clone(),
+        sells: vec![(sell, TokenId::from_index(1))],
+        buys: vec![(buy, TokenId::ETH)],
+    }
+}
+
+fn show(name: &str, trades: &[Trade], borrower: &Tag, config: &DetectorConfig) {
+    let matches = match_all(trades, borrower, config);
+    let kinds: Vec<PatternKind> = matches.iter().map(|m| m.kind).collect();
+    println!("{name:<50} -> {kinds:?}");
+}
+
+fn main() {
+    let e = Tag::App("attacker".into());
+    let uni = Tag::App("Uniswap".into());
+    let paper = DetectorConfig::paper();
+    let relaxed = DetectorConfig::relaxed();
+
+    println!("--- KRP: series length (paper N >= 5) ---");
+    for n in [3u32, 4, 5, 6, 18] {
+        let mut trades: Vec<Trade> = (0..n)
+            .map(|i| buy(i, &e, &uni, 20_000, 5_000 - 100 * i as u128))
+            .collect();
+        trades.push(sell(n, &e, &uni, 4_000 * n as u128, 25_000 * n as u128));
+        show(&format!("{n} rising buys then a sell"), &trades, &e, &paper);
+    }
+    {
+        let mut trades: Vec<Trade> = (0..4u32)
+            .map(|i| buy(i, &e, &uni, 20_000, 5_000 - 100 * i as u128))
+            .collect();
+        trades.push(sell(4, &e, &uni, 16_000, 100_000));
+        println!("(relaxed config, krp_min_buys=3):");
+        show("4 rising buys then a sell", &trades, &e, &relaxed);
+    }
+
+    println!("\n--- SBS: volatility threshold (paper >= 28%) ---");
+    for pump_pct in [10u128, 27, 28, 125] {
+        let rate1 = 1_000u128;
+        let rate2 = rate1 + rate1 * pump_pct / 100;
+        let trades = vec![
+            buy(0, &e, &uni, rate1 * 100, 100),       // buy 100 @ rate1
+            buy(1, &e, &uni, rate2 * 10, 10),         // pump @ rate2
+            sell(2, &e, &uni, 100, (rate1 + (rate2 - rate1) / 2) * 100), // sell between
+        ];
+        show(&format!("pump of {pump_pct}%"), &trades, &e, &paper);
+    }
+
+    println!("\n--- SBS: symmetry (amountBuy1 == amountSell3) ---");
+    for sold in [100u128, 99, 70] {
+        let trades = vec![
+            buy(0, &e, &uni, 100_000, 100),
+            buy(1, &e, &uni, 20_000, 10),
+            sell(2, &e, &uni, sold, 1_500 * sold),
+        ];
+        show(&format!("bought 100, sold {sold}"), &trades, &e, &paper);
+    }
+
+    println!("\n--- MBS: rounds and profitability (paper N >= 3) ---");
+    for rounds in [2u32, 3, 5] {
+        let mut trades = Vec::new();
+        for r in 0..rounds {
+            trades.push(buy(2 * r, &e, &uni, 1_000 * (100 + r as u128), 100 + r as u128));
+            trades.push(sell(2 * r + 1, &e, &uni, 100 + r as u128, 1_010 * (100 + r as u128)));
+        }
+        show(&format!("{rounds} profitable rounds"), &trades, &e, &paper);
+    }
+    {
+        let mut trades = Vec::new();
+        for r in 0..4u32 {
+            trades.push(buy(2 * r, &e, &uni, 101_000, 100));
+            trades.push(sell(2 * r + 1, &e, &uni, 100, 100_000)); // at a loss
+        }
+        show("4 losing rounds", &trades, &e, &paper);
+    }
+}

@@ -1,0 +1,20 @@
+//! Workspace meta-crate for the LeiShen reproduction.
+//!
+//! Re-exports every crate in the workspace so the repository-level
+//! integration tests (`tests/`) and runnable examples (`examples/`) can
+//! reach the whole stack through one dependency:
+//!
+//! * [`ethsim`] — the Ethereum-like execution substrate,
+//! * [`defi`] — the DeFi protocol suite,
+//! * [`leishen`] — the detector (the paper's contribution),
+//! * [`baselines`] — DeFiRanger, Explorer+LeiShen, volatility monitoring,
+//! * [`scenarios`] — attacks, workloads, and the wild-corpus generator.
+//!
+//! Start with `examples/quickstart.rs`, or see `README.md` for the full
+//! tour and `EXPERIMENTS.md` for the paper-vs-measured record.
+
+pub use defi;
+pub use ethsim;
+pub use leishen;
+pub use leishen_baselines as baselines;
+pub use leishen_scenarios as scenarios;

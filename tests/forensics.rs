@@ -1,0 +1,101 @@
+//! Integration: §VI-D2 post-attack behaviors — profit laundering traced
+//! end-to-end through real follow-up transactions, mixer unlinkability,
+//! and selfdestruct resilience.
+
+use std::collections::HashSet;
+
+use leishen::forensics::{trace_exits, ExitKind};
+use leishen_scenarios::attacks::all_attacks;
+use leishen_scenarios::laundering::launder_profit;
+use leishen_scenarios::World;
+
+#[test]
+fn laundering_after_bzx1_is_fully_traced() {
+    let mut world = World::new();
+    let attack = all_attacks()[0](&mut world); // bZx-1, profit in ETH
+    let attacker = attack.attacker;
+    let contract = attack.contract;
+    let profit = world.chain.state().eth_balance(attacker);
+    assert!(profit > 300 * 10u128.pow(18), "bZx-1 nets 300+ ETH here");
+
+    let outcome = launder_profit(&mut world, attacker, 3, 3);
+
+    let labels = world.detector_labels();
+    let view = world.view(&labels);
+    let cluster: HashSet<_> = [attacker, contract].into_iter().collect();
+    let follow_ups: Vec<&ethsim::TxRecord> = world
+        .chain
+        .transactions()
+        .iter()
+        .filter(|t| t.id.0 > attack.tx.0)
+        .collect();
+    let exits = trace_exits(
+        &follow_ups,
+        &cluster,
+        view.labels(),
+        view.creations(),
+        &["Tornado Cash"],
+    );
+
+    // All three notes traced to the mixer, through the full hop chain.
+    let mixer_exits: Vec<_> = exits
+        .iter()
+        .filter(|e| e.kind == ExitKind::CoinMixer)
+        .collect();
+    assert_eq!(mixer_exits.len(), 3, "{exits:?}");
+    for e in &mixer_exits {
+        assert_eq!(e.amount, world.tornado.denomination);
+        assert_eq!(
+            e.path.len(),
+            outcome.intermediaries.len() + 1,
+            "path runs through every intermediary"
+        );
+        assert_eq!(e.sink, world.tornado.address);
+        assert_eq!(e.sink_tag.app_name(), Some("Tornado Cash"));
+    }
+
+    // The direct cash-out is traced too.
+    let direct: Vec<_> = exits
+        .iter()
+        .filter(|e| e.kind == ExitKind::Direct)
+        .collect();
+    assert!(direct
+        .iter()
+        .any(|e| e.sink == outcome.direct_recipient && e.amount == outcome.direct_amount));
+
+    // What forensics *cannot* see: the clean recipient. The mixer breaks
+    // the trail — no exit references the withdrawal address.
+    assert!(
+        exits.iter().all(|e| e.sink != outcome.clean_recipient),
+        "the mixer hides the clean exit, as on mainnet"
+    );
+}
+
+#[test]
+fn tracer_does_not_confuse_unrelated_traffic() {
+    let mut world = World::new();
+    let attack = all_attacks()[0](&mut world);
+    let attacker = attack.attacker;
+    // Unrelated users move money around after the attack.
+    let alice = world.chain.create_eoa("alice");
+    let bob = world.chain.create_eoa("bob");
+    world.fund_eth(alice, 500 * 10u128.pow(18));
+    world.execute(alice, bob, "gift", |ctx| {
+        ctx.transfer_eth(alice, bob, 100 * 10u128.pow(18))
+    });
+
+    let labels = world.detector_labels();
+    let view = world.view(&labels);
+    let cluster: HashSet<_> = [attacker, attack.contract].into_iter().collect();
+    let follow_ups: Vec<&ethsim::TxRecord> = world
+        .chain
+        .transactions()
+        .iter()
+        .filter(|t| t.id.0 > attack.tx.0)
+        .collect();
+    let exits = trace_exits(&follow_ups, &cluster, view.labels(), view.creations(), &[]);
+    assert!(
+        exits.iter().all(|e| e.sink != bob),
+        "alice's gift is not attributed to the attacker"
+    );
+}

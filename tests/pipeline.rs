@@ -1,0 +1,324 @@
+//! Integration: cross-crate pipeline invariants — flash-loan atomicity on
+//! real protocols, replay determinism, detector-report consistency, and
+//! the baselines' blind spots on flagship attacks.
+
+use leishen::patterns::PatternKind;
+use leishen::{DetectorConfig, LeiShen};
+use leishen_baselines::VolatilityMonitor;
+use leishen_scenarios::attacks::all_attacks;
+use leishen_scenarios::world::{E18, E6};
+use leishen_scenarios::World;
+
+/// Flash-loan atomicity on the real protocol stack: an attack body that
+/// fails to repay leaves every pool, vault and balance untouched.
+#[test]
+fn failed_flash_loan_leaves_no_trace_in_state() {
+    let mut world = World::new();
+    let (attacker, contract) = world.create_attacker("clumsy");
+    let pair = world.pair_eth_usdc;
+    let usdc = world.usdc.id;
+
+    let reserves_before = {
+        let mut out = (0u128, 0u128);
+        world.execute(attacker, pair.address, "probe", |ctx| {
+            out = pair.reserves(ctx);
+            Ok(())
+        });
+        out
+    };
+
+    // Borrow 10M USDC, trade it away, "forget" to repay.
+    let tx = world.execute(attacker, contract, "botched", |ctx| {
+        pair.flash_swap(ctx, contract, usdc, 10_000_000 * E6, |ctx| {
+            pair.swap_exact_in(ctx, contract, usdc, 5_000_000 * E6, 0)?;
+            Ok(()) // no repayment
+        })
+    });
+    let record = world.chain.replay(tx).expect("recorded").clone();
+    assert!(!record.status.is_success());
+
+    let reserves_after = {
+        let mut out = (0u128, 0u128);
+        world.execute(attacker, pair.address, "probe", |ctx| {
+            out = pair.reserves(ctx);
+            Ok(())
+        });
+        out
+    };
+    assert_eq!(reserves_before, reserves_after, "pool untouched");
+    assert_eq!(world.chain.state().balance(usdc, contract), 0);
+    // The failed attempt is not reported as an attack.
+    let labels = world.detector_labels();
+    let view = world.view(&labels);
+    assert!(!LeiShen::default().analyze(&record, &view).is_attack());
+}
+
+/// Two identical worlds produce byte-identical attack traces — the
+/// determinism the whole evaluation rests on.
+#[test]
+fn world_and_attacks_are_deterministic() {
+    let build = || {
+        let mut world = World::new();
+        let attack = all_attacks()[0](&mut world); // bZx-1
+        let record = world.chain.replay(attack.tx).expect("recorded").clone();
+        record
+    };
+    let a = build();
+    let b = build();
+    assert_eq!(a.trace.transfers, b.trace.transfers);
+    assert_eq!(a.trace.logs, b.trace.logs);
+    assert_eq!(a.trace.frames, b.trace.frames);
+    assert_eq!(a.status, b.status);
+}
+
+/// `detect` and `analyze` agree, and the report's contents are internally
+/// consistent with the analysis.
+#[test]
+fn report_is_consistent_with_analysis() {
+    let mut world = World::new();
+    let attack = all_attacks()[4](&mut world); // Harvest
+    let labels = world.detector_labels();
+    let view = world.view(&labels);
+    let detector = LeiShen::new(DetectorConfig::paper());
+    let record = world.chain.replay(attack.tx).expect("recorded");
+
+    let analysis = detector.analyze(record, &view);
+    let report = detector
+        .detect(record, &view, Some(&world.prices))
+        .expect("attack");
+    assert!(analysis.is_attack());
+    assert_eq!(report.patterns.len(), analysis.matches.len());
+    assert_eq!(report.flash_loans.len(), analysis.flash_loans.len());
+    assert_eq!(report.tx, record.id);
+    assert_eq!(report.initiator, record.from);
+    assert!(report.has_pattern(PatternKind::Mbs));
+    assert!(report.profit_usd.unwrap() > 0.0);
+}
+
+/// The volatility-threshold baseline (Xue et al.) misses Harvest (0.5%
+/// volatility) but catches Balancer — the blind spot the paper motivates
+/// pattern-based detection with (§I).
+#[test]
+fn volatility_baseline_misses_harvest_catches_balancer() {
+    let mut world = World::new();
+    let balancer = all_attacks()[2](&mut world);
+    let harvest = all_attacks()[4](&mut world);
+    let monitor = VolatilityMonitor::default(); // 99% threshold
+
+    let balancer_rec = world.chain.replay(balancer.tx).expect("recorded");
+    let harvest_rec = world.chain.replay(harvest.tx).expect("recorded");
+
+    assert!(
+        monitor.is_attack(balancer_rec),
+        "Balancer's volatility is enormous: {:.0}%",
+        monitor.max_volatility(balancer_rec) * 100.0
+    );
+    assert!(
+        !monitor.is_attack(harvest_rec),
+        "Harvest's {:.2}% volatility is invisible to threshold monitoring",
+        monitor.max_volatility(harvest_rec) * 100.0
+    );
+    // …while LeiShen catches both.
+    let labels = world.detector_labels();
+    let view = world.view(&labels);
+    let detector = LeiShen::new(DetectorConfig::paper());
+    assert!(detector.analyze(balancer_rec, &view).is_attack());
+    assert!(detector.analyze(harvest_rec, &view).is_attack());
+}
+
+/// The attacker's self-destruct trick (paper §VI-D2) does not hide the
+/// attack: the replayed trace is intact and detection still fires.
+#[test]
+fn self_destruct_does_not_hide_the_attack() {
+    let mut world = World::new();
+    let attack = all_attacks()[0](&mut world); // bZx-1
+    let contract = attack.contract;
+    let attacker = attack.attacker;
+    // Attacker destroys the contract after the fact.
+    world.execute(attacker, contract, "selfdestruct", |ctx| {
+        ctx.self_destruct(contract)
+    });
+    assert!(world.chain.state().account(contract).unwrap().destroyed);
+
+    // Replay + detection still work: history is immutable.
+    let labels = world.detector_labels();
+    let view = world.view(&labels);
+    let record = world.chain.replay(attack.tx).expect("history survives");
+    let analysis = LeiShen::new(DetectorConfig::paper()).analyze(record, &view);
+    assert!(analysis.is_attack(), "replayable despite selfdestruct");
+}
+
+/// Removing the attacker's after-the-fact label (paper §VI-B: "we remove
+/// attackers' tags during the detection") changes nothing for detection,
+/// because tagging falls back to the creation root.
+#[test]
+fn attacker_labels_are_irrelevant() {
+    let mut world = World::new();
+    let attack = all_attacks()[0](&mut world);
+    let record = world.chain.replay(attack.tx).expect("recorded").clone();
+
+    // unlabeled attacker (the evaluation setting)
+    let labels = world.detector_labels();
+    let view = world.view(&labels);
+    let without = LeiShen::new(DetectorConfig::paper()).analyze(&record, &view);
+
+    // attacker labeled post-hoc, as on Etherscan today
+    let mut labeled = world.detector_labels();
+    labeled.set(attack.attacker, "bZx Exploiter");
+    labeled.set(attack.contract, "bZx Exploiter");
+    let view2 = world.view(&labeled);
+    let with = LeiShen::new(DetectorConfig::paper()).analyze(&record, &view2);
+
+    assert_eq!(without.is_attack(), with.is_attack());
+    assert_eq!(without.matches.len(), with.matches.len());
+}
+
+/// ETH funding constant sanity for cross-crate tests.
+#[test]
+fn unit_constants_are_consistent() {
+    assert_eq!(E18, 10u128.pow(18));
+    assert_eq!(E6, 10u128.pow(6));
+}
+
+/// Beanstalk-style multi-provider borrowing (paper §III-B: "in seven
+/// attacks, attackers borrow a variety of crypto assets from more than one
+/// flash loan provider… the Beanstalk attacker borrows five types of
+/// assets from three flash loan providers simultaneously"): all three
+/// Table II signatures identified in one transaction, and the attack still
+/// detected.
+#[test]
+fn multi_provider_attack_is_identified_and_detected() {
+    use ethsim::TokenId;
+    use leishen::flashloan::Provider;
+
+    let mut world = World::new();
+    let victim = world.scripted_app("Beanstalk", 1)[0];
+    let bean = world.deploy_token("BEAN", 18, 1.0);
+    world.fund_token(bean.id, victim, 100_000_000 * E18);
+    world.fund_eth(victim, 50_000 * E18);
+
+    let (attacker, contract) = world.create_attacker("beanstalk");
+    let aave = world.aave;
+    let dydx = world.dydx;
+    let pair = world.pair_eth_usdc;
+    let usdc = world.usdc.id;
+    let dai = world.dai.id;
+    let aave_fee = aave.fee(1_000_000 * E18).unwrap();
+    let uni_fee = ethsim::math::mul_div_ceil(5_000_000 * E6, 3, 997).unwrap();
+    // Fee headroom for the stable-coin legs (the profit is in ETH).
+    world.fund_token(usdc, contract, 2 * uni_fee);
+    world.fund_token(dai, contract, 2 * aave_fee);
+    world.fund_eth(contract, E18);
+
+    let tx = world.execute(attacker, contract, "attack", |ctx| {
+        // three nested loans: dYdX ETH, AAVE DAI, Uniswap USDC
+        dydx.operate(ctx, contract, TokenId::ETH, 2_000 * E18, |ctx| {
+            aave.flash_loan(ctx, contract, dai, 1_000_000 * E18, |ctx| {
+                pair.flash_swap(ctx, contract, usdc, 5_000_000 * E6, |ctx| {
+                    // SBS on BEAN priced in ETH
+                    ctx.transfer_eth(contract, victim, 500 * E18)?;
+                    ctx.transfer_token(bean.id, victim, contract, 50_000 * E18)?;
+                    ctx.transfer_eth(contract, victim, 800 * E18)?;
+                    ctx.transfer_token(bean.id, victim, contract, 5_000 * E18)?;
+                    ctx.transfer_token(bean.id, contract, victim, 50_000 * E18)?;
+                    ctx.transfer_eth(victim, contract, 1_500 * E18)?;
+                    ctx.transfer_token(usdc, contract, pair.address, 5_000_000 * E6 + uni_fee)
+                })?;
+                ctx.transfer_token(dai, contract, aave.address, 1_000_000 * E18 + aave_fee)
+            })?;
+            ctx.transfer_eth(contract, dydx.address, 2_000 * E18 + 2)
+        })
+    });
+    let record = world.chain.replay(tx).expect("recorded").clone();
+    assert!(record.status.is_success(), "{:?}", record.status);
+
+    let loans = leishen::identify_flash_loans(&record);
+    let providers: std::collections::HashSet<Provider> =
+        loans.iter().map(|l| l.provider).collect();
+    assert_eq!(providers.len(), 3, "all three providers identified: {loans:?}");
+
+    let labels = world.detector_labels();
+    let view = world.view(&labels);
+    let analysis = LeiShen::new(DetectorConfig::paper()).analyze(&record, &view);
+    assert!(
+        analysis.matches.iter().any(|m| m.kind == PatternKind::Sbs),
+        "{:?}",
+        analysis.matches
+    );
+}
+
+/// A real flash-loan liquidation (the paper's §I benign use case) against
+/// the full protocol stack: borrow the debt asset, liquidate an underwater
+/// Compound position, sell the seized collateral, repay — profitable for
+/// the liquidator and *not* flagged by LeiShen.
+#[test]
+fn flash_loan_liquidation_is_benign() {
+    use defi::{CompoundMarket, DexOracle};
+    use ethsim::TokenId;
+
+    let mut world = World::new();
+    let mut oracle = DexOracle::new();
+    oracle.add_pair(world.pair_eth_dai);
+    let deployer = world.chain.create_eoa("compound deployer");
+    let market = CompoundMarket::deploy(
+        &mut world.chain,
+        &mut world.labels,
+        deployer,
+        TokenId::ETH,
+        world.dai.id,
+        7_500,
+        oracle,
+        "Compound",
+    )
+    .expect("market");
+    world.fund_token(world.dai.id, market.address, 10_000_000 * E18);
+
+    // A borrower takes a near-capacity DAI loan against ETH…
+    let borrower = world.chain.create_eoa("borrower");
+    world.fund_eth(borrower, 1_000 * E18);
+    let dai = world.dai.id;
+    world.execute(borrower, market.address, "borrow", |ctx| {
+        market.supply_and_borrow(ctx, borrower, 1_000 * E18, 1_400_000 * E18)
+    });
+    // …then ETH crashes on the oracle pair (someone dumps 30k ETH).
+    let whale = world.whale;
+    let pair = world.pair_eth_dai;
+    world.execute(whale, pair.address, "crash", |ctx| {
+        pair.swap_exact_in(ctx, whale, TokenId::ETH, 30_000 * E18, 0)?;
+        Ok(())
+    });
+
+    // The liquidator flash-borrows the repay amount from AAVE.
+    let (liq_eoa, liq) = world.create_attacker("liquidator");
+    let aave = world.aave;
+    let repay = 700_000 * E18;
+    let fee = aave.fee(repay).unwrap();
+    let tx = world.execute(liq_eoa, liq, "liquidate", |ctx| {
+        aave.flash_loan(ctx, liq, dai, repay, |ctx| {
+            assert!(market.is_underwater(ctx, borrower)?);
+            let seized = market.liquidate(ctx, liq, borrower, repay)?;
+            // sell the seized ETH back into DAI
+            pair.swap_exact_in(ctx, liq, TokenId::ETH, seized, 0)?;
+            ctx.transfer_token(dai, liq, aave.address, repay + fee)
+        })?;
+        let profit = ctx.balance(dai, liq);
+        ctx.transfer_token(dai, liq, liq_eoa, profit)
+    });
+
+    let record = world.chain.replay(tx).expect("recorded");
+    assert!(record.status.is_success(), "{:?}", record.status);
+    assert!(
+        world.chain.state().balance(dai, liq_eoa) > 0,
+        "liquidation bonus nets a profit"
+    );
+    // LeiShen identifies the flash loan but reports no attack.
+    let labels = world.detector_labels();
+    let view = world.view(&labels);
+    let analysis = LeiShen::new(DetectorConfig::paper()).analyze(record, &view);
+    assert_eq!(analysis.flash_loans.len(), 1);
+    assert!(
+        !analysis.is_attack(),
+        "liquidation wrongly flagged: {:?}",
+        analysis.matches
+    );
+}
