@@ -13,7 +13,7 @@ use leishen::config::DetectorConfig;
 use leishen::flashloan::identify_flash_loans;
 use leishen::patterns::{match_all, PatternMatch};
 use leishen::tagging::Tag;
-use leishen::trades::{Trade, TradeKind};
+use leishen::trades::{Trade, TradeKind, TradeSide};
 
 /// The Explorer+LeiShen baseline.
 #[derive(Clone, Debug, Default)]
@@ -66,8 +66,8 @@ impl ExplorerLeiShen {
                 kind: TradeKind::Swap,
                 buyer: initiator.clone(),
                 seller: addr_tag(log.emitter),
-                sells: vec![(ai, ti)],
-                buys: vec![(ao, to)],
+                sells: TradeSide::one(ai, ti),
+                buys: TradeSide::one(ao, to),
             });
         }
         out
@@ -125,9 +125,15 @@ fn vault_action(log: &ethsim::EventLog, initiator: &Tag) -> Option<Trade> {
     let underlying = log.param("underlying").and_then(|v| v.as_token())?;
     let share_token = log.param("shareToken").and_then(|v| v.as_token())?;
     let (sells, buys) = if is_deposit {
-        (vec![(amount, underlying)], vec![(shares, share_token)])
+        (
+            TradeSide::one(amount, underlying),
+            TradeSide::one(shares, share_token),
+        )
     } else {
-        (vec![(shares, share_token)], vec![(amount, underlying)])
+        (
+            TradeSide::one(shares, share_token),
+            TradeSide::one(amount, underlying),
+        )
     };
     Some(Trade {
         seq: log.seq,

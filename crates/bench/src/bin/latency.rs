@@ -8,7 +8,9 @@
 //! ```
 
 use leishen::DetectorConfig;
-use leishen_bench::{cli_f64, cli_u64, known_attack_world, measure_latencies, percentile, wild_world};
+use leishen_bench::{
+    cli_f64, cli_u64, known_attack_world, measure_latencies, percentile, sort_samples, wild_world,
+};
 
 fn main() {
     let seed = cli_u64("--seed", 42);
@@ -42,6 +44,7 @@ fn main() {
 
 fn report(name: &str, lat: &mut [f64]) {
     let mean = lat.iter().sum::<f64>() / lat.len().max(1) as f64;
+    sort_samples(lat);
     let p50 = percentile(lat, 50.0);
     let p75 = percentile(lat, 75.0);
     let p99 = percentile(lat, 99.0);

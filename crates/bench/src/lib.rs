@@ -20,7 +20,8 @@
 
 use std::time::Instant;
 
-use leishen::{DetectorConfig, LeiShen};
+use ethsim::TxRecord;
+use leishen::{DetectorConfig, LeiShen, ScanEngine, TagCache};
 use leishen_scenarios::generator::{generate, GeneratorConfig};
 use leishen_scenarios::{run_all_attacks, ExecutedAttack, GeneratedTx, World};
 
@@ -101,6 +102,20 @@ pub fn print_table(headers: &[&str], rows: &[Vec<String>]) {
     }
 }
 
+/// Replays a transaction set into records, sorted by transaction id —
+/// the canonical batch ordering for [`ScanEngine`] scans, so serial and
+/// parallel runs are comparable element by element.
+pub fn corpus_records(
+    world: &World,
+    txs: impl Iterator<Item = ethsim::TxId>,
+) -> Vec<&TxRecord> {
+    let mut records: Vec<&TxRecord> = txs
+        .map(|tx| world.chain.replay(tx).expect("recorded"))
+        .collect();
+    records.sort_by_key(|r| r.id);
+    records
+}
+
 /// Times the detector over a set of transactions and returns latencies in
 /// microseconds (per transaction).
 pub fn measure_latencies(
@@ -123,14 +138,124 @@ pub fn measure_latencies(
     out
 }
 
-/// Percentile of a sample (p in 0..=100), by nearest-rank.
-pub fn percentile(samples: &mut [f64], p: f64) -> f64 {
-    if samples.is_empty() {
+/// Per-transaction latencies (µs) through the batch-scan hot path: tags
+/// resolved via one shared [`TagCache`] across the whole set. The
+/// cache-warm twin of [`measure_latencies`].
+pub fn measure_latencies_cached(
+    world: &World,
+    txs: impl Iterator<Item = ethsim::TxId>,
+    config: DetectorConfig,
+) -> Vec<f64> {
+    let labels = world.detector_labels();
+    let view = world.view(&labels);
+    let detector = LeiShen::new(config);
+    let cache = TagCache::new();
+    let mut out = Vec::new();
+    for tx in txs {
+        let record = world.chain.replay(tx).expect("recorded");
+        let start = Instant::now();
+        let analysis = detector.analyze_cached(record, &view, &cache);
+        let elapsed = start.elapsed().as_secs_f64() * 1e6;
+        std::hint::black_box(&analysis);
+        out.push(elapsed);
+    }
+    out
+}
+
+/// One timed batch scan.
+#[derive(Clone, Copy, Debug)]
+pub struct ThroughputRun {
+    /// Worker threads used (0 ⇒ plain serial `analyze` loop, no cache).
+    pub workers: usize,
+    /// Transactions scanned.
+    pub transactions: usize,
+    /// Wall-clock time for the whole batch, microseconds.
+    pub elapsed_us: f64,
+    /// Transactions per second.
+    pub tx_per_sec: f64,
+}
+
+impl ThroughputRun {
+    fn from_elapsed(workers: usize, transactions: usize, secs: f64) -> ThroughputRun {
+        ThroughputRun {
+            workers,
+            transactions,
+            elapsed_us: secs * 1e6,
+            tx_per_sec: transactions as f64 / secs.max(1e-12),
+        }
+    }
+}
+
+/// Times the plain serial loop (`analyze` per transaction, no shared
+/// cache) over the batch — the baseline [`measure_throughput`] runs are
+/// compared against. Like the engine, the loop collects every
+/// [`leishen::Analysis`], so both sides are timed producing the same
+/// output.
+pub fn measure_serial_throughput(
+    world: &World,
+    txs: impl Iterator<Item = ethsim::TxId>,
+    config: DetectorConfig,
+) -> ThroughputRun {
+    let labels = world.detector_labels();
+    let view = world.view(&labels);
+    let detector = LeiShen::new(config);
+    let records = corpus_records(world, txs);
+    let start = Instant::now();
+    let analyses: Vec<leishen::Analysis> = records
+        .iter()
+        .map(|record| detector.analyze(record, &view))
+        .collect();
+    let secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(&analyses);
+    ThroughputRun::from_elapsed(0, records.len(), secs)
+}
+
+/// Times a [`ScanEngine`] batch scan at the given worker count — the
+/// batch-scanning twin of [`measure_latencies`]. Replay happens outside
+/// the timed region. The caller provides the shared [`TagCache`] so it
+/// persists across batches, which is the engine's steady state: a scanner
+/// that processes corpus after corpus over the same chain keeps one cache
+/// alive (that is what [`ScanEngine::scan_with_cache`] is for), so only
+/// the very first batch pays the cold tag-resolution misses. Pass a fresh
+/// cache to time a cold scan instead.
+pub fn measure_throughput(
+    world: &World,
+    txs: impl Iterator<Item = ethsim::TxId>,
+    config: DetectorConfig,
+    workers: usize,
+    cache: &TagCache,
+) -> ThroughputRun {
+    let labels = world.detector_labels();
+    let view = world.view(&labels);
+    let detector = LeiShen::new(config);
+    let records = corpus_records(world, txs);
+    let engine = ScanEngine::new(workers);
+    let start = Instant::now();
+    let analyses = engine.scan_with_cache(&detector, &records, &view, cache);
+    let secs = start.elapsed().as_secs_f64();
+    std::hint::black_box(&analyses);
+    ThroughputRun::from_elapsed(workers, records.len(), secs)
+}
+
+/// Sorts a sample ascending (NaN-tolerant) — do this **once**, then take
+/// as many [`percentile`]s as needed.
+pub fn sort_samples(samples: &mut [f64]) {
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+}
+
+/// Percentile of an **ascending-sorted** sample (p in 0..=100), by
+/// nearest-rank. Callers sort once via [`sort_samples`] instead of this
+/// function re-sorting on every call.
+pub fn percentile(sorted: &[f64], p: f64) -> f64 {
+    if sorted.is_empty() {
         return 0.0;
     }
-    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
-    let rank = ((p / 100.0) * samples.len() as f64).ceil().max(1.0) as usize - 1;
-    samples[rank.min(samples.len() - 1)]
+    debug_assert!(
+        sorted.windows(2).all(|w| w[0] <= w[1]),
+        "percentile() expects sorted input; call sort_samples() first"
+    );
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize - 1;
+    sorted[rank.min(sorted.len() - 1)]
 }
 
 #[cfg(test)]
@@ -140,10 +265,12 @@ mod tests {
     #[test]
     fn percentile_nearest_rank() {
         let mut v = vec![5.0, 1.0, 3.0, 2.0, 4.0];
-        assert_eq!(percentile(&mut v, 50.0), 3.0);
-        assert_eq!(percentile(&mut v, 100.0), 5.0);
-        assert_eq!(percentile(&mut v, 1.0), 1.0);
-        assert_eq!(percentile(&mut [], 50.0), 0.0);
+        sort_samples(&mut v);
+        assert_eq!(v, vec![1.0, 2.0, 3.0, 4.0, 5.0]);
+        assert_eq!(percentile(&v, 50.0), 3.0);
+        assert_eq!(percentile(&v, 100.0), 5.0);
+        assert_eq!(percentile(&v, 1.0), 1.0);
+        assert_eq!(percentile(&[], 50.0), 0.0);
     }
 
     #[test]

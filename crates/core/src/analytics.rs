@@ -243,7 +243,7 @@ pub fn cluster_reports(
 mod tests {
     use super::*;
     use crate::tagging::Tag;
-    use crate::trades::TradeKind;
+    use crate::trades::{TradeKind, TradeSide};
 
     fn trade(seq: u32, sell: u128, st: u32, buy: u128, bt: u32) -> Trade {
         Trade {
@@ -251,8 +251,8 @@ mod tests {
             kind: TradeKind::Swap,
             buyer: Tag::App("E".into()),
             seller: Tag::App("Uni".into()),
-            sells: vec![(sell, TokenId::from_index(st))],
-            buys: vec![(buy, TokenId::from_index(bt))],
+            sells: TradeSide::one(sell, TokenId::from_index(st)),
+            buys: TradeSide::one(buy, TokenId::from_index(bt)),
         }
     }
 

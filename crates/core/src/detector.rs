@@ -9,11 +9,12 @@ use crate::analytics::{pair_volatility, profit_of, PairVolatility, UsdPriceTable
 use crate::config::DetectorConfig;
 use crate::flashloan::{identify_flash_loans, FlashLoanEvent};
 use crate::labels::Labels;
-use crate::patterns::{match_all, PatternMatch};
+use crate::patterns::{all_legs, match_all_legs_scratch, PatternMatch, PatternScratch};
 use crate::report::AttackReport;
-use crate::simplify::simplify;
-use crate::tagging::{tag_of, tag_transfers, Tag, TaggedTransfer};
-use crate::trades::{identify_trades, Trade};
+use crate::scan::{BuildFnv, TagCache};
+use crate::simplify::simplify_into;
+use crate::tagging::{tag_of, tag_transfers_with_into, Tag, TaggedTransfer};
+use crate::trades::{identify_trades_into, Trade};
 
 /// The detector's read-only view of chain context: the label cloud, the
 /// creation dataset, and (optionally) which token is WETH.
@@ -63,9 +64,13 @@ pub struct Analysis {
     pub flash_loans: Vec<FlashLoanEvent>,
     /// Account-level transfer count (stage 1 input size).
     pub account_transfer_count: usize,
-    /// Tagged account-level transfers (stage 2a).
-    pub tagged: Vec<TaggedTransfer>,
-    /// Application-level transfers after simplification (stage 2b).
+    /// Application-level transfers after simplification (stage 2). The
+    /// stage-2a tagged account-level list is transient — it is one entry
+    /// per raw transfer, so retaining it would dominate the memory of a
+    /// batch scan; callers that need it can re-run [`tag_transfers`]
+    /// (it is deterministic).
+    ///
+    /// [`tag_transfers`]: crate::tagging::tag_transfers
     pub app_transfers: Vec<TaggedTransfer>,
     /// Identified trades (stage 3a).
     pub trades: Vec<Trade>,
@@ -111,6 +116,52 @@ impl LeiShen {
     /// signature short-circuit with an empty analysis (LeiShen only takes
     /// flash-loan transactions as input).
     pub fn analyze(&self, tx: &TxRecord, view: &ChainView<'_>) -> Analysis {
+        self.analyze_with(tx, view, &mut |addr| {
+            tag_of(addr, view.labels, &view.creations)
+        })
+    }
+
+    /// Like [`LeiShen::analyze`], resolving tags through a shared
+    /// [`TagCache`] so repeated addresses across a batch scan are tagged
+    /// once. Produces exactly the same [`Analysis`] as `analyze`.
+    pub fn analyze_cached(
+        &self,
+        tx: &TxRecord,
+        view: &ChainView<'_>,
+        cache: &TagCache,
+    ) -> Analysis {
+        self.analyze_with(tx, view, &mut |addr| {
+            cache.resolve(addr, view.labels, &view.creations)
+        })
+    }
+
+    /// Like [`LeiShen::analyze`], resolving tags through an arbitrary
+    /// caller-supplied resolver, which must map the zero address to
+    /// [`Tag::BlackHole`] and otherwise agree with
+    /// [`tag_of`] for the view's labels and creations. This is how
+    /// [`crate::scan::ScanEngine`] workers plug in their thread-local
+    /// cache fronts.
+    pub fn analyze_with(
+        &self,
+        tx: &TxRecord,
+        view: &ChainView<'_>,
+        resolve: &mut dyn FnMut(Address) -> Tag,
+    ) -> Analysis {
+        self.analyze_scratch(tx, view, resolve, &mut AnalysisScratch::default())
+    }
+
+    /// Like [`LeiShen::analyze_with`], with caller-provided scratch
+    /// buffers. Every intermediate the pipeline does not return moves
+    /// into `scratch` and is reused on the next call, so a worker
+    /// analyzing a batch pays for those buffers once instead of once per
+    /// transaction. Produces exactly the same [`Analysis`] as `analyze`.
+    pub fn analyze_scratch(
+        &self,
+        tx: &TxRecord,
+        view: &ChainView<'_>,
+        resolve: &mut dyn FnMut(Address) -> Tag,
+        scratch: &mut AnalysisScratch,
+    ) -> Analysis {
         let flash_loans = if tx.status.is_success() {
             identify_flash_loans(tx)
         } else {
@@ -120,38 +171,50 @@ impl LeiShen {
             return Analysis {
                 flash_loans,
                 account_transfer_count: tx.trace.transfers.len(),
-                tagged: Vec::new(),
                 app_transfers: Vec::new(),
                 trades: Vec::new(),
                 matches: Vec::new(),
                 borrower_tags: Vec::new(),
             };
         }
+        let AnalysisScratch {
+            tagged,
+            patterns,
+            seen_tags,
+            seen_matches,
+        } = scratch;
 
-        // Stage 2: account tagging + simplification.
-        let tagged = tag_transfers(&tx.trace.transfers, view.labels, &view.creations);
-        let app_transfers = simplify(&tagged, view.weth, &self.config);
+        // Stage 2: account tagging + simplification. Buffers are sized up
+        // front: simplification only ever removes or merges transfers.
+        tag_transfers_with_into(&tx.trace.transfers, &mut *resolve, tagged);
+        let mut app_transfers = Vec::with_capacity(tagged.len());
+        simplify_into(tagged, view.weth, &self.config, &mut app_transfers);
 
         // Stage 3: trades + patterns, per distinct borrower tag. The tx
         // initiator is always considered a borrower identity as well — the
         // borrower contract acts on its behalf, and the two usually share a
         // creation-tree tag anyway.
-        let trades = identify_trades(&app_transfers);
+        let mut trades = Vec::with_capacity(app_transfers.len() / 2 + 1);
+        identify_trades_into(&app_transfers, &mut trades);
         let mut borrower_tags: Vec<Tag> = Vec::new();
+        seen_tags.clear();
         for loan in &flash_loans {
-            let t = tag_of(loan.borrower, view.labels, &view.creations);
-            if !borrower_tags.contains(&t) {
+            let t = resolve(loan.borrower);
+            if seen_tags.insert(t.clone()) {
                 borrower_tags.push(t);
             }
         }
-        let initiator_tag = tag_of(tx.from, view.labels, &view.creations);
-        if !borrower_tags.contains(&initiator_tag) {
+        let initiator_tag = resolve(tx.from);
+        if seen_tags.insert(initiator_tag.clone()) {
             borrower_tags.push(initiator_tag);
         }
-        let mut matches = Vec::new();
+        // Legs are flattened once and shared across borrower tags.
+        let legs = all_legs(&trades);
+        let mut matches: Vec<PatternMatch> = Vec::new();
+        seen_matches.clear();
         for tag in &borrower_tags {
-            for m in match_all(&trades, tag, &self.config) {
-                if !matches.contains(&m) {
+            for m in match_all_legs_scratch(&legs, tag, &self.config, patterns) {
+                if seen_matches.insert(match_key(&m)) {
                     matches.push(m);
                 }
             }
@@ -160,7 +223,6 @@ impl LeiShen {
         Analysis {
             flash_loans,
             account_transfer_count: tx.trace.transfers.len(),
-            tagged,
             app_transfers,
             trades,
             matches,
@@ -176,13 +238,39 @@ impl LeiShen {
         view: &ChainView<'_>,
         prices: Option<&UsdPriceTable>,
     ) -> Option<AttackReport> {
-        let analysis = self.analyze(tx, view);
+        self.detect_impl(tx, view, prices, &mut |addr| {
+            tag_of(addr, view.labels, &view.creations)
+        })
+    }
+
+    /// Like [`LeiShen::detect`], resolving tags through a shared
+    /// [`TagCache`].
+    pub fn detect_cached(
+        &self,
+        tx: &TxRecord,
+        view: &ChainView<'_>,
+        prices: Option<&UsdPriceTable>,
+        cache: &TagCache,
+    ) -> Option<AttackReport> {
+        self.detect_impl(tx, view, prices, &mut |addr| {
+            cache.resolve(addr, view.labels, &view.creations)
+        })
+    }
+
+    fn detect_impl(
+        &self,
+        tx: &TxRecord,
+        view: &ChainView<'_>,
+        prices: Option<&UsdPriceTable>,
+        resolve: &mut dyn FnMut(Address) -> Tag,
+    ) -> Option<AttackReport> {
+        let analysis = self.analyze_with(tx, view, resolve);
         if !analysis.is_attack() {
             return None;
         }
         let volatilities: Vec<PairVolatility> = pair_volatility(&analysis.trades);
         let profit_usd = prices.map(|p| {
-            let accounts = borrower_accounts(tx, view, &analysis);
+            let accounts = borrower_accounts(tx, &analysis, resolve);
             profit_of(&tx.trace.transfers, &accounts, p)
         });
         Some(AttackReport {
@@ -198,12 +286,47 @@ impl LeiShen {
     }
 }
 
+/// Reusable per-worker buffers for [`LeiShen::analyze_scratch`]: the
+/// transient tagged-transfer list, the pattern stage's pair and series
+/// buffers, and the two dedup sets. One scratch per scan worker
+/// amortizes several heap allocations per transaction on the batch-scan
+/// hot path.
+#[derive(Debug, Default)]
+pub struct AnalysisScratch {
+    tagged: Vec<TaggedTransfer>,
+    patterns: PatternScratch,
+    seen_tags: HashSet<Tag, BuildFnv>,
+    seen_matches: HashSet<MatchKey, BuildFnv>,
+}
+
+/// Dedup key for [`PatternMatch`] (which is `PartialEq`-only because of
+/// its `f64` volatility): the float joins the key by bit pattern.
+type MatchKey = (
+    crate::patterns::PatternKind,
+    TokenId,
+    TokenId,
+    Vec<u32>,
+    u64,
+    String,
+);
+
+fn match_key(m: &PatternMatch) -> MatchKey {
+    (
+        m.kind,
+        m.target_token,
+        m.quote_token,
+        m.trade_seqs.clone(),
+        m.volatility.to_bits(),
+        m.counterparty.clone(),
+    )
+}
+
 /// All addresses in the transaction that share a borrower tag — the
 /// attacker's account cluster for profit accounting.
 fn borrower_accounts(
     tx: &TxRecord,
-    view: &ChainView<'_>,
     analysis: &Analysis,
+    resolve: &mut dyn FnMut(Address) -> Tag,
 ) -> HashSet<Address> {
     let mut accounts = HashSet::new();
     accounts.insert(tx.from);
@@ -216,7 +339,7 @@ fn borrower_accounts(
             if addr.is_zero() || accounts.contains(&addr) {
                 continue;
             }
-            let tag = tag_of(addr, view.labels(), view.creations());
+            let tag = resolve(addr);
             if borrower_tags.contains(&tag) {
                 accounts.insert(addr);
             }
@@ -369,7 +492,6 @@ mod tests {
         let base = Analysis {
             flash_loans: vec![],
             account_transfer_count: 0,
-            tagged: vec![],
             app_transfers: vec![],
             trades: vec![],
             matches: vec![],
@@ -421,7 +543,7 @@ mod tests {
         let analysis = LeiShen::default().analyze(&record, &view);
         assert!(analysis.flash_loans.is_empty());
         assert!(!analysis.is_attack());
-        assert!(analysis.tagged.is_empty(), "pipeline short-circuits");
+        assert!(analysis.app_transfers.is_empty(), "pipeline short-circuits");
         assert!(LeiShen::default().detect(&record, &view, None).is_none());
     }
 

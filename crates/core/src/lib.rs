@@ -55,18 +55,20 @@ pub mod heuristics;
 pub mod labels;
 pub mod patterns;
 pub mod report;
+pub mod scan;
 pub mod simplify;
 pub mod tagging;
 pub mod trades;
 
 pub use analytics::{cluster_reports, pair_volatility, profit_of, AttackCluster, PairVolatility};
 pub use config::DetectorConfig;
-pub use detector::{Analysis, ChainView, LeiShen};
+pub use detector::{Analysis, AnalysisScratch, ChainView, LeiShen};
 pub use flashloan::{identify_flash_loans, FlashLoanEvent, Provider};
 pub use forensics::{trace_exits, ExitKind, ExitReport};
 pub use labels::Labels;
-pub use patterns::{PatternKind, PatternMatch};
+pub use patterns::{PatternKind, PatternMatch, PatternScratch};
 pub use report::AttackReport;
-pub use simplify::simplify;
-pub use tagging::{tag_transfers, Tag, TagMap, TaggedTransfer};
-pub use trades::{identify_trades, Trade, TradeKind};
+pub use scan::{LocalTagCache, ScanEngine, ScanStats, TagCache};
+pub use simplify::{simplify, simplify_into};
+pub use tagging::{tag_transfers, tag_transfers_with, tag_transfers_with_into, Tag, TagMap, TaggedTransfer};
+pub use trades::{identify_trades, identify_trades_into, Trade, TradeKind, TradeSide};

@@ -16,7 +16,7 @@
 //! enabling it changes.
 
 use crate::config::DetectorConfig;
-use crate::patterns::{borrower_pairs, buys_of, sells_of, PatternKind, PatternMatch};
+use crate::patterns::{for_each_pair, PairLegs, PatternKind, PatternMatch};
 use crate::tagging::Tag;
 use crate::trades::TradeLeg;
 
@@ -27,43 +27,53 @@ pub fn detect(
     config: &DetectorConfig,
 ) -> Vec<PatternMatch> {
     let mut out = Vec::new();
-    for (quote, target) in borrower_pairs(legs, borrower) {
-        let sells = sells_of(legs, Some(borrower), quote, target);
-        let buys = buys_of(legs, Some(borrower), quote, target);
-        let mut found = false;
-        for dump in &sells {
-            if found {
-                break;
+    let mut scratch = crate::patterns::PatternScratch::default();
+    for_each_pair(legs, borrower, &mut scratch, |pair, _| {
+        detect_pair(pair, config, &mut out)
+    });
+    out
+}
+
+/// KDP over one pair's leg views — allocation-free until a match.
+pub(crate) fn detect_pair(
+    pair: &PairLegs<'_, '_, '_>,
+    config: &DetectorConfig,
+    out: &mut Vec<PatternMatch>,
+) {
+    let mut found = false;
+    for &dump in pair.own_sells {
+        let dump = pair.leg(dump);
+        if found {
+            break;
+        }
+        let Some(dump_rate) = dump.sell_rate() else { continue };
+        for &rebuy in pair.own_buys {
+            let rebuy = pair.leg(rebuy);
+            if rebuy.seq <= dump.seq {
+                continue;
             }
-            let Some(dump_rate) = dump.sell_rate() else { continue };
-            for rebuy in &buys {
-                if rebuy.seq <= dump.seq {
-                    continue;
-                }
-                if rebuy.buy_amount >= dump.sell_amount {
-                    continue; // not a net dump: the mirror of a pump/dump
-                }
-                let Some(rebuy_rate) = rebuy.buy_rate() else { continue };
-                if rebuy_rate >= dump_rate {
-                    continue; // must re-accumulate cheaper
-                }
-                let drop = (dump_rate - rebuy_rate) / dump_rate;
-                if drop >= config.kdp_min_drop {
-                    out.push(PatternMatch {
-                        kind: PatternKind::Kdp,
-                        target_token: target,
-                        quote_token: quote,
-                        trade_seqs: vec![dump.seq, rebuy.seq],
-                        volatility: drop,
-                        counterparty: dump.seller.to_string(),
-                    });
-                    found = true;
-                    break;
-                }
+            if rebuy.buy_amount >= dump.sell_amount {
+                continue; // not a net dump: the mirror of a pump/dump
+            }
+            let Some(rebuy_rate) = rebuy.buy_rate() else { continue };
+            if rebuy_rate >= dump_rate {
+                continue; // must re-accumulate cheaper
+            }
+            let drop = (dump_rate - rebuy_rate) / dump_rate;
+            if drop >= config.kdp_min_drop {
+                out.push(PatternMatch {
+                    kind: PatternKind::Kdp,
+                    target_token: pair.target,
+                    quote_token: pair.quote,
+                    trade_seqs: vec![dump.seq, rebuy.seq],
+                    volatility: drop,
+                    counterparty: dump.seller.to_string(),
+                });
+                found = true;
+                break;
             }
         }
     }
-    out
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@
 //! * (c) `N ≥ 5` (the minimum over real-world KRP attacks; bZx-2 used 18).
 
 use crate::config::DetectorConfig;
-use crate::patterns::{borrower_pairs, buys_of, sells_of, PatternKind, PatternMatch};
+use crate::patterns::{for_each_pair, MatcherScratch, PairLegs, PatternKind, PatternMatch, PatternScratch};
 use crate::tagging::Tag;
 use crate::trades::TradeLeg;
 
@@ -19,50 +19,76 @@ pub fn detect(
     config: &DetectorConfig,
 ) -> Vec<PatternMatch> {
     let mut out = Vec::new();
-    for (quote, target) in borrower_pairs(legs, borrower) {
-        let buys = buys_of(legs, Some(borrower), quote, target);
-        let sells = sells_of(legs, Some(borrower), quote, target);
-        if sells.is_empty() {
-            continue;
+    let mut scratch = PatternScratch::default();
+    for_each_pair(legs, borrower, &mut scratch, |pair, matcher| {
+        detect_pair(pair, config, matcher, &mut out)
+    });
+    out
+}
+
+/// KRP over one pair's leg views. Most pairs fall to the `min_buys` gate
+/// up front; past it, the per-seller series go into the reused scratch,
+/// so nothing allocates until a match is emitted.
+pub(crate) fn detect_pair(
+    pair: &PairLegs<'_, '_, '_>,
+    config: &DetectorConfig,
+    scratch: &mut MatcherScratch,
+    out: &mut Vec<PatternMatch>,
+) {
+    if pair.own_sells.is_empty() || pair.own_buys.len() < config.krp_min_buys {
+        return;
+    }
+    let MatcherScratch {
+        sellers, series, ..
+    } = scratch;
+    // Group buys by seller (condition a), keyed by a representative leg.
+    sellers.clear();
+    for &b in pair.own_buys {
+        if !sellers
+            .iter()
+            .any(|&s| pair.leg(s).seller == pair.leg(b).seller)
+        {
+            sellers.push(b);
         }
-        // Group buys by seller (condition a).
-        let mut sellers: Vec<&Tag> = Vec::new();
-        for b in &buys {
-            if !sellers.contains(&b.seller) {
-                sellers.push(b.seller);
+    }
+    'sellers: for &s in sellers.iter() {
+        let seller = pair.leg(s).seller;
+        series.clear();
+        series.extend(
+            pair.own_buys
+                .iter()
+                .copied()
+                .filter(|&b| pair.leg(b).seller == seller),
+        );
+        for &sell_i in pair.own_sells {
+            let sell = pair.leg(sell_i);
+            // `series` is seq-ascending, so the buys before this sell are
+            // exactly its first `n` elements.
+            let n = series.partition_point(|&b| pair.leg(b).seq < sell.seq);
+            if n < config.krp_min_buys {
+                continue;
             }
-        }
-        'sellers: for seller in sellers {
-            let series: Vec<&&TradeLeg<'_>> =
-                buys.iter().filter(|b| b.seller == seller).collect();
-            for sell in &sells {
-                let prefix: Vec<&&&TradeLeg<'_>> =
-                    series.iter().filter(|b| b.seq < sell.seq).collect();
-                if prefix.len() < config.krp_min_buys {
-                    continue;
-                }
-                let first_rate = prefix.first().and_then(|l| l.buy_rate());
-                let last_rate = prefix.last().and_then(|l| l.buy_rate());
-                let (Some(first), Some(last)) = (first_rate, last_rate) else {
-                    continue;
-                };
-                if first < last {
-                    let mut seqs: Vec<u32> = prefix.iter().map(|l| l.seq).collect();
-                    seqs.push(sell.seq);
-                    out.push(PatternMatch {
-                        kind: PatternKind::Krp,
-                        target_token: target,
-                        quote_token: quote,
-                        trade_seqs: seqs,
-                        volatility: (last - first) / first,
-                        counterparty: seller.to_string(),
-                    });
-                    continue 'sellers; // one match per (pair, seller)
-                }
+            let (Some(first), Some(last)) = (
+                pair.leg(series[0]).buy_rate(),
+                pair.leg(series[n - 1]).buy_rate(),
+            ) else {
+                continue;
+            };
+            if first < last {
+                let mut seqs: Vec<u32> = series[..n].iter().map(|&b| pair.leg(b).seq).collect();
+                seqs.push(sell.seq);
+                out.push(PatternMatch {
+                    kind: PatternKind::Krp,
+                    target_token: pair.target,
+                    quote_token: pair.quote,
+                    trade_seqs: seqs,
+                    volatility: (last - first) / first,
+                    counterparty: seller.to_string(),
+                });
+                continue 'sellers; // one match per (pair, seller)
             }
         }
     }
-    out
 }
 
 #[cfg(test)]

@@ -8,7 +8,7 @@
 //! * (c) at least `N ≥ 3` rounds (Harvest Finance ran exactly 3).
 
 use crate::config::DetectorConfig;
-use crate::patterns::{borrower_pairs, buys_of, sells_of, PatternKind, PatternMatch};
+use crate::patterns::{for_each_pair, MatcherScratch, PairLegs, PatternKind, PatternMatch, PatternScratch};
 use crate::tagging::Tag;
 use crate::trades::TradeLeg;
 
@@ -19,62 +19,97 @@ pub fn detect(
     config: &DetectorConfig,
 ) -> Vec<PatternMatch> {
     let mut out = Vec::new();
-    for (quote, target) in borrower_pairs(legs, borrower) {
-        let buys = buys_of(legs, Some(borrower), quote, target);
-        let sells = sells_of(legs, Some(borrower), quote, target);
-        // Candidate counterparties (condition a: shared seller).
-        let mut sellers: Vec<&Tag> = Vec::new();
-        for l in buys.iter().chain(sells.iter()) {
-            if !sellers.contains(&l.seller) {
-                sellers.push(l.seller);
-            }
-        }
-        for seller in sellers {
-            // Interleave this seller's buys and sells by sequence.
-            let mut events: Vec<(bool, &&TradeLeg<'_>)> = buys
-                .iter()
-                .filter(|l| l.seller == seller)
-                .map(|l| (true, l))
-                .chain(sells.iter().filter(|l| l.seller == seller).map(|l| (false, l)))
-                .collect();
-            events.sort_by_key(|(_, l)| l.seq);
+    let mut scratch = PatternScratch::default();
+    for_each_pair(legs, borrower, &mut scratch, |pair, matcher| {
+        detect_pair(pair, config, matcher, &mut out)
+    });
+    out
+}
 
-            let mut pending_buy: Option<&TradeLeg<'_>> = None;
-            let mut rounds: Vec<(u32, u32)> = Vec::new();
-            let mut min_rate = f64::INFINITY;
-            let mut max_rate = f64::NEG_INFINITY;
-            for (is_buy, leg) in events {
-                if is_buy {
-                    pending_buy = Some(leg);
-                } else if let Some(b) = pending_buy.take() {
-                    let (Some(buy_price), Some(sell_price)) = (b.buy_rate(), leg.sell_rate())
-                    else {
-                        continue;
-                    };
-                    if buy_price < sell_price {
-                        rounds.push((b.seq, leg.seq));
-                        min_rate = min_rate.min(buy_price);
-                        max_rate = max_rate.max(sell_price);
-                    }
-                }
-            }
-            if rounds.len() >= config.mbs_min_rounds {
-                out.push(PatternMatch {
-                    kind: PatternKind::Mbs,
-                    target_token: target,
-                    quote_token: quote,
-                    trade_seqs: rounds.iter().flat_map(|(b, s)| [*b, *s]).collect(),
-                    volatility: if min_rate > 0.0 {
-                        (max_rate - min_rate) / min_rate
-                    } else {
-                        0.0
-                    },
-                    counterparty: seller.to_string(),
-                });
-            }
+/// MBS over one pair's leg views. Every round consumes one buy and one
+/// sell, so pairs with fewer than `min_rounds` of either fall to the
+/// gate up front; past it, the event and round lists go into the reused
+/// scratch, so nothing allocates until a match is emitted.
+pub(crate) fn detect_pair(
+    pair: &PairLegs<'_, '_, '_>,
+    config: &DetectorConfig,
+    scratch: &mut MatcherScratch,
+    out: &mut Vec<PatternMatch>,
+) {
+    let buys = pair.own_buys;
+    let sells = pair.own_sells;
+    if buys.len() < config.mbs_min_rounds || sells.len() < config.mbs_min_rounds {
+        return;
+    }
+    let MatcherScratch {
+        sellers,
+        events,
+        rounds,
+        ..
+    } = scratch;
+    // Candidate counterparties (condition a: shared seller), keyed by a
+    // representative leg.
+    sellers.clear();
+    for &l in buys.iter().chain(sells.iter()) {
+        if !sellers
+            .iter()
+            .any(|&s| pair.leg(s).seller == pair.leg(l).seller)
+        {
+            sellers.push(l);
         }
     }
-    out
+    for &s in sellers.iter() {
+        let seller = pair.leg(s).seller;
+        // Interleave this seller's buys and sells by sequence.
+        events.clear();
+        events.extend(
+            buys.iter()
+                .filter(|&&l| pair.leg(l).seller == seller)
+                .map(|&l| (true, l))
+                .chain(
+                    sells
+                        .iter()
+                        .filter(|&&l| pair.leg(l).seller == seller)
+                        .map(|&l| (false, l)),
+                ),
+        );
+        events.sort_by_key(|&(_, l)| pair.leg(l).seq);
+
+        let mut pending_buy: Option<&TradeLeg<'_>> = None;
+        rounds.clear();
+        let mut min_rate = f64::INFINITY;
+        let mut max_rate = f64::NEG_INFINITY;
+        for &(is_buy, leg_i) in events.iter() {
+            let leg = pair.leg(leg_i);
+            if is_buy {
+                pending_buy = Some(leg);
+            } else if let Some(b) = pending_buy.take() {
+                let (Some(buy_price), Some(sell_price)) = (b.buy_rate(), leg.sell_rate())
+                else {
+                    continue;
+                };
+                if buy_price < sell_price {
+                    rounds.push((b.seq, leg.seq));
+                    min_rate = min_rate.min(buy_price);
+                    max_rate = max_rate.max(sell_price);
+                }
+            }
+        }
+        if rounds.len() >= config.mbs_min_rounds {
+            out.push(PatternMatch {
+                kind: PatternKind::Mbs,
+                target_token: pair.target,
+                quote_token: pair.quote,
+                trade_seqs: rounds.iter().flat_map(|(b, s)| [*b, *s]).collect(),
+                volatility: if min_rate > 0.0 {
+                    (max_rate - min_rate) / min_rate
+                } else {
+                    0.0
+                },
+                counterparty: seller.to_string(),
+            });
+        }
+    }
 }
 
 #[cfg(test)]

@@ -81,71 +81,198 @@ pub fn match_all(
     borrower: &Tag,
     config: &DetectorConfig,
 ) -> Vec<PatternMatch> {
-    let legs = all_legs(trades);
+    match_all_legs(&all_legs(trades), borrower, config)
+}
+
+/// [`match_all`] over pre-flattened legs. Callers evaluating several
+/// borrower tags against the same trades flatten (and sort) once via
+/// [`all_legs`] instead of once per tag.
+///
+/// The per-pair buy/sell leg views are computed **once** and shared by
+/// all matchers (each used to recompute them), and the output keeps
+/// `match_all`'s historical kind-major order (all KRP, then SBS, then
+/// MBS).
+pub fn match_all_legs(
+    legs: &[TradeLeg<'_>],
+    borrower: &Tag,
+    config: &DetectorConfig,
+) -> Vec<PatternMatch> {
+    match_all_legs_scratch(legs, borrower, config, &mut PatternScratch::default())
+}
+
+/// [`match_all_legs`] with caller-provided scratch buffers. Batch
+/// scanners keep one [`PatternScratch`] per worker and reuse it across
+/// transactions, so the pair and series buffers below are allocated once
+/// per worker rather than once per transaction.
+pub fn match_all_legs_scratch(
+    legs: &[TradeLeg<'_>],
+    borrower: &Tag,
+    config: &DetectorConfig,
+    scratch: &mut PatternScratch,
+) -> Vec<PatternMatch> {
     let mut out = Vec::new();
-    out.extend(krp::detect(&legs, borrower, config));
-    out.extend(sbs::detect(&legs, borrower, config));
-    out.extend(mbs::detect(&legs, borrower, config));
-    if config.experimental_kdp {
-        out.extend(kdp::detect(&legs, borrower, config));
-    }
+    let mut sbs_m = Vec::new();
+    let mut mbs_m = Vec::new();
+    let mut kdp_m = Vec::new();
+    for_each_pair(legs, borrower, scratch, |pair, matcher| {
+        krp::detect_pair(pair, config, matcher, &mut out);
+        sbs::detect_pair(pair, config, &mut sbs_m);
+        mbs::detect_pair(pair, config, matcher, &mut mbs_m);
+        if config.experimental_kdp {
+            kdp::detect_pair(pair, config, &mut kdp_m);
+        }
+    });
+    out.append(&mut sbs_m);
+    out.append(&mut mbs_m);
+    out.append(&mut kdp_m);
     out
+}
+
+/// Reusable buffers for the pattern stage.
+///
+/// Leg views are stored as *indices* into the flattened legs slice rather
+/// than references, so the scratch borrows nothing and one instance can
+/// be reused across transactions with different leg lifetimes.
+#[derive(Debug, Default)]
+pub struct PatternScratch {
+    pairs: Vec<(TokenId, TokenId)>,
+    own_buys: Vec<u32>,
+    any_buys: Vec<u32>,
+    own_sells: Vec<u32>,
+    matcher: MatcherScratch,
+}
+
+/// Per-seller working buffers the KRP and MBS matchers fill while
+/// examining one pair (also index-based, see [`PatternScratch`]).
+#[derive(Debug, Default)]
+pub(crate) struct MatcherScratch {
+    /// One representative leg index per distinct seller.
+    pub sellers: Vec<u32>,
+    /// KRP: one seller's buy legs, seq-ascending.
+    pub series: Vec<u32>,
+    /// MBS: one seller's interleaved `(is_buy, leg)` events.
+    pub events: Vec<(bool, u32)>,
+    /// MBS: profitable `(buy_seq, sell_seq)` rounds.
+    pub rounds: Vec<(u32, u32)>,
+}
+
+/// The leg views of one `(quote, target)` pair — everything a matcher
+/// looks at, gathered in one pass over the legs. The views are indices
+/// into [`PairLegs::legs`].
+pub(crate) struct PairLegs<'s, 'l, 'a> {
+    /// The flattened legs the index views point into.
+    pub legs: &'l [TradeLeg<'a>],
+    /// The token the target is priced in.
+    pub quote: TokenId,
+    /// The manipulated (target) token.
+    pub target: TokenId,
+    /// The borrower's buys of `target` priced in `quote`, in seq order.
+    pub own_buys: &'s [u32],
+    /// *Anyone's* buys — SBS's pump leg may belong to an intermediary.
+    pub any_buys: &'s [u32],
+    /// The borrower's sells of `target` for `quote`, in seq order.
+    pub own_sells: &'s [u32],
+}
+
+impl<'l, 'a> PairLegs<'_, 'l, 'a> {
+    /// The leg an index view entry points to.
+    pub fn leg(&self, i: u32) -> &'l TradeLeg<'a> {
+        &self.legs[i as usize]
+    }
+}
+
+/// Calls `f` with the [`PairLegs`] of every [`borrower_pairs`] pair and
+/// the scratch the matchers may fill. One legs pass per pair, no
+/// allocation beyond the (reused) scratch capacity. Zero-amount legs are
+/// dropped here (they have no price).
+pub(crate) fn for_each_pair<'l, 'a>(
+    legs: &'l [TradeLeg<'a>],
+    borrower: &Tag,
+    scratch: &mut PatternScratch,
+    mut f: impl FnMut(&PairLegs<'_, 'l, 'a>, &mut MatcherScratch),
+) {
+    let PatternScratch {
+        pairs,
+        own_buys,
+        any_buys,
+        own_sells,
+        matcher,
+    } = scratch;
+    borrower_pairs_into(legs, borrower, pairs);
+    for &(quote, target) in pairs.iter() {
+        own_buys.clear();
+        any_buys.clear();
+        own_sells.clear();
+        for (i, l) in legs.iter().enumerate() {
+            if l.buy_amount == 0 || l.sell_amount == 0 {
+                continue;
+            }
+            if l.buy_token == target && l.sell_token == quote {
+                any_buys.push(i as u32);
+                if l.buyer == borrower {
+                    own_buys.push(i as u32);
+                }
+            } else if l.sell_token == target && l.buy_token == quote && l.buyer == borrower {
+                own_sells.push(i as u32);
+            }
+        }
+        let pair = PairLegs {
+            legs,
+            quote,
+            target,
+            own_buys,
+            any_buys,
+            own_sells,
+        };
+        f(&pair, matcher);
+    }
 }
 
 /// Flattens trades into single-pair legs sorted by sequence.
 pub fn all_legs(trades: &[Trade]) -> Vec<TradeLeg<'_>> {
-    let mut legs: Vec<TradeLeg<'_>> = trades.iter().flat_map(Trade::views).collect();
+    // Reserved for the common one-sell × one-buy shape up front —
+    // `views()`'s nested flat_map has no usable size hint, so plain
+    // `collect` would grow through several reallocations.
+    let mut legs: Vec<TradeLeg<'_>> = Vec::with_capacity(trades.len() * 2);
+    for t in trades {
+        legs.extend(t.views());
+    }
     legs.sort_by_key(|l| l.seq);
     legs
 }
 
 /// Distinct `(quote, target)` pairs traded by `borrower` (both directions
 /// projected onto the target side).
+#[cfg(test)]
 pub(crate) fn borrower_pairs(legs: &[TradeLeg<'_>], borrower: &Tag) -> Vec<(TokenId, TokenId)> {
     let mut pairs = Vec::new();
-    let mut push = |q: TokenId, t: TokenId| {
+    borrower_pairs_into(legs, borrower, &mut pairs);
+    pairs
+}
+
+/// Distinct `(quote, target)` pairs traded by `borrower` (both directions
+/// projected onto the target side), into a reused buffer (cleared first).
+pub(crate) fn borrower_pairs_into(
+    legs: &[TradeLeg<'_>],
+    borrower: &Tag,
+    pairs: &mut Vec<(TokenId, TokenId)>,
+) {
+    pairs.clear();
+    let push = |pairs: &mut Vec<(TokenId, TokenId)>, q: TokenId, t: TokenId| {
         if !pairs.contains(&(q, t)) {
             pairs.push((q, t));
         }
     };
     for l in legs.iter().filter(|l| l.buyer == borrower) {
-        push(l.sell_token, l.buy_token); // bought target priced in sold quote
-        push(l.buy_token, l.sell_token); // sold target priced in bought quote
+        push(pairs, l.sell_token, l.buy_token); // bought target priced in sold quote
+        push(pairs, l.buy_token, l.sell_token); // sold target priced in bought quote
     }
-    pairs
-}
-
-/// Buy legs of `target` priced in `quote` by `buyer` (sorted by seq on
-/// input order).
-pub(crate) fn buys_of<'a, 'b>(
-    legs: &'b [TradeLeg<'a>],
-    buyer: Option<&Tag>,
-    quote: TokenId,
-    target: TokenId,
-) -> Vec<&'b TradeLeg<'a>> {
-    legs.iter()
-        .filter(|l| l.buy_token == target && l.sell_token == quote && l.buy_amount > 0 && l.sell_amount > 0)
-        .filter(|l| buyer.is_none_or(|b| l.buyer == b))
-        .collect()
-}
-
-/// Sell legs of `target` priced in `quote` by `buyer`.
-pub(crate) fn sells_of<'a, 'b>(
-    legs: &'b [TradeLeg<'a>],
-    buyer: Option<&Tag>,
-    quote: TokenId,
-    target: TokenId,
-) -> Vec<&'b TradeLeg<'a>> {
-    legs.iter()
-        .filter(|l| l.sell_token == target && l.buy_token == quote && l.buy_amount > 0 && l.sell_amount > 0)
-        .filter(|l| buyer.is_none_or(|b| l.buyer == b))
-        .collect()
 }
 
 #[cfg(test)]
 pub(crate) mod testutil {
     use super::*;
-    use crate::trades::TradeKind;
+    use crate::trades::{TradeKind, TradeSide};
 
     pub fn app(s: &str) -> Tag {
         Tag::App(s.into())
@@ -170,8 +297,8 @@ pub(crate) mod testutil {
             kind: TradeKind::Swap,
             buyer: buyer.clone(),
             seller: seller.clone(),
-            sells: vec![(sell, tk(quote))],
-            buys: vec![(buy, tk(target))],
+            sells: TradeSide::one(sell, tk(quote)),
+            buys: TradeSide::one(buy, tk(target)),
         }
     }
 
@@ -190,8 +317,8 @@ pub(crate) mod testutil {
             kind: TradeKind::Swap,
             buyer: buyer.clone(),
             seller: seller.clone(),
-            sells: vec![(sell, tk(target))],
-            buys: vec![(buy, tk(quote))],
+            sells: TradeSide::one(sell, tk(target)),
+            buys: TradeSide::one(buy, tk(quote)),
         }
     }
 }
@@ -229,14 +356,31 @@ mod tests {
     }
 
     #[test]
-    fn buys_and_sells_filter_by_buyer() {
+    fn pair_legs_split_own_and_any() {
         let e = app("E");
         let u = app("Uni");
-        let trades = vec![buy(0, &e, &u, 10, 0, 1, 1), buy(1, &u, &e, 10, 0, 1, 1)];
+        // e buys t1 with t0; u buys t1 with t0 (someone else's buy); e
+        // sells t1 back for t0.
+        let trades = vec![
+            buy(0, &e, &u, 10, 0, 1, 1),
+            buy(1, &u, &e, 10, 0, 1, 1),
+            sell(2, &e, &u, 1, 1, 10, 0),
+        ];
         let legs = all_legs(&trades);
-        assert_eq!(buys_of(&legs, Some(&e), tk(0), tk(1)).len(), 1);
-        assert_eq!(buys_of(&legs, None, tk(0), tk(1)).len(), 2);
-        assert!(sells_of(&legs, Some(&e), tk(0), tk(1)).is_empty());
+        let mut seen = Vec::new();
+        let mut scratch = PatternScratch::default();
+        for_each_pair(&legs, &e, &mut scratch, |pair, _| {
+            seen.push((
+                pair.quote,
+                pair.target,
+                pair.own_buys.len(),
+                pair.any_buys.len(),
+                pair.own_sells.len(),
+            ));
+        });
+        assert!(seen.contains(&(tk(0), tk(1), 1, 2, 1)));
+        // the projected reverse direction: e's sell of t1 is a buy of t0
+        assert!(seen.contains(&(tk(1), tk(0), 1, 1, 1)));
     }
 
     #[test]

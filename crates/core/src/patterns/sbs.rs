@@ -10,7 +10,7 @@
 //! * (c) volatility: `(rate₂ − rate₁)/rate₁ ≥ 28%`.
 
 use crate::config::DetectorConfig;
-use crate::patterns::{borrower_pairs, buys_of, sells_of, PatternKind, PatternMatch};
+use crate::patterns::{for_each_pair, PairLegs, PatternKind, PatternMatch};
 use crate::tagging::Tag;
 use crate::trades::TradeLeg;
 
@@ -21,52 +21,62 @@ pub fn detect(
     config: &DetectorConfig,
 ) -> Vec<PatternMatch> {
     let mut out = Vec::new();
-    for (quote, target) in borrower_pairs(legs, borrower) {
-        let own_buys = buys_of(legs, Some(borrower), quote, target);
-        let any_buys = buys_of(legs, None, quote, target);
-        let own_sells = sells_of(legs, Some(borrower), quote, target);
-        let mut found = false;
-        for t3 in &own_sells {
+    let mut scratch = crate::patterns::PatternScratch::default();
+    for_each_pair(legs, borrower, &mut scratch, |pair, _| {
+        detect_pair(pair, config, &mut out)
+    });
+    out
+}
+
+/// SBS over one pair's leg views — allocation-free until a match.
+pub(crate) fn detect_pair(
+    pair: &PairLegs<'_, '_, '_>,
+    config: &DetectorConfig,
+    out: &mut Vec<PatternMatch>,
+) {
+    let mut found = false;
+    for &t3 in pair.own_sells {
+        let t3 = pair.leg(t3);
+        if found {
+            break;
+        }
+        for &t1 in pair.own_buys {
+            let t1 = pair.leg(t1);
             if found {
                 break;
             }
-            for t1 in &own_buys {
-                if found {
+            if t1.seq >= t3.seq {
+                continue;
+            }
+            if !amounts_match(t1.buy_amount, t3.sell_amount, config.sbs_amount_tolerance) {
+                continue;
+            }
+            let (Some(rate1), Some(sell_rate3)) = (t1.buy_rate(), t3.sell_rate()) else {
+                continue;
+            };
+            for &t2 in pair.any_buys {
+                let t2 = pair.leg(t2);
+                if t2.seq <= t1.seq || t2.seq >= t3.seq {
+                    continue;
+                }
+                let Some(rate2) = t2.buy_rate() else { continue };
+                let ordered = rate1 < sell_rate3 && sell_rate3 < rate2;
+                let volatility = (rate2 - rate1) / rate1;
+                if ordered && volatility >= config.sbs_min_volatility {
+                    out.push(PatternMatch {
+                        kind: PatternKind::Sbs,
+                        target_token: pair.target,
+                        quote_token: pair.quote,
+                        trade_seqs: vec![t1.seq, t2.seq, t3.seq],
+                        volatility,
+                        counterparty: t1.seller.to_string(),
+                    });
+                    found = true; // one instance per pair
                     break;
-                }
-                if t1.seq >= t3.seq {
-                    continue;
-                }
-                if !amounts_match(t1.buy_amount, t3.sell_amount, config.sbs_amount_tolerance) {
-                    continue;
-                }
-                let (Some(rate1), Some(sell_rate3)) = (t1.buy_rate(), t3.sell_rate()) else {
-                    continue;
-                };
-                for t2 in &any_buys {
-                    if t2.seq <= t1.seq || t2.seq >= t3.seq {
-                        continue;
-                    }
-                    let Some(rate2) = t2.buy_rate() else { continue };
-                    let ordered = rate1 < sell_rate3 && sell_rate3 < rate2;
-                    let volatility = (rate2 - rate1) / rate1;
-                    if ordered && volatility >= config.sbs_min_volatility {
-                        out.push(PatternMatch {
-                            kind: PatternKind::Sbs,
-                            target_token: target,
-                            quote_token: quote,
-                            trade_seqs: vec![t1.seq, t2.seq, t3.seq],
-                            volatility,
-                            counterparty: t1.seller.to_string(),
-                        });
-                        found = true; // one instance per pair
-                        break;
-                    }
                 }
             }
         }
     }
-    out
 }
 
 fn amounts_match(a: u128, b: u128, tolerance: f64) -> bool {

@@ -1,0 +1,483 @@
+//! Parallel batch scanning with a shared tag cache.
+//!
+//! The per-transaction pipeline ([`LeiShen::analyze`]) re-derives every
+//! account tag from scratch: each `tag_of` call walks the account's
+//! creation tree and allocates the application name it finds. Across a
+//! corpus scan the same venues, providers, and token contracts appear in
+//! nearly every transaction, so the vast majority of those walks repeat
+//! work done a few transactions earlier.
+//!
+//! This module adds two pieces:
+//!
+//! * [`TagCache`] — a sharded, concurrent `Address → Tag` memo table.
+//!   Resolution goes through the cache once per distinct address *per
+//!   corpus* instead of per transaction. The cache is only valid for one
+//!   `(labels, creations)` context; build a fresh one per [`ChainView`].
+//! * [`ScanEngine`] — fans a batch of transactions over a work-stealing
+//!   worker pool (crossbeam deque of chunk descriptors), every worker
+//!   sharing one `TagCache`. Results come back in **input order**
+//!   regardless of which worker processed which chunk, so a parallel scan
+//!   is byte-for-byte comparable with a serial loop over the same slice.
+//!
+//! ```
+//! use leishen::{ChainView, DetectorConfig, Labels, LeiShen, ScanEngine};
+//!
+//! let labels = Labels::new();
+//! let view = ChainView::new(&labels, &[], None);
+//! let detector = LeiShen::new(DetectorConfig::paper());
+//! let engine = ScanEngine::new(4);
+//! let analyses = engine.scan(&detector, &[], &view); // empty batch
+//! assert!(analyses.is_empty());
+//! ```
+
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use crossbeam::deque::{Injector, Steal};
+use ethsim::{Address, CreationIndex, TxRecord};
+use parking_lot::RwLock;
+
+use crate::detector::{Analysis, AnalysisScratch, ChainView, LeiShen};
+use crate::labels::Labels;
+use crate::tagging::{tag_of, Tag};
+
+/// Number of independent lock shards. A power of two so the shard index
+/// is a mask; 16 keeps contention negligible for any realistic worker
+/// count while staying cache-friendly.
+const SHARD_COUNT: usize = 16;
+
+/// FNV-1a. Addresses are short fixed-size keys held in trusted maps, so
+/// SipHash's hash-flooding resistance buys nothing here and costs several
+/// times more per probe — and the cache probe is the hot path's single
+/// most frequent operation.
+pub(crate) struct FnvHasher(u64);
+
+impl Default for FnvHasher {
+    fn default() -> Self {
+        FnvHasher(0xcbf2_9ce4_8422_2325)
+    }
+}
+
+impl Hasher for FnvHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        // Eight bytes per round instead of one: an address is 20 bytes
+        // (plus the slice-hash length prefix), so this is ~7 multiplies
+        // per probe instead of ~28.
+        let mut h = self.0;
+        let mut chunks = bytes.chunks_exact(8);
+        for c in &mut chunks {
+            h ^= u64::from_ne_bytes(c.try_into().expect("chunks_exact(8)"));
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        for &b in chunks.remainder() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        self.0 = h;
+    }
+}
+
+pub(crate) type BuildFnv = BuildHasherDefault<FnvHasher>;
+type TagMapInner = HashMap<Address, Tag, BuildFnv>;
+
+/// A sharded, concurrent memo table for [`tag_of`] results.
+///
+/// Tags depend only on `(address, labels, creations)`, and a scan runs
+/// against one fixed [`ChainView`], so resolutions can be shared freely
+/// across transactions and across worker threads. Each shard is an
+/// independent `RwLock<HashMap>`; lookups take a read lock, inserts a
+/// write lock on one shard only.
+///
+/// The zero address short-circuits to [`Tag::BlackHole`] without touching
+/// the table.
+#[derive(Debug, Default)]
+pub struct TagCache {
+    shards: [RwLock<TagMapInner>; SHARD_COUNT],
+    hits: AtomicU64,
+    misses: AtomicU64,
+}
+
+impl TagCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        TagCache::default()
+    }
+
+    fn shard(&self, addr: Address) -> &RwLock<TagMapInner> {
+        let mut h = FnvHasher::default();
+        h.write(addr.as_bytes());
+        &self.shards[(h.finish() as usize) & (SHARD_COUNT - 1)]
+    }
+
+    /// The tag of `addr`, from the cache when present, computed (and
+    /// cached) via [`tag_of`] otherwise.
+    pub fn resolve(&self, addr: Address, labels: &Labels, creations: &CreationIndex) -> Tag {
+        if addr.is_zero() {
+            return Tag::BlackHole;
+        }
+        let shard = self.shard(addr);
+        if let Some(tag) = shard.read().get(&addr) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return tag.clone();
+        }
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        let tag = tag_of(addr, labels, creations);
+        shard.write().insert(addr, tag.clone());
+        tag
+    }
+
+    /// Number of lookups answered from the cache.
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Number of lookups that had to compute a fresh tag.
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct addresses currently cached.
+    pub fn len(&self) -> usize {
+        self.shards.iter().map(|s| s.read().len()).sum()
+    }
+
+    /// Whether no address has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Drops all cached tags and resets the hit/miss counters. Call this
+    /// when the label cloud or creation dataset changes.
+    pub fn clear(&self) {
+        for shard in &self.shards {
+            shard.write().clear();
+        }
+        self.hits.store(0, Ordering::Relaxed);
+        self.misses.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A worker-private front for a shared [`TagCache`].
+///
+/// A scan worker resolves the same handful of venue / provider / token
+/// addresses on nearly every transaction. This layer answers those
+/// repeats from an unsynchronized local map — no lock, no shard hash,
+/// no atomic — and only falls through to the shared cache on a local
+/// miss, so tags computed by one worker still reach the others.
+///
+/// Local hits count toward the shared cache's [`TagCache::hits`] counter;
+/// the tally is flushed when the `LocalTagCache` is dropped.
+pub struct LocalTagCache<'a> {
+    shared: &'a TagCache,
+    map: TagMapInner,
+    hits: u64,
+}
+
+impl<'a> LocalTagCache<'a> {
+    /// An empty local front over `shared`.
+    pub fn new(shared: &'a TagCache) -> Self {
+        LocalTagCache {
+            shared,
+            map: TagMapInner::default(),
+            hits: 0,
+        }
+    }
+
+    /// The tag of `addr` — local map first, shared cache second,
+    /// [`tag_of`] last.
+    pub fn resolve(&mut self, addr: Address, labels: &Labels, creations: &CreationIndex) -> Tag {
+        if addr.is_zero() {
+            return Tag::BlackHole;
+        }
+        if let Some(tag) = self.map.get(&addr) {
+            self.hits += 1;
+            return tag.clone();
+        }
+        let tag = self.shared.resolve(addr, labels, creations);
+        self.map.insert(addr, tag.clone());
+        tag
+    }
+}
+
+impl Drop for LocalTagCache<'_> {
+    fn drop(&mut self) {
+        if self.hits > 0 {
+            self.shared.hits.fetch_add(self.hits, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Summary of one batch scan.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ScanStats {
+    /// Transactions analyzed.
+    pub transactions: usize,
+    /// Transactions whose analysis reported an attack.
+    pub attacks: usize,
+    /// Tag lookups answered from the shared cache.
+    pub cache_hits: u64,
+    /// Tag lookups that computed a fresh tag.
+    pub cache_misses: u64,
+}
+
+/// A batch scanner: fans transactions over a worker pool sharing one
+/// [`TagCache`], returning analyses in input order.
+///
+/// The configured worker count is a *ceiling*: a scan never runs more
+/// workers than the batch has chunks, and never more than the machine
+/// has hardware threads (extra threads on a saturated machine only add
+/// scheduling overhead). Tests that need to exercise the threaded path
+/// on small machines can lift the hardware cap with
+/// [`ScanEngine::allow_oversubscription`].
+#[derive(Clone, Debug)]
+pub struct ScanEngine {
+    workers: usize,
+    chunk_size: usize,
+    oversubscribe: bool,
+}
+
+impl ScanEngine {
+    /// An engine with `workers` worker threads (minimum 1) and the
+    /// default chunk size.
+    pub fn new(workers: usize) -> Self {
+        ScanEngine {
+            workers: workers.max(1),
+            chunk_size: 32,
+            oversubscribe: false,
+        }
+    }
+
+    /// Overrides how many transactions each stolen work item carries.
+    /// Smaller chunks balance better; larger chunks amortize queue
+    /// traffic. Minimum 1.
+    pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
+        self.chunk_size = chunk_size.max(1);
+        self
+    }
+
+    /// Lifts the hardware-thread cap, spawning the full configured worker
+    /// count even on machines with fewer cores. Only useful for testing
+    /// the threaded path deterministically.
+    pub fn allow_oversubscription(mut self) -> Self {
+        self.oversubscribe = true;
+        self
+    }
+
+    /// Configured worker count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Scans `txs` with a fresh internal cache, returning one [`Analysis`]
+    /// per transaction, in input order.
+    pub fn scan(&self, detector: &LeiShen, txs: &[&TxRecord], view: &ChainView<'_>) -> Vec<Analysis> {
+        self.scan_with_cache(detector, txs, view, &TagCache::new())
+    }
+
+    /// Like [`ScanEngine::scan`], with stats about the run.
+    pub fn scan_with_stats(
+        &self,
+        detector: &LeiShen,
+        txs: &[&TxRecord],
+        view: &ChainView<'_>,
+    ) -> (Vec<Analysis>, ScanStats) {
+        let cache = TagCache::new();
+        let analyses = self.scan_with_cache(detector, txs, view, &cache);
+        let stats = ScanStats {
+            transactions: analyses.len(),
+            attacks: analyses.iter().filter(|a| a.is_attack()).count(),
+            cache_hits: cache.hits(),
+            cache_misses: cache.misses(),
+        };
+        (analyses, stats)
+    }
+
+    /// Scans `txs` against a caller-owned cache (reusable across batches
+    /// that share the same [`ChainView`]), returning analyses in input
+    /// order.
+    pub fn scan_with_cache(
+        &self,
+        detector: &LeiShen,
+        txs: &[&TxRecord],
+        view: &ChainView<'_>,
+        cache: &TagCache,
+    ) -> Vec<Analysis> {
+        if txs.is_empty() {
+            return Vec::new();
+        }
+        let hw = if self.oversubscribe {
+            usize::MAX
+        } else {
+            std::thread::available_parallelism().map_or(1, |n| n.get())
+        };
+        let workers = self
+            .workers
+            .min(hw)
+            .min(txs.len().div_ceil(self.chunk_size));
+        if workers <= 1 {
+            let mut local = LocalTagCache::new(cache);
+            let mut scratch = AnalysisScratch::default();
+            return txs
+                .iter()
+                .map(|tx| {
+                    detector.analyze_scratch(
+                        tx,
+                        view,
+                        &mut |addr| local.resolve(addr, view.labels(), view.creations()),
+                        &mut scratch,
+                    )
+                })
+                .collect();
+        }
+
+        // Chunk descriptors go into a shared injector; workers steal them
+        // until it runs dry. Each worker keeps its chunk results keyed by
+        // chunk index so the main thread can reassemble input order.
+        let injector: Injector<(usize, usize, usize)> = Injector::new();
+        for (chunk_idx, start) in (0..txs.len()).step_by(self.chunk_size).enumerate() {
+            let end = (start + self.chunk_size).min(txs.len());
+            injector.push((chunk_idx, start, end));
+        }
+        let chunk_count = txs.len().div_ceil(self.chunk_size);
+
+        let done = crossbeam::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(|_| {
+                        let mut tags = LocalTagCache::new(cache);
+                        let mut scratch = AnalysisScratch::default();
+                        let mut local: Vec<(usize, Vec<Analysis>)> = Vec::new();
+                        loop {
+                            match injector.steal() {
+                                Steal::Success((chunk_idx, start, end)) => {
+                                    let analyses = txs[start..end]
+                                        .iter()
+                                        .map(|tx| {
+                                            detector.analyze_scratch(
+                                                tx,
+                                                view,
+                                                &mut |addr| {
+                                                    tags.resolve(
+                                                        addr,
+                                                        view.labels(),
+                                                        view.creations(),
+                                                    )
+                                                },
+                                                &mut scratch,
+                                            )
+                                        })
+                                        .collect();
+                                    local.push((chunk_idx, analyses));
+                                }
+                                Steal::Empty => break,
+                                Steal::Retry => continue,
+                            }
+                        }
+                        local
+                    })
+                })
+                .collect();
+            let mut slots: Vec<Option<Vec<Analysis>>> = (0..chunk_count).map(|_| None).collect();
+            for handle in handles {
+                for (chunk_idx, analyses) in handle.join().expect("scan worker panicked") {
+                    slots[chunk_idx] = Some(analyses);
+                }
+            }
+            slots
+        })
+        .expect("scan scope panicked");
+
+        done.into_iter()
+            .map(|slot| slot.expect("every chunk processed"))
+            .fold(Vec::with_capacity(txs.len()), |mut out, chunk| {
+                out.extend(chunk);
+                out
+            })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DetectorConfig;
+    use ethsim::CreationRecord;
+
+    fn rec(creator: u64, created: u64) -> CreationRecord {
+        CreationRecord {
+            creator: Address::from_u64(creator),
+            created: Address::from_u64(created),
+            block: 0,
+        }
+    }
+
+    #[test]
+    fn cache_agrees_with_direct_resolution() {
+        let mut labels = Labels::new();
+        labels.set(Address::from_u64(1), "Uniswap");
+        let idx = CreationIndex::new(&[rec(1, 2), rec(2, 3), rec(10, 11)]);
+        let cache = TagCache::new();
+        for a in [0u64, 1, 2, 3, 10, 11, 99] {
+            let addr = Address::from_u64(a);
+            assert_eq!(
+                cache.resolve(addr, &labels, &idx),
+                tag_of(addr, &labels, &idx),
+                "address {a}"
+            );
+        }
+    }
+
+    #[test]
+    fn second_lookup_hits() {
+        let labels = Labels::new();
+        let idx = CreationIndex::new(&[rec(1, 2)]);
+        let cache = TagCache::new();
+        let a = Address::from_u64(2);
+        let first = cache.resolve(a, &labels, &idx);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits(), 0);
+        let second = cache.resolve(a, &labels, &idx);
+        assert_eq!(first, second);
+        assert_eq!(cache.hits(), 1);
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn black_hole_bypasses_the_table() {
+        let labels = Labels::new();
+        let idx = CreationIndex::new(&[]);
+        let cache = TagCache::new();
+        assert_eq!(cache.resolve(Address::ZERO, &labels, &idx), Tag::BlackHole);
+        assert!(cache.is_empty());
+        assert_eq!(cache.hits() + cache.misses(), 0);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let labels = Labels::new();
+        let idx = CreationIndex::new(&[]);
+        let cache = TagCache::new();
+        cache.resolve(Address::from_u64(5), &labels, &idx);
+        cache.resolve(Address::from_u64(5), &labels, &idx);
+        assert!(!cache.is_empty());
+        cache.clear();
+        assert!(cache.is_empty());
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 0);
+    }
+
+    #[test]
+    fn engine_clamps_degenerate_parameters() {
+        let engine = ScanEngine::new(0).with_chunk_size(0);
+        assert_eq!(engine.workers(), 1);
+        assert_eq!(engine.chunk_size, 1);
+        let labels = Labels::new();
+        let view = ChainView::new(&labels, &[], None);
+        let detector = LeiShen::new(DetectorConfig::paper());
+        assert!(engine.scan(&detector, &[], &view).is_empty());
+    }
+}

@@ -30,10 +30,60 @@ pub fn simplify(
     weth_token: Option<TokenId>,
     config: &DetectorConfig,
 ) -> Vec<TaggedTransfer> {
-    let unified = unify_weth_token(tagged, weth_token);
-    let step1 = remove_intra_app(&unified);
-    let step2 = remove_weth_related(&step1);
-    merge_inter_app(&step2, config.merge_tolerance)
+    let mut out = Vec::with_capacity(tagged.len());
+    simplify_into(tagged, weth_token, config, &mut out);
+    out
+}
+
+/// [`simplify`] writing into a caller-provided buffer (cleared first), so
+/// batch scanners and benches can reuse one allocation across
+/// transactions.
+///
+/// All three rules plus WETH-token unification run in a single forward
+/// pass: a transfer is unified, filtered, and then either merged into the
+/// buffer's last entry or appended. This is equivalent to chaining
+/// [`unify_weth_token`] → [`remove_intra_app`] → [`remove_weth_related`] →
+/// [`merge_inter_app`] because the merge rule only ever inspects the most
+/// recent *surviving* transfer.
+pub fn simplify_into(
+    tagged: &[TaggedTransfer],
+    weth_token: Option<TokenId>,
+    config: &DetectorConfig,
+    out: &mut Vec<TaggedTransfer>,
+) {
+    out.clear();
+    let is_weth = |tag: &Tag| tag.app_name() == Some(WETH_TAG);
+    for t in tagged {
+        // Rules 1 and 2 are decided on the borrowed transfer — dropped
+        // entries never pay a clone's tag refcount traffic.
+        if t.sender == t.receiver {
+            continue;
+        }
+        if is_weth(&t.sender) || is_weth(&t.receiver) {
+            continue;
+        }
+        let token = if weth_token == Some(t.token) {
+            TokenId::ETH
+        } else {
+            t.token
+        };
+        // Rule 3: collapse pass-throughs into the surviving predecessor.
+        if let Some(prev) = out.last_mut() {
+            if mergeable(prev, t, token, config.merge_tolerance) {
+                // keep what the final counterparty actually received
+                prev.receiver = t.receiver.clone();
+                prev.amount = t.amount;
+                continue;
+            }
+        }
+        out.push(TaggedTransfer {
+            seq: t.seq,
+            sender: t.sender.clone(),
+            receiver: t.receiver.clone(),
+            amount: t.amount,
+            token,
+        });
+    }
 }
 
 /// Rewrites the WETH token id to ETH (rule 2's token unification).
@@ -83,7 +133,7 @@ pub fn merge_inter_app(tagged: &[TaggedTransfer], tolerance: f64) -> Vec<TaggedT
     let mut out: Vec<TaggedTransfer> = Vec::with_capacity(tagged.len());
     for t in tagged {
         if let Some(prev) = out.last() {
-            if mergeable(prev, t, tolerance) {
+            if mergeable(prev, t, t.token, tolerance) {
                 let prev = out.pop().expect("last checked");
                 out.push(TaggedTransfer {
                     seq: prev.seq,
@@ -101,8 +151,10 @@ pub fn merge_inter_app(tagged: &[TaggedTransfer], tolerance: f64) -> Vec<TaggedT
     out
 }
 
-fn mergeable(a: &TaggedTransfer, b: &TaggedTransfer, tolerance: f64) -> bool {
-    if a.token != b.token || a.receiver != b.sender {
+/// `b_token` is `b`'s token *after* WETH unification — [`simplify_into`]
+/// unifies lazily, so `b.token` itself may still be the WETH id.
+fn mergeable(a: &TaggedTransfer, b: &TaggedTransfer, b_token: TokenId, tolerance: f64) -> bool {
+    if a.token != b_token || a.receiver != b.sender {
         return false;
     }
     // Mint/burn legs (BlackHole endpoints) are trade-action primitives

@@ -17,6 +17,7 @@
 
 use std::collections::HashMap;
 use std::fmt;
+use std::sync::Arc;
 
 use ethsim::{Address, CreationIndex, TokenId, Transfer};
 use serde::{Deserialize, Serialize};
@@ -24,10 +25,19 @@ use serde::{Deserialize, Serialize};
 use crate::labels::Labels;
 
 /// The application-level identity of an account.
-#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
+// The manual `PartialEq` below only adds an `Arc::ptr_eq` shortcut in
+// front of the same comparison the derive would generate, so the derived
+// `Hash` still agrees with it: equal tags hash equally.
+#[allow(clippy::derived_hash_with_manual_eq)]
+#[derive(Clone, Debug, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Tag {
     /// A DeFi application name (from the label cloud or propagated).
-    App(String),
+    ///
+    /// Interned as `Arc<str>` so cloning a tag — which the simplification
+    /// and trade stages do constantly, and which a [`crate::scan::TagCache`]
+    /// hit does once per lookup — is a reference-count bump instead of a
+    /// string allocation.
+    App(Arc<str>),
     /// No tag anywhere in the creation tree: identified by the tree root.
     Root(Address),
     /// Conflicting tags in the creation tree: untaggable (Fig. 7c).
@@ -35,6 +45,23 @@ pub enum Tag {
     /// The zero / mint-burn address.
     BlackHole,
 }
+
+impl PartialEq for Tag {
+    fn eq(&self, other: &Self) -> bool {
+        match (self, other) {
+            // Pointer test first: cache-interned tags share one `Arc`, so
+            // the pattern stage's per-leg `buyer == borrower` compares
+            // short-circuit without touching the string bytes.
+            (Tag::App(a), Tag::App(b)) => Arc::ptr_eq(a, b) || a == b,
+            (Tag::Root(a), Tag::Root(b)) => a == b,
+            (Tag::Unknown(a), Tag::Unknown(b)) => a == b,
+            (Tag::BlackHole, Tag::BlackHole) => true,
+            _ => false,
+        }
+    }
+}
+
+impl Eq for Tag {}
 
 impl Tag {
     /// Whether this is the BlackHole (mint/burn) tag.
@@ -50,7 +77,7 @@ impl Tag {
     /// The application name, when this is an [`Tag::App`].
     pub fn app_name(&self) -> Option<&str> {
         match self {
-            Tag::App(name) => Some(name),
+            Tag::App(name) => Some(name.as_ref()),
             _ => None,
         }
     }
@@ -80,10 +107,19 @@ impl TagMap {
         labels: &Labels,
         creations: &CreationIndex,
     ) -> TagMap {
+        TagMap::build_with(addresses, |addr| tag_of(addr, labels, creations))
+    }
+
+    /// Builds the tag map with a caller-supplied resolver — e.g. a shared
+    /// [`crate::scan::TagCache`] so repeated addresses across a corpus
+    /// resolve once instead of once per transaction.
+    pub fn build_with(
+        addresses: impl IntoIterator<Item = Address>,
+        mut resolve: impl FnMut(Address) -> Tag,
+    ) -> TagMap {
         let mut tags = HashMap::new();
         for addr in addresses {
-            tags.entry(addr)
-                .or_insert_with(|| tag_of(addr, labels, creations));
+            tags.entry(addr).or_insert_with(|| resolve(addr));
         }
         TagMap { tags }
     }
@@ -119,27 +155,28 @@ pub fn tag_of(addr: Address, labels: &Labels, creations: &CreationIndex) -> Tag 
         return Tag::BlackHole;
     }
     if let Some(app) = labels.get(addr) {
-        return Tag::App(app.to_string());
+        return Tag::App(Arc::from(app));
     }
-    // Collect distinct app names among ancestors and descendants.
-    let mut found: Vec<String> = Vec::new();
-    let mut push = |name: &str| {
-        if !found.iter().any(|f| f == name) {
-            found.push(name.to_string());
+    // Collect distinct app names among ancestors and descendants. Names
+    // are borrowed from the label cloud; only the winning one is interned.
+    fn push<'a>(found: &mut Vec<&'a str>, name: &'a str) {
+        if !found.contains(&name) {
+            found.push(name);
         }
-    };
+    }
+    let mut found: Vec<&str> = Vec::new();
     for anc in creations.ancestors(addr) {
         if let Some(app) = labels.get(anc) {
-            push(app);
+            push(&mut found, app);
         }
     }
     for desc in creations.descendants(addr) {
         if let Some(app) = labels.get(desc) {
-            push(app);
+            push(&mut found, app);
         }
     }
     match found.len() {
-        1 => Tag::App(found.pop().expect("len checked")),
+        1 => Tag::App(Arc::from(found[0])),
         0 => Tag::Root(creations.root(addr)),
         _ => Tag::Unknown(addr),
     }
@@ -183,6 +220,37 @@ pub fn tag_transfers(
             token: t.token,
         })
         .collect()
+}
+
+/// Tags a transaction's account-level transfers through a caller-supplied
+/// resolver (which must map the zero address to [`Tag::BlackHole`]). A
+/// memoizing resolver such as [`crate::scan::TagCache::resolve`] already
+/// deduplicates addresses, so no per-transaction [`TagMap`] is built.
+pub fn tag_transfers_with(
+    transfers: &[Transfer],
+    resolve: impl FnMut(Address) -> Tag,
+) -> Vec<TaggedTransfer> {
+    let mut out = Vec::with_capacity(transfers.len());
+    tag_transfers_with_into(transfers, resolve, &mut out);
+    out
+}
+
+/// [`tag_transfers_with`] into a reused buffer (cleared first). The
+/// tagged list is transient in the full pipeline, so batch scanners keep
+/// one buffer per worker instead of allocating one per transaction.
+pub fn tag_transfers_with_into(
+    transfers: &[Transfer],
+    mut resolve: impl FnMut(Address) -> Tag,
+    out: &mut Vec<TaggedTransfer>,
+) {
+    out.clear();
+    out.extend(transfers.iter().map(|t| TaggedTransfer {
+        seq: t.seq,
+        sender: resolve(t.sender),
+        receiver: resolve(t.receiver),
+        amount: t.amount,
+        token: t.token,
+    }));
 }
 
 #[cfg(test)]

@@ -39,6 +39,79 @@ impl std::fmt::Display for TradeKind {
     }
 }
 
+/// One side of a [`Trade`]: its one or two `(amount, token)` legs.
+///
+/// Table III's windows span at most three transfers, so a side never has
+/// more than two legs — they are stored inline rather than in a `Vec`,
+/// which makes a `Trade` allocation-free to build (the batch scanner
+/// constructs a couple per transaction on its hot path). Dereferences to
+/// `[(u128, TokenId)]`, so slice iteration and indexing work unchanged.
+#[derive(Clone, Copy, Debug)]
+pub struct TradeSide {
+    legs: [(u128, TokenId); 2],
+    len: u8,
+}
+
+impl TradeSide {
+    /// A single-leg side.
+    pub fn one(amount: u128, token: TokenId) -> Self {
+        TradeSide {
+            legs: [(amount, token), (0, token)],
+            len: 1,
+        }
+    }
+
+    /// A two-leg side (the three-transfer trade forms).
+    pub fn two(first: (u128, TokenId), second: (u128, TokenId)) -> Self {
+        TradeSide {
+            legs: [first, second],
+            len: 2,
+        }
+    }
+
+    /// The legs as a slice.
+    pub fn as_slice(&self) -> &[(u128, TokenId)] {
+        &self.legs[..self.len as usize]
+    }
+}
+
+impl std::ops::Deref for TradeSide {
+    type Target = [(u128, TokenId)];
+
+    fn deref(&self) -> &Self::Target {
+        self.as_slice()
+    }
+}
+
+impl PartialEq for TradeSide {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for TradeSide {}
+
+impl PartialEq<Vec<(u128, TokenId)>> for TradeSide {
+    fn eq(&self, other: &Vec<(u128, TokenId)>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<const N: usize> PartialEq<[(u128, TokenId); N]> for TradeSide {
+    fn eq(&self, other: &[(u128, TokenId); N]) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Serialize for TradeSide {
+    fn serialize<S: serde::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        // Same wire shape as the `Vec` this type replaced.
+        self.as_slice().serialize(serializer)
+    }
+}
+
+impl<'de> Deserialize<'de> for TradeSide {}
+
 /// One identified trade: the paper's tuple
 /// `(buyer, seller, amountSell, tokenSell, amountBuy, tokenBuy)`,
 /// generalized to one-or-two legs per side for the three-transfer forms.
@@ -53,9 +126,9 @@ pub struct Trade {
     /// The counterparty application (`B`).
     pub seller: Tag,
     /// Assets the buyer gave: `(amount, token)` per leg.
-    pub sells: Vec<(u128, TokenId)>,
+    pub sells: TradeSide,
     /// Assets the buyer received: `(amount, token)` per leg.
-    pub buys: Vec<(u128, TokenId)>,
+    pub buys: TradeSide,
 }
 
 impl Trade {
@@ -131,6 +204,15 @@ impl TradeLeg<'_> {
 /// Identifies all trades in an application-level transfer list.
 pub fn identify_trades(transfers: &[TaggedTransfer]) -> Vec<Trade> {
     let mut trades = Vec::new();
+    identify_trades_into(transfers, &mut trades);
+    trades
+}
+
+/// [`identify_trades`] writing into a caller-provided buffer (cleared
+/// first), so batch scanners and benches can reuse one allocation across
+/// transactions.
+pub fn identify_trades_into(transfers: &[TaggedTransfer], trades: &mut Vec<Trade>) {
+    trades.clear();
     let mut i = 0;
     while i < transfers.len() {
         if i + 2 < transfers.len() {
@@ -151,7 +233,6 @@ pub fn identify_trades(transfers: &[TaggedTransfer]) -> Vec<Trade> {
         }
         i += 1;
     }
-    trades
 }
 
 fn is_app(tag: &Tag) -> bool {
@@ -177,8 +258,8 @@ fn match_three(t1: &TaggedTransfer, t2: &TaggedTransfer, t3: &TaggedTransfer) ->
             kind: TradeKind::Swap,
             buyer: t1.sender.clone(),
             seller: t1.receiver.clone(),
-            sells: vec![(t1.amount, t1.token)],
-            buys: vec![(t2.amount, t2.token), (t3.amount, t3.token)],
+            sells: TradeSide::one(t1.amount, t1.token),
+            buys: TradeSide::two((t2.amount, t2.token), (t3.amount, t3.token)),
         });
     }
     // Mint, 3-transfer: A->B (t1), A->B (t2), BlackHole->A (t3).
@@ -195,8 +276,8 @@ fn match_three(t1: &TaggedTransfer, t2: &TaggedTransfer, t3: &TaggedTransfer) ->
             kind: TradeKind::MintLiquidity,
             buyer: t1.sender.clone(),
             seller: t1.receiver.clone(),
-            sells: vec![(t1.amount, t1.token), (t2.amount, t2.token)],
-            buys: vec![(t3.amount, t3.token)],
+            sells: TradeSide::two((t1.amount, t1.token), (t2.amount, t2.token)),
+            buys: TradeSide::one(t3.amount, t3.token),
         });
     }
     // Remove, 3-transfer: A->BlackHole (t1), B->A (t2), B->A (t3).
@@ -213,8 +294,8 @@ fn match_three(t1: &TaggedTransfer, t2: &TaggedTransfer, t3: &TaggedTransfer) ->
             kind: TradeKind::RemoveLiquidity,
             buyer: t1.sender.clone(),
             seller: t2.sender.clone(),
-            sells: vec![(t1.amount, t1.token)],
-            buys: vec![(t2.amount, t2.token), (t3.amount, t3.token)],
+            sells: TradeSide::one(t1.amount, t1.token),
+            buys: TradeSide::two((t2.amount, t2.token), (t3.amount, t3.token)),
         });
     }
     None
@@ -233,8 +314,8 @@ fn match_two(t1: &TaggedTransfer, t2: &TaggedTransfer) -> Option<Trade> {
             kind: TradeKind::Swap,
             buyer: t1.sender.clone(),
             seller: t1.receiver.clone(),
-            sells: vec![(t1.amount, t1.token)],
-            buys: vec![(t2.amount, t2.token)],
+            sells: TradeSide::one(t1.amount, t1.token),
+            buys: TradeSide::one(t2.amount, t2.token),
         });
     }
     // Mint: A->B (t1), BlackHole->A (t2) — order reversible.
@@ -249,8 +330,8 @@ fn match_two(t1: &TaggedTransfer, t2: &TaggedTransfer) -> Option<Trade> {
             kind: TradeKind::MintLiquidity,
             buyer: t1.sender.clone(),
             seller: t1.receiver.clone(),
-            sells: vec![(t1.amount, t1.token)],
-            buys: vec![(t2.amount, t2.token)],
+            sells: TradeSide::one(t1.amount, t1.token),
+            buys: TradeSide::one(t2.amount, t2.token),
         });
     }
     if t1.sender.is_black_hole()
@@ -264,8 +345,8 @@ fn match_two(t1: &TaggedTransfer, t2: &TaggedTransfer) -> Option<Trade> {
             kind: TradeKind::MintLiquidity,
             buyer: t2.sender.clone(),
             seller: t2.receiver.clone(),
-            sells: vec![(t2.amount, t2.token)],
-            buys: vec![(t1.amount, t1.token)],
+            sells: TradeSide::one(t2.amount, t2.token),
+            buys: TradeSide::one(t1.amount, t1.token),
         });
     }
     // Remove: A->BlackHole (t1), B->A (t2) — order reversible.
@@ -280,8 +361,8 @@ fn match_two(t1: &TaggedTransfer, t2: &TaggedTransfer) -> Option<Trade> {
             kind: TradeKind::RemoveLiquidity,
             buyer: t1.sender.clone(),
             seller: t2.sender.clone(),
-            sells: vec![(t1.amount, t1.token)],
-            buys: vec![(t2.amount, t2.token)],
+            sells: TradeSide::one(t1.amount, t1.token),
+            buys: TradeSide::one(t2.amount, t2.token),
         });
     }
     if is_app(&t1.sender)
@@ -295,8 +376,8 @@ fn match_two(t1: &TaggedTransfer, t2: &TaggedTransfer) -> Option<Trade> {
             kind: TradeKind::RemoveLiquidity,
             buyer: t2.sender.clone(),
             seller: t1.sender.clone(),
-            sells: vec![(t2.amount, t2.token)],
-            buys: vec![(t1.amount, t1.token)],
+            sells: TradeSide::one(t2.amount, t2.token),
+            buys: TradeSide::one(t1.amount, t1.token),
         });
     }
     None

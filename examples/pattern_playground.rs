@@ -10,7 +10,7 @@
 use ethsim::TokenId;
 use leishen::patterns::{match_all, PatternKind};
 use leishen::tagging::Tag;
-use leishen::trades::{Trade, TradeKind};
+use leishen::trades::{Trade, TradeKind, TradeSide};
 use leishen::DetectorConfig;
 
 fn buy(seq: u32, buyer: &Tag, seller: &Tag, sell: u128, buy: u128) -> Trade {
@@ -19,8 +19,8 @@ fn buy(seq: u32, buyer: &Tag, seller: &Tag, sell: u128, buy: u128) -> Trade {
         kind: TradeKind::Swap,
         buyer: buyer.clone(),
         seller: seller.clone(),
-        sells: vec![(sell, TokenId::ETH)],
-        buys: vec![(buy, TokenId::from_index(1))],
+        sells: TradeSide::one(sell, TokenId::ETH),
+        buys: TradeSide::one(buy, TokenId::from_index(1)),
     }
 }
 
@@ -30,8 +30,8 @@ fn sell(seq: u32, buyer: &Tag, seller: &Tag, sell: u128, buy: u128) -> Trade {
         kind: TradeKind::Swap,
         buyer: buyer.clone(),
         seller: seller.clone(),
-        sells: vec![(sell, TokenId::from_index(1))],
-        buys: vec![(buy, TokenId::ETH)],
+        sells: TradeSide::one(sell, TokenId::from_index(1)),
+        buys: TradeSide::one(buy, TokenId::ETH),
     }
 }
 

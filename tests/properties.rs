@@ -17,8 +17,9 @@ use ethsim::{math, Address, Chain, ChainConfig, CreationIndex, CreationRecord, T
 use leishen::config::DetectorConfig;
 use leishen::simplify::{merge_inter_app, remove_intra_app};
 use leishen::tagging::{Tag, TagMap, TaggedTransfer};
-use leishen::trades::{identify_trades, Trade, TradeKind};
-use leishen::{patterns, Labels};
+use leishen::trades::{identify_trades, Trade, TradeKind, TradeSide};
+use leishen::tagging::tag_of;
+use leishen::{patterns, Labels, TagCache};
 
 proptest! {
     #[test]
@@ -191,12 +192,51 @@ proptest! {
     }
 
     #[test]
+    fn tag_cache_agrees_with_uncached_resolution(seed in 0u64..1_000) {
+        // Arbitrary creation forest + labels (same family of forests as
+        // `tagging_is_order_independent`): the shared TagCache must be a
+        // pure memo over `tag_of` — every resolution, miss or hit,
+        // identical to a fresh creation-tree walk.
+        let mut records = Vec::new();
+        let mut labels = Labels::new();
+        let mut addrs = vec![Address::ZERO];
+        for i in 0..20u64 {
+            let a = Address::from_u64(1000 + i);
+            addrs.push(a);
+            if i > 0 {
+                let parent = Address::from_u64(1000 + (seed + i) % i);
+                records.push(CreationRecord { creator: parent, created: a, block: 0 });
+            }
+            if (seed + i) % 5 == 0 {
+                labels.set(a, format!("App{}", (seed + i) % 3));
+            }
+        }
+        let idx = CreationIndex::new(&records);
+        let cache = TagCache::new();
+        // Two passes: the first fills the cache (misses), the second
+        // answers from it (hits); both must agree with the uncached walk.
+        for pass in 0..2 {
+            for &a in &addrs {
+                prop_assert_eq!(
+                    cache.resolve(a, &labels, &idx),
+                    tag_of(a, &labels, &idx),
+                    "pass {} address {:?}", pass, a
+                );
+            }
+        }
+        // Second-pass lookups were all cache hits (the zero address
+        // bypasses the table entirely).
+        prop_assert_eq!(cache.hits(), addrs.len() as u64 - 1);
+        prop_assert_eq!(cache.misses(), addrs.len() as u64 - 1);
+    }
+
+    #[test]
     fn merge_is_idempotent(
         amounts in prop::collection::vec(1u128..1_000_000, 2..20),
         seed in 0u64..100
     ) {
         // Arbitrary chains of transfers between a handful of identities.
-        let tags: Vec<Tag> = (0..5).map(|i| Tag::App(format!("A{i}"))).collect();
+        let tags: Vec<Tag> = (0..5).map(|i| Tag::App(format!("A{i}").into())).collect();
         let list: Vec<TaggedTransfer> = amounts.iter().enumerate().map(|(i, amt)| {
             let s = ((seed as usize) + i) % tags.len();
             let r = ((seed as usize) + i + 1 + i % 3) % tags.len();
@@ -219,7 +259,7 @@ proptest! {
         seed in 0u64..100
     ) {
         use leishen::simplify::simplify;
-        let mut tags: Vec<Tag> = (0..4).map(|i| Tag::App(format!("A{i}"))).collect();
+        let mut tags: Vec<Tag> = (0..4).map(|i| Tag::App(format!("A{i}").into())).collect();
         tags.push(Tag::App("Wrapped Ether".into()));
         tags.push(Tag::BlackHole);
         let list: Vec<TaggedTransfer> = amounts.iter().enumerate().map(|(i, amt)| {
@@ -245,7 +285,7 @@ proptest! {
         amounts in prop::collection::vec(1u128..1_000_000, 2..30),
         seed in 0u64..100
     ) {
-        let tags: Vec<Tag> = (0..4).map(|i| Tag::App(format!("A{i}"))).collect();
+        let tags: Vec<Tag> = (0..4).map(|i| Tag::App(format!("A{i}").into())).collect();
         let list: Vec<TaggedTransfer> = amounts.iter().enumerate().map(|(i, amt)| {
             let s = ((seed as usize) + i) % tags.len();
             let r = ((seed as usize) * 3 + i * 7) % tags.len();
@@ -283,8 +323,8 @@ proptest! {
             kind: TradeKind::Swap,
             buyer: e.clone(),
             seller: v.clone(),
-            sells: vec![(sells.0, TokenId::from_index(sells.1))],
-            buys: vec![(buys.0, TokenId::from_index(buys.1))],
+            sells: TradeSide::one(sells.0, TokenId::from_index(sells.1)),
+            buys: TradeSide::one(buys.0, TokenId::from_index(buys.1)),
         };
         let mut trades = vec![
             mk(0, (100_000, 0), (100, 1)),  // buy 100 @1000
@@ -297,8 +337,8 @@ proptest! {
                 kind: TradeKind::Swap,
                 buyer: e.clone(),
                 seller: noise_seller.clone(),
-                sells: vec![(7 + i as u128, TokenId::from_index(5))],
-                buys: vec![(13 + i as u128, TokenId::from_index(6 + (i % 2) as u32))],
+                sells: TradeSide::one(7 + i as u128, TokenId::from_index(5)),
+                buys: TradeSide::one(13 + i as u128, TokenId::from_index(6 + (i % 2) as u32)),
             });
         }
         let matches = patterns::match_all(&trades, &e, &DetectorConfig::paper());
@@ -316,7 +356,7 @@ proptest! {
         seed in 0u64..50
     ) {
         // Every trade leg's amounts must come from actual transfers.
-        let tags: Vec<Tag> = (0..4).map(|i| Tag::App(format!("A{i}"))).collect();
+        let tags: Vec<Tag> = (0..4).map(|i| Tag::App(format!("A{i}").into())).collect();
         let list: Vec<TaggedTransfer> = amounts.iter().enumerate().map(|(i, amt)| {
             let s = ((seed as usize) + i) % tags.len();
             let r = ((seed as usize) + i * 5 + 1) % tags.len();

@@ -11,7 +11,7 @@ use std::collections::HashMap;
 
 use leishen::heuristics::initiated_by_aggregator;
 use leishen::patterns::PatternKind;
-use leishen::{DetectorConfig, LeiShen};
+use leishen::{DetectorConfig, LeiShen, ScanEngine};
 use leishen_scenarios::generator::{generate, GeneratorConfig, AGGREGATOR_APPS};
 use leishen_scenarios::{GeneratedTx, World};
 
@@ -133,6 +133,47 @@ fn aggregator_heuristic_lifts_mbs_precision_to_80() {
         (precision - 0.80).abs() < 0.005,
         "MBS precision rises to 80%, got {:.1}%",
         precision * 100.0
+    );
+}
+
+/// The batch engine must be a pure reordering of the serial pipeline:
+/// scanning the wild corpus with 4 workers (oversubscribed, so the
+/// threaded path runs even on single-core CI machines) yields an
+/// `Analysis` list byte-identical — same Debug rendering, element by
+/// element — to the plain `analyze` loop.
+#[test]
+fn parallel_scan_is_byte_identical_to_serial_loop() {
+    let scan = run_scan();
+    let labels = scan.world.detector_labels();
+    let view = scan.world.view(&labels);
+    let detector = LeiShen::new(DetectorConfig::paper());
+    let records: Vec<_> = scan
+        .corpus
+        .iter()
+        .map(|gtx| scan.world.chain.replay(gtx.tx).expect("recorded"))
+        .collect();
+
+    let serial: Vec<String> = records
+        .iter()
+        .map(|record| format!("{:?}", detector.analyze(record, &view)))
+        .collect();
+
+    // Small chunks force many work items, so all 4 workers actually
+    // interleave instead of one worker draining the queue.
+    let engine = ScanEngine::new(4).with_chunk_size(16).allow_oversubscription();
+    let (parallel, stats) = engine.scan_with_stats(&detector, &records, &view);
+
+    assert_eq!(parallel.len(), serial.len());
+    for (i, (got, want)) in parallel.iter().zip(&serial).enumerate() {
+        assert_eq!(&format!("{got:?}"), want, "analysis {i} differs");
+    }
+    assert_eq!(stats.transactions, records.len());
+    assert_eq!(stats.attacks, 180, "same detection set as Table V");
+    assert!(
+        stats.cache_hits > stats.cache_misses,
+        "corpus scan should mostly hit the shared tag cache ({} hits / {} misses)",
+        stats.cache_hits,
+        stats.cache_misses
     );
 }
 
