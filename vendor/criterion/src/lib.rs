@@ -1,0 +1,334 @@
+//! Offline stand-in for `criterion`.
+//!
+//! A real (if minimal) benchmark harness behind criterion's API surface:
+//! [`criterion_group!`]/[`criterion_main!`], the [`Criterion`] builder
+//! (`sample_size`/`warm_up_time`/`measurement_time`), benchmark groups
+//! with [`Throughput`], and [`Bencher::iter`]/[`Bencher::iter_batched`].
+//!
+//! Each benchmark warms up for the configured time, then collects
+//! `sample_size` samples (each averaging enough iterations to fill its
+//! share of the measurement window) and prints mean / p50 / p95 per
+//! iteration, plus derived throughput when configured. No plotting, no
+//! statistics beyond percentiles, no baseline persistence.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Top-level harness state and configuration.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    filter: Option<String>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up_time: Duration::from_millis(300),
+            measurement_time: Duration::from_secs(1),
+            filter: None,
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of samples per benchmark (min 2).
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Warm-up duration before sampling starts.
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Total measurement window split across samples.
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Applies CLI arguments (`cargo bench -- <filter>`); recognizes a
+    /// bare substring filter and ignores harness flags it doesn't model.
+    pub fn configure_from_args(mut self) -> Self {
+        let args: Vec<String> = std::env::args().skip(1).collect();
+        self.filter = args.into_iter().find(|a| !a.starts_with('-'));
+        self
+    }
+
+    /// Runs one benchmark function.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run_one(id, None, &mut f);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.to_string(),
+            throughput: None,
+        }
+    }
+
+    /// Prints the closing line (upstream prints a summary; the stand-in
+    /// keeps the hook so generated `main`s stay source-compatible).
+    pub fn final_summary(&self) {
+        println!("(criterion stand-in: benchmarks complete)");
+    }
+
+    fn run_one<F>(&self, id: &str, throughput: Option<&Throughput>, f: &mut F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        if let Some(filter) = &self.filter {
+            if !id.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            sample_size: self.sample_size,
+            warm_up_time: self.warm_up_time,
+            measurement_time: self.measurement_time,
+            samples_ns: Vec::new(),
+        };
+        f(&mut bencher);
+        bencher.report(id, throughput);
+    }
+}
+
+/// Unit for throughput reporting.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// Elements processed per routine call.
+    Elements(u64),
+    /// Bytes processed per routine call.
+    Bytes(u64),
+}
+
+/// A group of related benchmarks sharing throughput configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Sets the per-call throughput used in reports.
+    pub fn throughput(&mut self, throughput: Throughput) -> &mut Self {
+        self.throughput = Some(throughput);
+        self
+    }
+
+    /// Runs one benchmark within the group.
+    pub fn bench_function<F>(&mut self, id: &str, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id);
+        let throughput = self.throughput;
+        self.criterion.run_one(&full, throughput.as_ref(), &mut f);
+        self
+    }
+
+    /// Closes the group.
+    pub fn finish(self) {}
+}
+
+/// Batch-size hint for [`Bencher::iter_batched`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small inputs: batch many per sample.
+    SmallInput,
+    /// Large inputs: few per batch.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// Drives the timed routine.
+pub struct Bencher {
+    sample_size: usize,
+    warm_up_time: Duration,
+    measurement_time: Duration,
+    samples_ns: Vec<f64>,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        // Warm-up, also used to estimate per-iteration cost.
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time {
+            std::hint::black_box(routine());
+            warm_iters += 1;
+        }
+        let per_iter = warm_start.elapsed().as_secs_f64() / warm_iters.max(1) as f64;
+        let per_sample = self.measurement_time.as_secs_f64() / self.sample_size as f64;
+        let iters = ((per_sample / per_iter.max(1e-9)) as u64).clamp(1, 1_000_000);
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            let elapsed = start.elapsed().as_nanos() as f64;
+            self.samples_ns.push(elapsed / iters as f64);
+        }
+    }
+
+    /// Times `routine` over inputs built (untimed) by `setup`.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let warm_start = Instant::now();
+        let mut warm_iters = 0u64;
+        while warm_start.elapsed() < self.warm_up_time {
+            let input = setup();
+            std::hint::black_box(routine(input));
+            warm_iters += 1;
+        }
+
+        self.samples_ns.clear();
+        let iters_per_sample = (warm_iters.max(1)
+            * self.measurement_time.as_millis().max(1) as u64
+            / self.warm_up_time.as_millis().max(1) as u64
+            / self.sample_size as u64)
+            .clamp(1, 100_000);
+        for _ in 0..self.sample_size {
+            let mut total_ns = 0u128;
+            for _ in 0..iters_per_sample {
+                let input = setup();
+                let start = Instant::now();
+                std::hint::black_box(routine(input));
+                total_ns += start.elapsed().as_nanos();
+            }
+            self.samples_ns.push(total_ns as f64 / iters_per_sample as f64);
+        }
+    }
+
+    fn report(&self, id: &str, throughput: Option<&Throughput>) {
+        if self.samples_ns.is_empty() {
+            println!("{id:<40} (no samples collected)");
+            return;
+        }
+        let mut sorted = self.samples_ns.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite sample"));
+        let mean = sorted.iter().sum::<f64>() / sorted.len() as f64;
+        let p50 = sorted[sorted.len() / 2];
+        let p95 = sorted[(sorted.len() * 95 / 100).min(sorted.len() - 1)];
+        print!(
+            "{id:<40} mean {:>12}  p50 {:>12}  p95 {:>12}",
+            fmt_ns(mean),
+            fmt_ns(p50),
+            fmt_ns(p95)
+        );
+        match throughput {
+            Some(Throughput::Elements(n)) => {
+                print!("  {:>12.0} elem/s", *n as f64 / (mean / 1e9));
+            }
+            Some(Throughput::Bytes(n)) => {
+                print!("  {:>12.0} B/s", *n as f64 / (mean / 1e9));
+            }
+            None => {}
+        }
+        println!();
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.1} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.2} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.2} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, as in upstream criterion.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`, as in upstream criterion.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_collects_samples() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(15));
+        let mut ran = 0u64;
+        c.bench_function("smoke", |b| {
+            b.iter(|| {
+                ran += 1;
+                std::hint::black_box(ran)
+            })
+        });
+        assert!(ran > 0);
+    }
+
+    #[test]
+    fn group_with_throughput_runs() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .warm_up_time(Duration::from_millis(2))
+            .measurement_time(Duration::from_millis(6));
+        let mut group = c.benchmark_group("g");
+        group.throughput(Throughput::Elements(10));
+        group.bench_function("t", |b| {
+            b.iter_batched(|| 21u64, |x| x * 2, BatchSize::SmallInput)
+        });
+        group.finish();
+    }
+
+    #[test]
+    fn format_is_scaled() {
+        assert!(fmt_ns(12.0).ends_with("ns"));
+        assert!(fmt_ns(12_000.0).ends_with("µs"));
+        assert!(fmt_ns(12_000_000.0).ends_with("ms"));
+    }
+}

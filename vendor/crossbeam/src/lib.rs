@@ -1,0 +1,174 @@
+//! Offline stand-in for `crossbeam`.
+//!
+//! Provides the two pieces the scan engine uses, with upstream-compatible
+//! signatures:
+//!
+//! * [`thread::scope`] — scoped worker threads whose closures receive the
+//!   scope handle (crossbeam's calling convention), built on
+//!   `std::thread::scope`;
+//! * [`deque::Injector`] — a shared FIFO work queue with the
+//!   `push`/`steal` API of `crossbeam-deque`'s injector, built on a
+//!   mutex-guarded `VecDeque` (contention here is one lock per *chunk*
+//!   claim, not per item, so the simple implementation suffices).
+
+#![deny(unsafe_code)]
+
+pub mod thread {
+    //! Scoped threads with crossbeam's `scope(|s| …)` shape.
+
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A scope handle; closures passed to [`Scope::spawn`] receive one,
+    /// enabling nested spawns exactly like upstream crossbeam.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    /// Handle to a scoped thread; joining yields the closure's result.
+    pub struct ScopedJoinHandle<'scope, T> {
+        inner: std::thread::ScopedJoinHandle<'scope, T>,
+    }
+
+    impl<'scope, T> ScopedJoinHandle<'scope, T> {
+        /// Waits for the thread to finish, returning its result (or the
+        /// panic payload if it panicked).
+        pub fn join(self) -> std::thread::Result<T> {
+            self.inner.join()
+        }
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawns a scoped thread. The closure receives the scope handle.
+        pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            ScopedJoinHandle {
+                inner: inner.spawn(move || f(&Scope { inner })),
+            }
+        }
+    }
+
+    /// Creates a scope for spawning borrowing threads. Returns `Err` with
+    /// the panic payload if the closure (or an unjoined child) panicked —
+    /// crossbeam's contract, mapped onto `std::thread::scope`.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+pub mod deque {
+    //! A shared FIFO injector queue (`crossbeam-deque` API subset).
+
+    use std::collections::VecDeque;
+    use std::sync::Mutex;
+
+    /// Outcome of a [`Injector::steal`] attempt.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum Steal<T> {
+        /// The queue was observed empty.
+        Empty,
+        /// One task was claimed.
+        Success(T),
+        /// The attempt lost a race and should be retried.
+        Retry,
+    }
+
+    impl<T> Steal<T> {
+        /// The claimed task, if the steal succeeded.
+        pub fn success(self) -> Option<T> {
+            match self {
+                Steal::Success(t) => Some(t),
+                _ => None,
+            }
+        }
+    }
+
+    /// A FIFO queue shared between a submitter and many stealing workers.
+    #[derive(Debug, Default)]
+    pub struct Injector<T> {
+        queue: Mutex<VecDeque<T>>,
+    }
+
+    impl<T> Injector<T> {
+        /// Creates an empty injector.
+        pub fn new() -> Self {
+            Injector {
+                queue: Mutex::new(VecDeque::new()),
+            }
+        }
+
+        /// Enqueues a task at the back.
+        pub fn push(&self, task: T) {
+            self.lock().push_back(task);
+        }
+
+        /// Claims the task at the front, if any.
+        pub fn steal(&self) -> Steal<T> {
+            match self.lock().pop_front() {
+                Some(task) => Steal::Success(task),
+                None => Steal::Empty,
+            }
+        }
+
+        /// Whether the queue was observed empty.
+        pub fn is_empty(&self) -> bool {
+            self.lock().is_empty()
+        }
+
+        /// Number of queued tasks at the time of observation.
+        pub fn len(&self) -> usize {
+            self.lock().len()
+        }
+
+        fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+            self.queue.lock().unwrap_or_else(|p| p.into_inner())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scope_joins_and_returns() {
+        let data = vec![1u64, 2, 3, 4];
+        let total = thread::scope(|s| {
+            let handles: Vec<_> = data
+                .chunks(2)
+                .map(|chunk| s.spawn(move |_| chunk.iter().sum::<u64>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 10);
+    }
+
+    #[test]
+    fn scope_surfaces_panics_as_err() {
+        let r = thread::scope(|s| {
+            s.spawn(|_| panic!("boom"));
+        });
+        assert!(r.is_err());
+    }
+
+    #[test]
+    fn injector_is_fifo_and_drains() {
+        let inj = deque::Injector::new();
+        inj.push(1);
+        inj.push(2);
+        assert_eq!(inj.len(), 2);
+        assert_eq!(inj.steal(), deque::Steal::Success(1));
+        assert_eq!(inj.steal(), deque::Steal::Success(2));
+        assert_eq!(inj.steal(), deque::Steal::Empty);
+        assert!(inj.is_empty());
+    }
+}

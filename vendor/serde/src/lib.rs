@@ -1,0 +1,478 @@
+//! Offline stand-in for `serde`.
+//!
+//! A faithful miniature of serde's serialization half: the
+//! [`Serialize`]/[`Serializer`] traits with the full 29-method serializer
+//! surface, the seven compound-serializer traits in [`ser`], and impls for
+//! the primitive and std types this workspace serializes. Custom
+//! `Serializer` implementations written against upstream serde (such as
+//! the counting sink in `tests/serde_roundtrip.rs`) compile unchanged.
+//!
+//! Deserialization is intentionally a marker ([`de::Deserialize`]):
+//! nothing in the workspace deserializes, and no wire-format crate is in
+//! the offline dependency set. The derive emits empty `Deserialize`
+//! impls so `#[derive(Serialize, Deserialize)]` lines compile as written.
+
+#![forbid(unsafe_code)]
+
+pub mod ser {
+    //! Serialization traits.
+
+    /// A data structure that can be serialized into any serde format.
+    pub trait Serialize {
+        /// Serializes `self` with the given serializer.
+        fn serialize<S>(&self, serializer: S) -> Result<S::Ok, S::Error>
+        where
+            S: Serializer;
+    }
+
+    /// A serde data format. Mirrors upstream's 29 required methods; the
+    /// compound methods return dedicated sub-serializers.
+    pub trait Serializer: Sized {
+        /// Output of a successful serialization.
+        type Ok;
+        /// Serialization error.
+        type Error;
+        /// Sub-serializer for sequences.
+        type SerializeSeq: SerializeSeq<Ok = Self::Ok, Error = Self::Error>;
+        /// Sub-serializer for tuples.
+        type SerializeTuple: SerializeTuple<Ok = Self::Ok, Error = Self::Error>;
+        /// Sub-serializer for tuple structs.
+        type SerializeTupleStruct: SerializeTupleStruct<Ok = Self::Ok, Error = Self::Error>;
+        /// Sub-serializer for tuple enum variants.
+        type SerializeTupleVariant: SerializeTupleVariant<Ok = Self::Ok, Error = Self::Error>;
+        /// Sub-serializer for maps.
+        type SerializeMap: SerializeMap<Ok = Self::Ok, Error = Self::Error>;
+        /// Sub-serializer for structs.
+        type SerializeStruct: SerializeStruct<Ok = Self::Ok, Error = Self::Error>;
+        /// Sub-serializer for struct enum variants.
+        type SerializeStructVariant: SerializeStructVariant<Ok = Self::Ok, Error = Self::Error>;
+
+        /// Serializes a `bool`.
+        fn serialize_bool(self, v: bool) -> Result<Self::Ok, Self::Error>;
+        /// Serializes an `i8`.
+        fn serialize_i8(self, v: i8) -> Result<Self::Ok, Self::Error>;
+        /// Serializes an `i16`.
+        fn serialize_i16(self, v: i16) -> Result<Self::Ok, Self::Error>;
+        /// Serializes an `i32`.
+        fn serialize_i32(self, v: i32) -> Result<Self::Ok, Self::Error>;
+        /// Serializes an `i64`.
+        fn serialize_i64(self, v: i64) -> Result<Self::Ok, Self::Error>;
+        /// Serializes an `i128`.
+        fn serialize_i128(self, v: i128) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a `u8`.
+        fn serialize_u8(self, v: u8) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a `u16`.
+        fn serialize_u16(self, v: u16) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a `u32`.
+        fn serialize_u32(self, v: u32) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a `u64`.
+        fn serialize_u64(self, v: u64) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a `u128`.
+        fn serialize_u128(self, v: u128) -> Result<Self::Ok, Self::Error>;
+        /// Serializes an `f32`.
+        fn serialize_f32(self, v: f32) -> Result<Self::Ok, Self::Error>;
+        /// Serializes an `f64`.
+        fn serialize_f64(self, v: f64) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a `char`.
+        fn serialize_char(self, v: char) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a string slice.
+        fn serialize_str(self, v: &str) -> Result<Self::Ok, Self::Error>;
+        /// Serializes raw bytes.
+        fn serialize_bytes(self, v: &[u8]) -> Result<Self::Ok, Self::Error>;
+        /// Serializes `Option::None`.
+        fn serialize_none(self) -> Result<Self::Ok, Self::Error>;
+        /// Serializes an `Option::Some` payload.
+        fn serialize_some<T>(self, value: &T) -> Result<Self::Ok, Self::Error>
+        where
+            T: Serialize + ?Sized;
+        /// Serializes the unit value `()`.
+        fn serialize_unit(self) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a unit struct.
+        fn serialize_unit_struct(self, name: &'static str) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a unit enum variant.
+        fn serialize_unit_variant(
+            self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+        ) -> Result<Self::Ok, Self::Error>;
+        /// Serializes a newtype struct.
+        fn serialize_newtype_struct<T>(
+            self,
+            name: &'static str,
+            value: &T,
+        ) -> Result<Self::Ok, Self::Error>
+        where
+            T: Serialize + ?Sized;
+        /// Serializes a newtype enum variant.
+        fn serialize_newtype_variant<T>(
+            self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+            value: &T,
+        ) -> Result<Self::Ok, Self::Error>
+        where
+            T: Serialize + ?Sized;
+        /// Begins a variable-length sequence.
+        fn serialize_seq(self, len: Option<usize>) -> Result<Self::SerializeSeq, Self::Error>;
+        /// Begins a fixed-length tuple.
+        fn serialize_tuple(self, len: usize) -> Result<Self::SerializeTuple, Self::Error>;
+        /// Begins a tuple struct.
+        fn serialize_tuple_struct(
+            self,
+            name: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeTupleStruct, Self::Error>;
+        /// Begins a tuple enum variant.
+        fn serialize_tuple_variant(
+            self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeTupleVariant, Self::Error>;
+        /// Begins a map.
+        fn serialize_map(self, len: Option<usize>) -> Result<Self::SerializeMap, Self::Error>;
+        /// Begins a struct.
+        fn serialize_struct(
+            self,
+            name: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeStruct, Self::Error>;
+        /// Begins a struct enum variant.
+        fn serialize_struct_variant(
+            self,
+            name: &'static str,
+            variant_index: u32,
+            variant: &'static str,
+            len: usize,
+        ) -> Result<Self::SerializeStructVariant, Self::Error>;
+    }
+
+    /// Compound serializer returned by [`Serializer::serialize_seq`].
+    pub trait SerializeSeq {
+        /// Matches the parent serializer's `Ok`.
+        type Ok;
+        /// Matches the parent serializer's `Error`.
+        type Error;
+        /// Serializes one sequence element.
+        fn serialize_element<T>(&mut self, value: &T) -> Result<(), Self::Error>
+        where
+            T: Serialize + ?Sized;
+        /// Finishes the sequence.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Compound serializer returned by [`Serializer::serialize_tuple`].
+    pub trait SerializeTuple {
+        /// Matches the parent serializer's `Ok`.
+        type Ok;
+        /// Matches the parent serializer's `Error`.
+        type Error;
+        /// Serializes one tuple element.
+        fn serialize_element<T>(&mut self, value: &T) -> Result<(), Self::Error>
+        where
+            T: Serialize + ?Sized;
+        /// Finishes the tuple.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Compound serializer returned by [`Serializer::serialize_tuple_struct`].
+    pub trait SerializeTupleStruct {
+        /// Matches the parent serializer's `Ok`.
+        type Ok;
+        /// Matches the parent serializer's `Error`.
+        type Error;
+        /// Serializes one field.
+        fn serialize_field<T>(&mut self, value: &T) -> Result<(), Self::Error>
+        where
+            T: Serialize + ?Sized;
+        /// Finishes the tuple struct.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Compound serializer returned by [`Serializer::serialize_tuple_variant`].
+    pub trait SerializeTupleVariant {
+        /// Matches the parent serializer's `Ok`.
+        type Ok;
+        /// Matches the parent serializer's `Error`.
+        type Error;
+        /// Serializes one field.
+        fn serialize_field<T>(&mut self, value: &T) -> Result<(), Self::Error>
+        where
+            T: Serialize + ?Sized;
+        /// Finishes the variant.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Compound serializer returned by [`Serializer::serialize_map`].
+    pub trait SerializeMap {
+        /// Matches the parent serializer's `Ok`.
+        type Ok;
+        /// Matches the parent serializer's `Error`.
+        type Error;
+        /// Serializes one key.
+        fn serialize_key<T>(&mut self, key: &T) -> Result<(), Self::Error>
+        where
+            T: Serialize + ?Sized;
+        /// Serializes one value.
+        fn serialize_value<T>(&mut self, value: &T) -> Result<(), Self::Error>
+        where
+            T: Serialize + ?Sized;
+        /// Finishes the map.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Compound serializer returned by [`Serializer::serialize_struct`].
+    pub trait SerializeStruct {
+        /// Matches the parent serializer's `Ok`.
+        type Ok;
+        /// Matches the parent serializer's `Error`.
+        type Error;
+        /// Serializes one named field.
+        fn serialize_field<T>(&mut self, key: &'static str, value: &T) -> Result<(), Self::Error>
+        where
+            T: Serialize + ?Sized;
+        /// Finishes the struct.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+
+    /// Compound serializer returned by [`Serializer::serialize_struct_variant`].
+    pub trait SerializeStructVariant {
+        /// Matches the parent serializer's `Ok`.
+        type Ok;
+        /// Matches the parent serializer's `Error`.
+        type Error;
+        /// Serializes one named field.
+        fn serialize_field<T>(&mut self, key: &'static str, value: &T) -> Result<(), Self::Error>
+        where
+            T: Serialize + ?Sized;
+        /// Finishes the variant.
+        fn end(self) -> Result<Self::Ok, Self::Error>;
+    }
+}
+
+pub mod de {
+    //! Deserialization markers (no wire format is vendored offline).
+
+    /// Marker: a type the derive claims is deserializable. No method —
+    /// nothing in this workspace drives deserialization.
+    pub trait Deserialize<'de>: Sized {}
+
+    /// Marker for owned-deserializable types.
+    pub trait DeserializeOwned: for<'de> Deserialize<'de> {}
+
+    impl<T: for<'de> Deserialize<'de>> DeserializeOwned for T {}
+}
+
+pub use de::Deserialize;
+pub use ser::{Serialize, Serializer};
+
+#[cfg(feature = "derive")]
+pub use serde_derive::{Deserialize, Serialize};
+
+// ---- impls for primitives ---------------------------------------------------
+
+macro_rules! impl_serialize_primitive {
+    ($($ty:ty => $method:ident,)*) => {$(
+        impl ser::Serialize for $ty {
+            fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                serializer.$method(*self)
+            }
+        }
+    )*};
+}
+
+impl_serialize_primitive! {
+    bool => serialize_bool,
+    i8 => serialize_i8,
+    i16 => serialize_i16,
+    i32 => serialize_i32,
+    i64 => serialize_i64,
+    i128 => serialize_i128,
+    u8 => serialize_u8,
+    u16 => serialize_u16,
+    u32 => serialize_u32,
+    u64 => serialize_u64,
+    u128 => serialize_u128,
+    f32 => serialize_f32,
+    f64 => serialize_f64,
+    char => serialize_char,
+}
+
+impl ser::Serialize for usize {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_u64(*self as u64)
+    }
+}
+
+impl ser::Serialize for isize {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_i64(*self as i64)
+    }
+}
+
+impl ser::Serialize for str {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl ser::Serialize for String {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_str(self)
+    }
+}
+
+impl ser::Serialize for () {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serializer.serialize_unit()
+    }
+}
+
+// ---- impls for pointers and containers --------------------------------------
+
+impl<T: ser::Serialize + ?Sized> ser::Serialize for &T {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: ser::Serialize + ?Sized> ser::Serialize for &mut T {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: ser::Serialize + ?Sized> ser::Serialize for Box<T> {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: ser::Serialize + ?Sized> ser::Serialize for std::rc::Rc<T> {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: ser::Serialize + ?Sized> ser::Serialize for std::sync::Arc<T> {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        (**self).serialize(serializer)
+    }
+}
+
+impl<T: ser::Serialize> ser::Serialize for Option<T> {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        match self {
+            Some(v) => serializer.serialize_some(v),
+            None => serializer.serialize_none(),
+        }
+    }
+}
+
+fn serialize_iter<S, I>(serializer: S, len: usize, iter: I) -> Result<S::Ok, S::Error>
+where
+    S: ser::Serializer,
+    I: IntoIterator,
+    I::Item: ser::Serialize,
+{
+    use ser::SerializeSeq as _;
+    let mut seq = serializer.serialize_seq(Some(len))?;
+    for item in iter {
+        seq.serialize_element(&item)?;
+    }
+    seq.end()
+}
+
+impl<T: ser::Serialize> ser::Serialize for [T] {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, self.len(), self)
+    }
+}
+
+impl<T: ser::Serialize, const N: usize> ser::Serialize for [T; N] {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        use ser::SerializeTuple as _;
+        let mut tup = serializer.serialize_tuple(N)?;
+        for item in self {
+            tup.serialize_element(item)?;
+        }
+        tup.end()
+    }
+}
+
+impl<T: ser::Serialize> ser::Serialize for Vec<T> {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, self.len(), self)
+    }
+}
+
+impl<T: ser::Serialize> ser::Serialize for std::collections::VecDeque<T> {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, self.len(), self)
+    }
+}
+
+impl<T: ser::Serialize, H> ser::Serialize for std::collections::HashSet<T, H> {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, self.len(), self)
+    }
+}
+
+impl<T: ser::Serialize> ser::Serialize for std::collections::BTreeSet<T> {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_iter(serializer, self.len(), self)
+    }
+}
+
+fn serialize_map_iter<'a, S, K, V, I>(serializer: S, len: usize, iter: I) -> Result<S::Ok, S::Error>
+where
+    S: ser::Serializer,
+    K: ser::Serialize + 'a,
+    V: ser::Serialize + 'a,
+    I: IntoIterator<Item = (&'a K, &'a V)>,
+{
+    use ser::SerializeMap as _;
+    let mut map = serializer.serialize_map(Some(len))?;
+    for (k, v) in iter {
+        map.serialize_key(k)?;
+        map.serialize_value(v)?;
+    }
+    map.end()
+}
+
+impl<K: ser::Serialize, V: ser::Serialize, H> ser::Serialize
+    for std::collections::HashMap<K, V, H>
+{
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_map_iter(serializer, self.len(), self)
+    }
+}
+
+impl<K: ser::Serialize, V: ser::Serialize> ser::Serialize for std::collections::BTreeMap<K, V> {
+    fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+        serialize_map_iter(serializer, self.len(), self)
+    }
+}
+
+macro_rules! impl_serialize_tuple {
+    ($(($($name:ident . $idx:tt),+) with $len:expr;)*) => {$(
+        impl<$($name: ser::Serialize),+> ser::Serialize for ($($name,)+) {
+            fn serialize<S: ser::Serializer>(&self, serializer: S) -> Result<S::Ok, S::Error> {
+                use ser::SerializeTuple as _;
+                let mut tup = serializer.serialize_tuple($len)?;
+                $(tup.serialize_element(&self.$idx)?;)+
+                tup.end()
+            }
+        }
+    )*};
+}
+
+impl_serialize_tuple! {
+    (A.0) with 1;
+    (A.0, B.1) with 2;
+    (A.0, B.1, C.2) with 3;
+    (A.0, B.1, C.2, D.3) with 4;
+}

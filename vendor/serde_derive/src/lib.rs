@@ -1,0 +1,319 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! `#[derive(Serialize)]` here generates a *real* field-visiting impl —
+//! structs drive `serialize_struct`/`serialize_field`, enums dispatch to
+//! the unit/newtype/tuple/struct variant methods — so integration tests
+//! that count visited primitives observe the same traversal upstream
+//! serde_derive would produce. `#[derive(Deserialize)]` emits the marker
+//! impl for the vendored serde's method-less `Deserialize` trait.
+//!
+//! The parser is hand-rolled over `proc_macro::TokenStream` (no `syn`
+//! offline). Supported input surface: non-generic structs and enums
+//! without `#[serde(...)]` attributes — exactly what this workspace
+//! derives. Unsupported shapes fail the build with a clear message.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Field layout of a struct or enum variant.
+enum Fields {
+    Unit,
+    Named(Vec<String>),
+    Unnamed(usize),
+}
+
+/// Parsed derive input.
+enum Input {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<(String, Fields)> },
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let parsed = parse_input(input);
+    let code = match &parsed {
+        Input::Struct { name, fields } => gen_struct_serialize(name, fields),
+        Input::Enum { name, variants } => gen_enum_serialize(name, variants),
+    };
+    code.parse().expect("serde stub derive emitted invalid Rust")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let name = match parse_input(input) {
+        Input::Struct { name, .. } | Input::Enum { name, .. } => name,
+    };
+    format!("impl<'de> ::serde::de::Deserialize<'de> for {name} {{}}")
+        .parse()
+        .expect("serde stub derive emitted invalid Rust")
+}
+
+// ---- code generation --------------------------------------------------------
+
+fn gen_struct_serialize(name: &str, fields: &Fields) -> String {
+    let body = match fields {
+        Fields::Unit => format!("__serializer.serialize_unit_struct(\"{name}\")"),
+        Fields::Unnamed(1) => {
+            format!("__serializer.serialize_newtype_struct(\"{name}\", &self.0)")
+        }
+        Fields::Unnamed(n) => {
+            let mut s = format!(
+                "let mut __state = ::serde::ser::Serializer::serialize_tuple_struct(\
+                 __serializer, \"{name}\", {n})?;\n"
+            );
+            for i in 0..*n {
+                s.push_str(&format!(
+                    "::serde::ser::SerializeTupleStruct::serialize_field(&mut __state, &self.{i})?;\n"
+                ));
+            }
+            s.push_str("::serde::ser::SerializeTupleStruct::end(__state)");
+            s
+        }
+        Fields::Named(names) => {
+            let mut s = format!(
+                "let mut __state = ::serde::ser::Serializer::serialize_struct(\
+                 __serializer, \"{name}\", {})?;\n",
+                names.len()
+            );
+            for f in names {
+                s.push_str(&format!(
+                    "::serde::ser::SerializeStruct::serialize_field(&mut __state, \"{f}\", &self.{f})?;\n"
+                ));
+            }
+            s.push_str("::serde::ser::SerializeStruct::end(__state)");
+            s
+        }
+    };
+    wrap_serialize_impl(name, &body)
+}
+
+fn gen_enum_serialize(name: &str, variants: &[(String, Fields)]) -> String {
+    let mut arms = String::new();
+    for (idx, (vname, fields)) in variants.iter().enumerate() {
+        let arm = match fields {
+            Fields::Unit => format!(
+                "{name}::{vname} => __serializer.serialize_unit_variant(\"{name}\", {idx}u32, \"{vname}\"),\n"
+            ),
+            Fields::Unnamed(1) => format!(
+                "{name}::{vname}(__f0) => __serializer.serialize_newtype_variant(\
+                 \"{name}\", {idx}u32, \"{vname}\", __f0),\n"
+            ),
+            Fields::Unnamed(n) => {
+                let binds: Vec<String> = (0..*n).map(|i| format!("__f{i}")).collect();
+                let mut s = format!("{name}::{vname}({}) => {{\n", binds.join(", "));
+                s.push_str(&format!(
+                    "let mut __state = ::serde::ser::Serializer::serialize_tuple_variant(\
+                     __serializer, \"{name}\", {idx}u32, \"{vname}\", {n})?;\n"
+                ));
+                for b in &binds {
+                    s.push_str(&format!(
+                        "::serde::ser::SerializeTupleVariant::serialize_field(&mut __state, {b})?;\n"
+                    ));
+                }
+                s.push_str("::serde::ser::SerializeTupleVariant::end(__state)\n}\n");
+                s
+            }
+            Fields::Named(fnames) => {
+                let mut s = format!("{name}::{vname} {{ {} }} => {{\n", fnames.join(", "));
+                s.push_str(&format!(
+                    "let mut __state = ::serde::ser::Serializer::serialize_struct_variant(\
+                     __serializer, \"{name}\", {idx}u32, \"{vname}\", {})?;\n",
+                    fnames.len()
+                ));
+                for f in fnames {
+                    s.push_str(&format!(
+                        "::serde::ser::SerializeStructVariant::serialize_field(&mut __state, \"{f}\", {f})?;\n"
+                    ));
+                }
+                s.push_str("::serde::ser::SerializeStructVariant::end(__state)\n}\n");
+                s
+            }
+        };
+        arms.push_str(&arm);
+    }
+    let body = if variants.is_empty() {
+        "match *self {}".to_string()
+    } else {
+        format!("match self {{\n{arms}}}")
+    };
+    wrap_serialize_impl(name, &body)
+}
+
+fn wrap_serialize_impl(name: &str, body: &str) -> String {
+    format!(
+        "#[automatically_derived]\n\
+         impl ::serde::ser::Serialize for {name} {{\n\
+             fn serialize<__S: ::serde::ser::Serializer>(\
+                 &self, __serializer: __S\
+             ) -> ::core::result::Result<__S::Ok, __S::Error> {{\n\
+                 {body}\n\
+             }}\n\
+         }}"
+    )
+}
+
+// ---- token parsing ----------------------------------------------------------
+
+fn parse_input(input: TokenStream) -> Input {
+    let mut iter = input.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            // outer attribute: `#` followed by a bracket group
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    iter.next();
+                }
+            }
+            TokenTree::Ident(id) if id.to_string() == "struct" || id.to_string() == "enum" => {
+                let is_struct = id.to_string() == "struct";
+                let name = match iter.next() {
+                    Some(TokenTree::Ident(n)) => n.to_string(),
+                    other => panic!("serde stub derive: expected type name, got {other:?}"),
+                };
+                if matches!(&iter.peek(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+                    panic!("serde stub derive: generic type `{name}` is not supported");
+                }
+                return if is_struct {
+                    let fields = match iter.next() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            Fields::Named(parse_named_fields(g.stream()))
+                        }
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                            Fields::Unnamed(count_tuple_fields(g.stream()))
+                        }
+                        Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+                        other => {
+                            panic!("serde stub derive: unsupported struct body for `{name}`: {other:?}")
+                        }
+                    };
+                    Input::Struct { name, fields }
+                } else {
+                    let variants = match iter.next() {
+                        Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                            parse_variants(g.stream())
+                        }
+                        other => {
+                            panic!("serde stub derive: unsupported enum body for `{name}`: {other:?}")
+                        }
+                    };
+                    Input::Enum { name, variants }
+                };
+            }
+            // visibility paths like `pub(crate)` handled above; anything
+            // else before the keyword (e.g. `union`) is unsupported
+            TokenTree::Ident(id) if id.to_string() == "union" => {
+                panic!("serde stub derive: unions are not supported");
+            }
+            _ => {}
+        }
+    }
+    panic!("serde stub derive: no struct or enum found in input");
+}
+
+/// Field names of a named-field body, skipping attributes, visibility,
+/// and full type expressions (angle-bracket depth tracked so generic
+/// arguments containing commas don't split fields).
+fn parse_named_fields(stream: TokenStream) -> Vec<String> {
+    let mut fields = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next();
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                if matches!(iter.peek(), Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis)
+                {
+                    iter.next();
+                }
+            }
+            TokenTree::Ident(id) => {
+                fields.push(id.to_string());
+                skip_until_top_level_comma(&mut iter);
+            }
+            other => panic!("serde stub derive: unexpected token in fields: {other:?}"),
+        }
+    }
+    fields
+}
+
+/// Number of fields in a tuple-struct/tuple-variant body.
+fn count_tuple_fields(stream: TokenStream) -> usize {
+    let mut count = 0usize;
+    let mut depth = 0i64;
+    let mut in_segment = false;
+    for tt in stream {
+        match &tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => {
+                depth += 1;
+                in_segment = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == '>' => {
+                depth -= 1;
+                in_segment = true;
+            }
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => {
+                if in_segment {
+                    count += 1;
+                }
+                in_segment = false;
+            }
+            _ => in_segment = true,
+        }
+    }
+    if in_segment {
+        count += 1;
+    }
+    count
+}
+
+/// Enum variants with their field layouts.
+fn parse_variants(stream: TokenStream) -> Vec<(String, Fields)> {
+    let mut variants = Vec::new();
+    let mut iter = stream.into_iter().peekable();
+    while let Some(tt) = iter.next() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                iter.next();
+            }
+            TokenTree::Ident(id) => {
+                let name = id.to_string();
+                let fields = match iter.peek() {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        let n = count_tuple_fields(g.stream());
+                        iter.next();
+                        Fields::Unnamed(n)
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        let names = parse_named_fields(g.stream());
+                        iter.next();
+                        Fields::Named(names)
+                    }
+                    _ => Fields::Unit,
+                };
+                // consume an optional discriminant up to the separating comma
+                skip_until_top_level_comma(&mut iter);
+                variants.push((name, fields));
+            }
+            other => panic!("serde stub derive: unexpected token in enum body: {other:?}"),
+        }
+    }
+    variants
+}
+
+/// Advances past a type or discriminant expression to the next top-level
+/// comma (angle brackets tracked; groups arrive as single tokens).
+fn skip_until_top_level_comma(iter: &mut std::iter::Peekable<proc_macro::token_stream::IntoIter>) {
+    let mut depth = 0i64;
+    for tt in iter.by_ref() {
+        match tt {
+            TokenTree::Punct(p) if p.as_char() == '<' => depth += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => depth -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && depth == 0 => break,
+            _ => {}
+        }
+    }
+}
