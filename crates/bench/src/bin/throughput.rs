@@ -118,15 +118,30 @@ fn main() {
         .unwrap_or(0.0);
     println!("\nspeedup at 4 workers: {speedup_at_4:.2}× (target ≥ 2×)");
 
+    // Steady-state cache behaviour: after the warm-up pass plus `reps`
+    // timed repetitions, nearly every tag lookup should hit.
+    for (&w, cache) in worker_counts.iter().zip(&caches) {
+        println!(
+            "tag cache at {w} worker{}: {:.1}% hit rate ({} hits / {} misses, {} entries)",
+            if w == 1 { "" } else { "s" },
+            cache.hit_rate() * 100.0,
+            cache.hits(),
+            cache.misses(),
+            cache.len(),
+        );
+    }
+
     let json = format!(
         "{{\n  \"bench\": \"scan\",\n  \"corpus\": {{ \"seed\": {seed}, \"scale\": {scale}, \"transactions\": {n} }},\n  \"serial\": {{ \"tx_per_sec\": {:.1}, \"p50_us\": {s50:.2}, \"p95_us\": {s95:.2}, \"p99_us\": {s99:.2} }},\n  \"scan_hot_path\": {{ \"p50_us\": {c50:.2}, \"p95_us\": {c95:.2}, \"p99_us\": {c99:.2} }},\n  \"parallel\": [\n{}\n  ],\n  \"speedup_at_4_workers\": {speedup_at_4:.3}\n}}\n",
         serial.tx_per_sec,
         runs.iter()
-            .map(|r| format!(
-                "    {{ \"workers\": {}, \"tx_per_sec\": {:.1}, \"speedup\": {:.3} }}",
+            .zip(&caches)
+            .map(|(r, cache)| format!(
+                "    {{ \"workers\": {}, \"tx_per_sec\": {:.1}, \"speedup\": {:.3}, \"cache_hit_rate\": {:.4} }}",
                 r.workers,
                 r.tx_per_sec,
-                r.tx_per_sec / serial.tx_per_sec
+                r.tx_per_sec / serial.tx_per_sec,
+                cache.hit_rate()
             ))
             .collect::<Vec<_>>()
             .join(",\n"),

@@ -240,20 +240,25 @@ pub fn measure_throughput(
 /// Sorts a sample ascending (NaN-tolerant) — do this **once**, then take
 /// as many [`percentile`]s as needed.
 pub fn sort_samples(samples: &mut [f64]) {
-    samples.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    // total_cmp gives a total order (NaNs sort after every number), so a
+    // stray NaN from a zero-duration division cannot scramble the sort
+    // the way the old `partial_cmp(..).unwrap_or(Equal)` comparator did.
+    samples.sort_unstable_by(f64::total_cmp);
 }
 
-/// Percentile of an **ascending-sorted** sample (p in 0..=100), by
-/// nearest-rank. Callers sort once via [`sort_samples`] instead of this
-/// function re-sorting on every call.
+/// Percentile of an **ascending-sorted** sample (`p` clamped to
+/// `0..=100`; a NaN `p` reads as 0), by nearest-rank. Callers sort once
+/// via [`sort_samples`] instead of this function re-sorting on every
+/// call. Empty input yields 0; `p = 0` yields the minimum.
 pub fn percentile(sorted: &[f64], p: f64) -> f64 {
     if sorted.is_empty() {
         return 0.0;
     }
     debug_assert!(
-        sorted.windows(2).all(|w| w[0] <= w[1]),
+        sorted.windows(2).all(|w| w[0].total_cmp(&w[1]).is_le()),
         "percentile() expects sorted input; call sort_samples() first"
     );
+    let p = if p.is_nan() { 0.0 } else { p.clamp(0.0, 100.0) };
     let rank = ((p / 100.0) * sorted.len() as f64).ceil().max(1.0) as usize - 1;
     sorted[rank.min(sorted.len() - 1)]
 }
@@ -271,6 +276,42 @@ mod tests {
         assert_eq!(percentile(&v, 100.0), 5.0);
         assert_eq!(percentile(&v, 1.0), 1.0);
         assert_eq!(percentile(&[], 50.0), 0.0);
+    }
+
+    #[test]
+    fn percentile_degenerate_samples() {
+        // A single sample is every percentile.
+        for p in [0.0, 1.0, 50.0, 99.0, 100.0] {
+            assert_eq!(percentile(&[42.0], p), 42.0);
+        }
+        // Two samples: nearest-rank splits at the 50th.
+        let v = [1.0, 9.0];
+        assert_eq!(percentile(&v, 0.0), 1.0);
+        assert_eq!(percentile(&v, 50.0), 1.0);
+        assert_eq!(percentile(&v, 50.1), 9.0);
+        assert_eq!(percentile(&v, 100.0), 9.0);
+    }
+
+    #[test]
+    fn percentile_clamps_out_of_range_p() {
+        let v = [1.0, 2.0, 3.0];
+        assert_eq!(percentile(&v, -10.0), 1.0);
+        assert_eq!(percentile(&v, 250.0), 3.0);
+        assert_eq!(percentile(&v, f64::NAN), 1.0);
+    }
+
+    #[test]
+    fn sort_samples_totally_orders_nans() {
+        // NaNs land at the end, numbers stay ordered — the comparator is
+        // a total order, so sorting cannot scramble finite samples.
+        let mut v = vec![f64::NAN, 2.0, f64::NEG_INFINITY, 1.0, f64::INFINITY];
+        sort_samples(&mut v);
+        assert_eq!(v[0], f64::NEG_INFINITY);
+        assert_eq!(&v[1..3], &[1.0, 2.0]);
+        assert_eq!(v[3], f64::INFINITY);
+        assert!(v[4].is_nan());
+        // Percentiles over the finite prefix stay meaningful.
+        assert_eq!(percentile(&v, 40.0), 1.0);
     }
 
     #[test]

@@ -14,6 +14,7 @@ use crate::report::AttackReport;
 use crate::scan::{BuildFnv, TagCache};
 use crate::simplify::simplify_into;
 use crate::tagging::{tag_of, tag_transfers_with_into, Tag, TaggedTransfer};
+use crate::telemetry::{MetricsSink, NoopSink, Stage, StageClock, TxCounters};
 use crate::trades::{identify_trades_into, Trade};
 
 /// The detector's read-only view of chain context: the label cloud, the
@@ -57,7 +58,11 @@ impl<'a> ChainView<'a> {
 
 /// Full intermediate output of one analysis — every pipeline stage exposed,
 /// so callers (and the paper's figures) can inspect each step.
-#[derive(Clone, Debug)]
+///
+/// `PartialEq` (not `Eq`: pattern volatilities are `f64`) exists so the
+/// telemetry identity tests can assert that instrumented and
+/// uninstrumented runs produce *identical* results.
+#[derive(Clone, Debug, PartialEq)]
 pub struct Analysis {
     /// Identified flash loans (empty ⇒ not a flash-loan transaction; the
     /// pipeline stops after identification in that case).
@@ -162,12 +167,41 @@ impl LeiShen {
         resolve: &mut dyn FnMut(Address) -> Tag,
         scratch: &mut AnalysisScratch,
     ) -> Analysis {
+        self.analyze_metered(tx, view, resolve, scratch, &NoopSink)
+    }
+
+    /// Like [`LeiShen::analyze_scratch`], reporting per-stage latency and
+    /// per-transaction counters to `sink`. The sink is a compile-time
+    /// parameter: monomorphized over [`NoopSink`] (what `analyze_scratch`
+    /// does) every timer read and counter store is dead code, so the
+    /// uninstrumented hot path pays nothing. Produces exactly the same
+    /// [`Analysis`] as `analyze` for any sink.
+    pub fn analyze_metered<S: MetricsSink>(
+        &self,
+        tx: &TxRecord,
+        view: &ChainView<'_>,
+        resolve: &mut dyn FnMut(Address) -> Tag,
+        scratch: &mut AnalysisScratch,
+        sink: &S,
+    ) -> Analysis {
+        let timed = S::ENABLED && {
+            scratch.lap_tick = scratch.lap_tick.wrapping_add(1);
+            let every = sink.stage_sampling();
+            every <= 1 || scratch.lap_tick.is_multiple_of(every)
+        };
+        let mut clock = StageClock::start(sink, timed);
+        let mut counters = TxCounters::default();
         let flash_loans = if tx.status.is_success() {
             identify_flash_loans(tx)
         } else {
             Vec::new()
         };
+        clock.lap(sink, Stage::FlashLoan);
         if flash_loans.is_empty() {
+            if S::ENABLED {
+                counters.account_transfers = tx.trace.transfers.len() as u32;
+            }
+            clock.finish(sink, &counters);
             return Analysis {
                 flash_loans,
                 account_transfer_count: tx.trace.transfers.len(),
@@ -182,13 +216,16 @@ impl LeiShen {
             patterns,
             seen_tags,
             seen_matches,
+            ..
         } = scratch;
 
         // Stage 2: account tagging + simplification. Buffers are sized up
         // front: simplification only ever removes or merges transfers.
         tag_transfers_with_into(&tx.trace.transfers, &mut *resolve, tagged);
+        clock.lap(sink, Stage::Tagging);
         let mut app_transfers = Vec::with_capacity(tagged.len());
-        simplify_into(tagged, view.weth, &self.config, &mut app_transfers);
+        let simplify_stats = simplify_into(tagged, view.weth, &self.config, &mut app_transfers);
+        clock.lap(sink, Stage::Simplify);
 
         // Stage 3: trades + patterns, per distinct borrower tag. The tx
         // initiator is always considered a borrower identity as well — the
@@ -196,6 +233,7 @@ impl LeiShen {
         // creation-tree tag anyway.
         let mut trades = Vec::with_capacity(app_transfers.len() / 2 + 1);
         identify_trades_into(&app_transfers, &mut trades);
+        clock.lap(sink, Stage::Trades);
         let mut borrower_tags: Vec<Tag> = Vec::new();
         seen_tags.clear();
         for loan in &flash_loans {
@@ -212,13 +250,36 @@ impl LeiShen {
         let legs = all_legs(&trades);
         let mut matches: Vec<PatternMatch> = Vec::new();
         seen_matches.clear();
+        let active_matchers = 3 + usize::from(self.config.experimental_kdp);
         for tag in &borrower_tags {
             for m in match_all_legs_scratch(&legs, tag, &self.config, patterns) {
                 if seen_matches.insert(match_key(&m)) {
                     matches.push(m);
                 }
             }
+            if S::ENABLED {
+                counters.patterns_tried +=
+                    (patterns.pairs_examined() * active_matchers) as u32;
+            }
         }
+        clock.lap(sink, Stage::Patterns);
+
+        if S::ENABLED {
+            // Every counter is derived from state the pipeline already
+            // holds; `tags_resolved` counts resolver calls exactly (two
+            // per raw transfer, one per loan borrower, one initiator).
+            counters.account_transfers = tx.trace.transfers.len() as u32;
+            counters.flash_loans = flash_loans.len() as u32;
+            counters.tags_resolved =
+                (2 * tx.trace.transfers.len() + flash_loans.len() + 1) as u32;
+            counters.app_transfers = simplify_stats.kept;
+            counters.transfers_dropped = simplify_stats.dropped;
+            counters.transfers_merged = simplify_stats.merged;
+            counters.trades = trades.len() as u32;
+            counters.borrower_tags = borrower_tags.len() as u32;
+            counters.patterns_matched = matches.len() as u32;
+        }
+        clock.finish(sink, &counters);
 
         Analysis {
             flash_loans,
@@ -297,6 +358,9 @@ pub struct AnalysisScratch {
     patterns: PatternScratch,
     seen_tags: HashSet<Tag, BuildFnv>,
     seen_matches: HashSet<MatchKey, BuildFnv>,
+    /// Per-worker transaction tick driving the sink's stage-timing
+    /// sampling ([`MetricsSink::stage_sampling`]).
+    lap_tick: u32,
 }
 
 /// Dedup key for [`PatternMatch`] (which is `PartialEq`-only because of
@@ -470,6 +534,82 @@ mod tests {
             "expected ~13,355, got {profit}"
         );
         assert!(!report.volatilities.is_empty());
+    }
+
+    #[test]
+    fn metered_analysis_is_identical_and_counted() {
+        use crate::telemetry::{RecordingSink, Stage};
+
+        let (mut chain, labels, wbtc) = build_attack_world();
+        let attacker = chain.create_eoa("attacker");
+        chain.state_mut().credit_eth(attacker, 1_000).unwrap();
+        let pair = chain.state().creations()[0].created;
+        let tx = chain
+            .execute(attacker, pair, "flash", |ctx| {
+                ctx.call(attacker, pair, "swap", 0, |ctx| {
+                    ctx.transfer_eth(pair, attacker, 100_000)?;
+                    ctx.call(pair, attacker, "uniswapV2Call", 0, |ctx| {
+                        ctx.transfer_token(wbtc, pair, attacker, 7)
+                    })?;
+                    ctx.transfer_eth(attacker, pair, 100_301)?;
+                    Ok(())
+                })
+            })
+            .unwrap();
+        let record = chain.replay(tx).unwrap().clone();
+        let view = ChainView::new(&labels, chain.state().creations(), None);
+        let detector = LeiShen::new(DetectorConfig::paper());
+
+        let plain = detector.analyze(&record, &view);
+        let sink = RecordingSink::new();
+        let metered = detector.analyze_metered(
+            &record,
+            &view,
+            &mut |addr| tag_of(addr, view.labels, &view.creations),
+            &mut AnalysisScratch::default(),
+            &sink,
+        );
+        assert_eq!(plain, metered, "instrumentation must not change results");
+
+        let totals = sink.counter_totals();
+        assert_eq!(totals.transactions, 1);
+        assert_eq!(
+            totals.account_transfers as usize,
+            record.trace.transfers.len()
+        );
+        assert_eq!(totals.flash_loans as usize, metered.flash_loans.len());
+        assert_eq!(
+            totals.tags_resolved as usize,
+            2 * record.trace.transfers.len() + metered.flash_loans.len() + 1
+        );
+        assert_eq!(totals.app_transfers as usize, metered.app_transfers.len());
+        assert_eq!(totals.trades as usize, metered.trades.len());
+        assert_eq!(totals.borrower_tags as usize, metered.borrower_tags.len());
+        assert_eq!(totals.patterns_matched as usize, metered.matches.len());
+        // A flash-loan transaction reaches every stage exactly once.
+        for stage in crate::telemetry::STAGES {
+            assert_eq!(sink.stage_summary(stage).count, 1, "{stage}");
+        }
+
+        // A non-flash-loan transaction records only the short-circuit.
+        let other = chain.create_eoa("other");
+        chain.state_mut().credit_eth(other, 10).unwrap();
+        let plain_tx = chain
+            .execute(other, attacker, "send", |ctx| {
+                ctx.transfer_eth(other, attacker, 5)
+            })
+            .unwrap();
+        let plain_record = chain.replay(plain_tx).unwrap().clone();
+        detector.analyze_metered(
+            &plain_record,
+            &view,
+            &mut |addr| tag_of(addr, view.labels, &view.creations),
+            &mut AnalysisScratch::default(),
+            &sink,
+        );
+        assert_eq!(sink.counter_totals().transactions, 2);
+        assert_eq!(sink.stage_summary(Stage::FlashLoan).count, 2);
+        assert_eq!(sink.stage_summary(Stage::Tagging).count, 1);
     }
 
     #[test]

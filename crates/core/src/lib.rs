@@ -58,6 +58,7 @@ pub mod report;
 pub mod scan;
 pub mod simplify;
 pub mod tagging;
+pub mod telemetry;
 pub mod trades;
 
 pub use analytics::{cluster_reports, pair_volatility, profit_of, AttackCluster, PairVolatility};
@@ -68,7 +69,11 @@ pub use forensics::{trace_exits, ExitKind, ExitReport};
 pub use labels::Labels;
 pub use patterns::{PatternKind, PatternMatch, PatternScratch};
 pub use report::AttackReport;
-pub use scan::{LocalTagCache, ScanEngine, ScanStats, TagCache};
-pub use simplify::{simplify, simplify_into};
+pub use scan::{LocalTagCache, ScanEngine, ScanStats, ShardStat, TagCache};
+pub use simplify::{simplify, simplify_into, SimplifyStats};
 pub use tagging::{tag_transfers, tag_transfers_with, tag_transfers_with_into, Tag, TagMap, TaggedTransfer};
+pub use telemetry::{
+    MetricsSink, NoopSink, RecordingSink, Stage, StageSummary, TxCounters, TxCountersTotal,
+    STAGES, STAGE_COUNT,
+};
 pub use trades::{identify_trades, identify_trades_into, Trade, TradeKind, TradeSide};

@@ -142,6 +142,16 @@ pub struct PatternScratch {
     matcher: MatcherScratch,
 }
 
+impl PatternScratch {
+    /// Number of `(quote, target)` pairs the most recent
+    /// [`match_all_legs_scratch`] call examined — the telemetry counter
+    /// behind [`crate::telemetry::TxCounters::patterns_tried`] (each pair
+    /// is evaluated by every active matcher).
+    pub fn pairs_examined(&self) -> usize {
+        self.pairs.len()
+    }
+}
+
 /// Per-seller working buffers the KRP and MBS matchers fill while
 /// examining one pair (also index-based, see [`PatternScratch`]).
 #[derive(Debug, Default)]

@@ -41,11 +41,12 @@ use parking_lot::RwLock;
 use crate::detector::{Analysis, AnalysisScratch, ChainView, LeiShen};
 use crate::labels::Labels;
 use crate::tagging::{tag_of, Tag};
+use crate::telemetry::{MetricsSink, NoopSink, RecordingSink};
 
 /// Number of independent lock shards. A power of two so the shard index
 /// is a mask; 16 keeps contention negligible for any realistic worker
 /// count while staying cache-friendly.
-const SHARD_COUNT: usize = 16;
+pub const SHARD_COUNT: usize = 16;
 
 /// FNV-1a. Addresses are short fixed-size keys held in trusted maps, so
 /// SipHash's hash-flooding resistance buys nothing here and costs several
@@ -99,7 +100,20 @@ type TagMapInner = HashMap<Address, Tag, BuildFnv>;
 pub struct TagCache {
     shards: [RwLock<TagMapInner>; SHARD_COUNT],
     hits: AtomicU64,
-    misses: AtomicU64,
+    // Misses are tallied per shard: every miss takes that shard's write
+    // lock (the only contended operation), so the per-shard miss counts
+    // double as the cache's contention profile.
+    shard_misses: [AtomicU64; SHARD_COUNT],
+}
+
+/// Telemetry snapshot of one [`TagCache`] shard.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ShardStat {
+    /// Distinct addresses currently cached in the shard.
+    pub entries: usize,
+    /// Misses routed to the shard — each one took the shard's write
+    /// lock, so this is the shard's share of write contention.
+    pub inserts: u64,
 }
 
 impl TagCache {
@@ -108,10 +122,10 @@ impl TagCache {
         TagCache::default()
     }
 
-    fn shard(&self, addr: Address) -> &RwLock<TagMapInner> {
+    fn shard_index(&self, addr: Address) -> usize {
         let mut h = FnvHasher::default();
         h.write(addr.as_bytes());
-        &self.shards[(h.finish() as usize) & (SHARD_COUNT - 1)]
+        (h.finish() as usize) & (SHARD_COUNT - 1)
     }
 
     /// The tag of `addr`, from the cache when present, computed (and
@@ -120,12 +134,13 @@ impl TagCache {
         if addr.is_zero() {
             return Tag::BlackHole;
         }
-        let shard = self.shard(addr);
+        let idx = self.shard_index(addr);
+        let shard = &self.shards[idx];
         if let Some(tag) = shard.read().get(&addr) {
             self.hits.fetch_add(1, Ordering::Relaxed);
             return tag.clone();
         }
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.shard_misses[idx].fetch_add(1, Ordering::Relaxed);
         let tag = tag_of(addr, labels, creations);
         shard.write().insert(addr, tag.clone());
         tag
@@ -138,7 +153,32 @@ impl TagCache {
 
     /// Number of lookups that had to compute a fresh tag.
     pub fn misses(&self) -> u64 {
-        self.misses.load(Ordering::Relaxed)
+        self.shard_misses
+            .iter()
+            .map(|m| m.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Fraction of lookups answered from the cache (0 when untouched).
+    pub fn hit_rate(&self) -> f64 {
+        let hits = self.hits();
+        let total = hits + self.misses();
+        if total == 0 {
+            0.0
+        } else {
+            hits as f64 / total as f64
+        }
+    }
+
+    /// Per-shard entry and write (miss) counts — the cache's contention
+    /// profile, surfaced by the `obs` telemetry bin.
+    pub fn shard_stats(&self) -> [ShardStat; SHARD_COUNT] {
+        let mut out = [ShardStat::default(); SHARD_COUNT];
+        for (i, slot) in out.iter_mut().enumerate() {
+            slot.entries = self.shards[i].read().len();
+            slot.inserts = self.shard_misses[i].load(Ordering::Relaxed);
+        }
+        out
     }
 
     /// Number of distinct addresses currently cached.
@@ -158,7 +198,9 @@ impl TagCache {
             shard.write().clear();
         }
         self.hits.store(0, Ordering::Relaxed);
-        self.misses.store(0, Ordering::Relaxed);
+        for m in &self.shard_misses {
+            m.store(0, Ordering::Relaxed);
+        }
     }
 }
 
@@ -223,6 +265,19 @@ pub struct ScanStats {
     pub cache_hits: u64,
     /// Tag lookups that computed a fresh tag.
     pub cache_misses: u64,
+}
+
+impl ScanStats {
+    /// Fraction of tag lookups answered from the cache (0 for an empty
+    /// scan).
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.cache_hits + self.cache_misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.cache_hits as f64 / total as f64
+        }
+    }
 }
 
 /// A batch scanner: fans transactions over a worker pool sharing one
@@ -307,6 +362,38 @@ impl ScanEngine {
         view: &ChainView<'_>,
         cache: &TagCache,
     ) -> Vec<Analysis> {
+        self.scan_impl(detector, txs, view, cache, &NoopSink)
+    }
+
+    /// Like [`ScanEngine::scan_with_cache`], with every worker reporting
+    /// per-stage latency and per-transaction counters into one shared
+    /// [`RecordingSink`]. Produces exactly the same analyses, in the same
+    /// input order, as the unmetered scan — the telemetry identity test
+    /// asserts this — while the sink accumulates the stage histograms and
+    /// counter totals the `obs` bench bin serializes.
+    pub fn scan_metered(
+        &self,
+        detector: &LeiShen,
+        txs: &[&TxRecord],
+        view: &ChainView<'_>,
+        cache: &TagCache,
+        sink: &RecordingSink,
+    ) -> Vec<Analysis> {
+        self.scan_impl(detector, txs, view, cache, sink)
+    }
+
+    /// The scan, generic over the metrics sink so the [`NoopSink`] path
+    /// monomorphizes with zero instrumentation. Each worker records into
+    /// its own [`MetricsSink::worker_front`] — thread-local, lock-free —
+    /// which merges into `sink` when the worker finishes.
+    fn scan_impl<S: MetricsSink + Sync>(
+        &self,
+        detector: &LeiShen,
+        txs: &[&TxRecord],
+        view: &ChainView<'_>,
+        cache: &TagCache,
+        sink: &S,
+    ) -> Vec<Analysis> {
         if txs.is_empty() {
             return Vec::new();
         }
@@ -322,14 +409,16 @@ impl ScanEngine {
         if workers <= 1 {
             let mut local = LocalTagCache::new(cache);
             let mut scratch = AnalysisScratch::default();
+            let front = sink.worker_front();
             return txs
                 .iter()
                 .map(|tx| {
-                    detector.analyze_scratch(
+                    detector.analyze_metered(
                         tx,
                         view,
                         &mut |addr| local.resolve(addr, view.labels(), view.creations()),
                         &mut scratch,
+                        &front,
                     )
                 })
                 .collect();
@@ -351,6 +440,7 @@ impl ScanEngine {
                     scope.spawn(|_| {
                         let mut tags = LocalTagCache::new(cache);
                         let mut scratch = AnalysisScratch::default();
+                        let front = sink.worker_front();
                         let mut local: Vec<(usize, Vec<Analysis>)> = Vec::new();
                         loop {
                             match injector.steal() {
@@ -358,7 +448,7 @@ impl ScanEngine {
                                     let analyses = txs[start..end]
                                         .iter()
                                         .map(|tx| {
-                                            detector.analyze_scratch(
+                                            detector.analyze_metered(
                                                 tx,
                                                 view,
                                                 &mut |addr| {
@@ -369,6 +459,7 @@ impl ScanEngine {
                                                     )
                                                 },
                                                 &mut scratch,
+                                                &front,
                                             )
                                         })
                                         .collect();
@@ -468,6 +559,23 @@ mod tests {
         assert!(cache.is_empty());
         assert_eq!(cache.hits(), 0);
         assert_eq!(cache.misses(), 0);
+    }
+
+    #[test]
+    fn shard_stats_cover_every_miss() {
+        let labels = Labels::new();
+        let idx = CreationIndex::new(&[rec(1, 2)]);
+        let cache = TagCache::new();
+        for a in 1u64..=40 {
+            cache.resolve(Address::from_u64(a), &labels, &idx);
+        }
+        let stats = cache.shard_stats();
+        assert_eq!(stats.iter().map(|s| s.inserts).sum::<u64>(), cache.misses());
+        assert_eq!(stats.iter().map(|s| s.entries).sum::<usize>(), cache.len());
+        assert_eq!(cache.misses(), 40);
+        assert_eq!(cache.hit_rate(), 0.0);
+        cache.resolve(Address::from_u64(1), &labels, &idx);
+        assert!(cache.hit_rate() > 0.0);
     }
 
     #[test]

@@ -35,6 +35,20 @@ pub fn simplify(
     out
 }
 
+/// What one [`simplify_into`] pass did — the telemetry counters of the
+/// simplification stage. `kept + dropped + merged` equals the input
+/// length, so callers can cross-check against the raw journal.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct SimplifyStats {
+    /// Transfers surviving into the application-level list.
+    pub kept: u32,
+    /// Transfers removed by rules 1–2 (intra-app or WETH-related).
+    pub dropped: u32,
+    /// Transfers absorbed into a predecessor by rule 3 (pass-through
+    /// merges).
+    pub merged: u32,
+}
+
 /// [`simplify`] writing into a caller-provided buffer (cleared first), so
 /// batch scanners and benches can reuse one allocation across
 /// transactions.
@@ -50,16 +64,19 @@ pub fn simplify_into(
     weth_token: Option<TokenId>,
     config: &DetectorConfig,
     out: &mut Vec<TaggedTransfer>,
-) {
+) -> SimplifyStats {
     out.clear();
+    let mut stats = SimplifyStats::default();
     let is_weth = |tag: &Tag| tag.app_name() == Some(WETH_TAG);
     for t in tagged {
         // Rules 1 and 2 are decided on the borrowed transfer — dropped
         // entries never pay a clone's tag refcount traffic.
         if t.sender == t.receiver {
+            stats.dropped += 1;
             continue;
         }
         if is_weth(&t.sender) || is_weth(&t.receiver) {
+            stats.dropped += 1;
             continue;
         }
         let token = if weth_token == Some(t.token) {
@@ -73,6 +90,7 @@ pub fn simplify_into(
                 // keep what the final counterparty actually received
                 prev.receiver = t.receiver.clone();
                 prev.amount = t.amount;
+                stats.merged += 1;
                 continue;
             }
         }
@@ -84,6 +102,8 @@ pub fn simplify_into(
             token,
         });
     }
+    stats.kept = out.len() as u32;
+    stats
 }
 
 /// Rewrites the WETH token id to ETH (rule 2's token unification).
@@ -341,6 +361,28 @@ mod tests {
         assert_eq!(out[0].sender, app("A"));
         assert_eq!(out[0].receiver, app("B"));
         assert_eq!(out[0].token, TokenId::ETH);
+    }
+
+    #[test]
+    fn simplify_stats_account_for_every_input() {
+        let weth = TokenId::from_index(9);
+        let list = vec![
+            t(0, app("Uniswap"), app("Uniswap"), 1, 1),
+            t(1, app("A"), app("Router"), 100_000, 9),
+            t(2, app("Router"), app(WETH_TAG), 100_000, 9),
+            t(3, app(WETH_TAG), app("Router"), 100_000, 0),
+            t(4, app("Router"), app("B"), 99_990, 0),
+        ];
+        let mut out = Vec::new();
+        let stats = simplify_into(&list, Some(weth), &DetectorConfig::default(), &mut out);
+        assert_eq!(stats.kept, 1);
+        assert_eq!(stats.dropped, 3, "one intra-app + two WETH legs");
+        assert_eq!(stats.merged, 1, "A→Router→B pass-through");
+        assert_eq!(
+            stats.kept + stats.dropped + stats.merged,
+            list.len() as u32
+        );
+        assert_eq!(out.len(), stats.kept as usize);
     }
 
     #[test]

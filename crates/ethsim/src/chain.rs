@@ -43,6 +43,33 @@ impl Default for ChainConfig {
     }
 }
 
+/// Cumulative executor counters.
+///
+/// These are the substrate half of the end-to-end telemetry story — the
+/// detector half lives in `leishen::telemetry`. Every [`Chain::execute`]
+/// call updates them, whether the transaction commits or reverts, so a
+/// bench run can report how much raw trace material (frames, transfers,
+/// logs) and journal churn the scenario generated.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct ExecStats {
+    /// Transactions executed (committed + reverted).
+    pub transactions: u64,
+    /// Transactions that committed successfully.
+    pub committed: u64,
+    /// Transactions that reverted (flash loan not repaid, etc.).
+    pub reverted: u64,
+    /// Call frames recorded across all traces, including partial traces of
+    /// reverted transactions.
+    pub frames: u64,
+    /// Account-level transfers (ETH + ERC20) recorded across all traces.
+    pub transfers: u64,
+    /// Event logs recorded across all traces.
+    pub logs: u64,
+    /// Undo-journal entries emitted by transaction bodies, sampled just
+    /// before each commit/revert. A proxy for state-write volume.
+    pub journal_entries: u64,
+}
+
 /// An in-memory blockchain with journaled state and full transaction
 /// history.
 #[derive(Debug)]
@@ -52,6 +79,7 @@ pub struct Chain {
     current_block: u64,
     txs: Vec<TxRecord>,
     eoa_counter: u64,
+    stats: ExecStats,
 }
 
 impl Chain {
@@ -63,7 +91,13 @@ impl Chain {
             current_block: config.start_block,
             txs: Vec::new(),
             eoa_counter: 0,
+            stats: ExecStats::default(),
         }
+    }
+
+    /// Cumulative executor counters since the chain was created.
+    pub fn exec_stats(&self) -> ExecStats {
+        self.stats
     }
 
     /// Read-only world state.
@@ -162,19 +196,29 @@ impl Chain {
         let block = self.current_block;
         let timestamp = self.timestamp_of(block);
         let snap = self.state.snapshot();
+        let journal_before = self.state.journal_len();
         let mut ctx = TxContext::new(&mut self.state, block, timestamp);
         let outcome = body(&mut ctx);
         let trace = ctx.into_trace();
+        // Sample journal growth before commit/revert discards it.
+        let journal_emitted = (self.state.journal_len() - journal_before) as u64;
         let status = match outcome {
             Ok(()) => {
                 self.state.commit();
+                self.stats.committed += 1;
                 TxStatus::Success
             }
             Err(e) => {
                 self.state.revert_to(snap);
+                self.stats.reverted += 1;
                 TxStatus::Reverted(e.to_string())
             }
         };
+        self.stats.transactions += 1;
+        self.stats.frames += trace.frames.len() as u64;
+        self.stats.transfers += trace.transfers.len() as u64;
+        self.stats.logs += trace.logs.len() as u64;
+        self.stats.journal_entries += journal_emitted;
         let id = TxId(self.txs.len() as u64);
         self.txs.push(TxRecord {
             id,
@@ -334,6 +378,53 @@ mod tests {
         );
         // before the start block, the timeline clamps to genesis
         assert_eq!(chain.timestamp_of(0), chain.timestamp_of(b0));
+    }
+
+    #[test]
+    fn exec_stats_count_commits_reverts_and_trace_volume() {
+        let mut chain = Chain::default();
+        let a = chain.create_eoa("a");
+        let b = chain.create_eoa("b");
+        chain.state_mut().credit_eth(a, 100).unwrap();
+        assert_eq!(chain.exec_stats(), ExecStats::default());
+
+        chain
+            .execute(a, b, "send", |ctx| {
+                ctx.transfer_eth(a, b, 30)?;
+                ctx.emit_log(a, "Sent", vec![]);
+                Ok(())
+            })
+            .unwrap();
+        chain
+            .execute(a, b, "fail", |ctx| {
+                ctx.transfer_eth(a, b, 10)?;
+                Err(SimError::revert("nope"))
+            })
+            .unwrap();
+
+        let s = chain.exec_stats();
+        assert_eq!(s.transactions, 2);
+        assert_eq!(s.committed, 1);
+        assert_eq!(s.reverted, 1);
+        // Both bodies recorded one transfer each — partial traces of
+        // reverted transactions still count.
+        assert_eq!(s.transfers, 2);
+        assert_eq!(s.logs, 1);
+        // Each ETH transfer journals two balance writes.
+        assert!(s.journal_entries >= 4, "journal_entries = {}", s.journal_entries);
+    }
+
+    #[test]
+    fn exec_stats_count_frames() {
+        let mut chain = Chain::default();
+        let a = chain.create_eoa("a");
+        chain
+            .execute(a, a, "outer", |ctx| {
+                ctx.call(a, a, "inner", 0, |_| Ok(()))?;
+                Ok(())
+            })
+            .unwrap();
+        assert!(chain.exec_stats().frames >= 1);
     }
 
     #[test]

@@ -74,7 +74,7 @@ pub mod tx;
 
 pub use address::Address;
 pub use calendar::{Date, MonthIndex, WeekIndex};
-pub use chain::{Chain, ChainConfig};
+pub use chain::{Chain, ChainConfig, ExecStats};
 pub use context::TxContext;
 pub use creation::{CreationIndex, CreationRecord};
 pub use error::SimError;

@@ -321,6 +321,17 @@ impl WorldState {
         Snapshot(self.journal.len())
     }
 
+    /// Number of undo entries accumulated since the last [`commit`].
+    ///
+    /// The executor samples this right before committing or reverting a
+    /// transaction to report journal pressure in
+    /// [`crate::chain::ExecStats`].
+    ///
+    /// [`commit`]: WorldState::commit
+    pub fn journal_len(&self) -> usize {
+        self.journal.len()
+    }
+
     /// Rolls every mutation made after `snap` back, in reverse order.
     pub fn revert_to(&mut self, snap: Snapshot) {
         while self.journal.len() > snap.0 {

@@ -1,0 +1,285 @@
+//! Golden-corpus regression tests: the detector's full output for all 22
+//! reconstructed flpAttacks, snapshotted to `tests/golden/*.json`.
+//!
+//! The Table IV tests in `known_attacks.rs` pin the *verdicts*; these
+//! snapshots pin the *entire analysis* — identified flash loans,
+//! simplified application-level transfers, trades, borrower tags, and
+//! pattern matches with volatilities — so any behavioural drift in the
+//! pipeline shows up as a readable JSON diff naming the attack and the
+//! field that moved, not just a flipped boolean.
+//!
+//! ## Updating the snapshots
+//!
+//! When an intentional pipeline change shifts the output, regenerate the
+//! corpus and review the diff like any other code change:
+//!
+//! ```sh
+//! UPDATE_GOLDEN=1 cargo test --test golden_attacks
+//! git diff tests/golden/
+//! ```
+//!
+//! The files are deterministic: the scenario world is seeded, addresses
+//! derive from fixed seeds, amounts serialize as exact integer strings,
+//! and the only floats (pattern volatilities) are formatted to six
+//! decimal places.
+
+use std::fmt::Write as _;
+use std::path::PathBuf;
+
+use ethsim::TokenId;
+use leishen::{Analysis, DetectorConfig, LeiShen};
+use leishen_scenarios::{run_all_attacks, ExecutedAttack, World};
+
+/// JSON string escaping for the identifier-ish strings we emit (tags,
+/// names, token symbols) — quotes, backslashes and control characters.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// `"bZx-1"` → `"bzx_1"`, `"MY FARM PET"` → `"my_farm_pet"`.
+fn slug(name: &str) -> String {
+    let mut out = String::new();
+    for c in name.chars() {
+        if c.is_ascii_alphanumeric() {
+            out.push(c.to_ascii_lowercase());
+        } else if !out.ends_with('_') && !out.is_empty() {
+            out.push('_');
+        }
+    }
+    out.trim_end_matches('_').to_string()
+}
+
+/// Renders the detector's complete output for one attack as
+/// deterministic, pretty-printed JSON.
+fn snapshot(world: &World, attack: &ExecutedAttack, analysis: &Analysis) -> String {
+    let sym = |t: TokenId| -> String {
+        world
+            .chain
+            .state()
+            .token(t)
+            .map(|info| info.symbol.clone())
+            .unwrap_or_else(|_| t.to_string())
+    };
+    let side = |legs: &[(u128, TokenId)]| -> String {
+        legs.iter()
+            .map(|(amount, token)| format!("[\"{amount}\", \"{}\"]", esc(&sym(*token))))
+            .collect::<Vec<_>>()
+            .join(", ")
+    };
+
+    let mut j = String::new();
+    let spec = &attack.spec;
+    let _ = writeln!(j, "{{");
+    let _ = writeln!(j, "  \"id\": {},", spec.id);
+    let _ = writeln!(j, "  \"name\": \"{}\",", esc(spec.name));
+    let _ = writeln!(j, "  \"attacked_app\": \"{}\",", esc(spec.attacked_app));
+    let _ = writeln!(j, "  \"is_attack\": {},", analysis.is_attack());
+    let _ = writeln!(j, "  \"account_transfers\": {},", analysis.account_transfer_count);
+
+    let _ = writeln!(j, "  \"flash_loans\": [");
+    for (i, loan) in analysis.flash_loans.iter().enumerate() {
+        let token = loan
+            .token
+            .map(|t| format!("\"{}\"", esc(&sym(t))))
+            .unwrap_or_else(|| "null".into());
+        let amount = loan
+            .amount
+            .map(|a| format!("\"{a}\""))
+            .unwrap_or_else(|| "null".into());
+        let comma = if i + 1 < analysis.flash_loans.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "    {{ \"provider\": \"{}\", \"lender\": \"{}\", \"borrower\": \"{}\", \"token\": {token}, \"amount\": {amount} }}{comma}",
+            loan.provider, loan.lender, loan.borrower
+        );
+    }
+    let _ = writeln!(j, "  ],");
+
+    let _ = writeln!(j, "  \"app_transfers\": [");
+    for (i, t) in analysis.app_transfers.iter().enumerate() {
+        let comma = if i + 1 < analysis.app_transfers.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "    {{ \"seq\": {}, \"from\": \"{}\", \"to\": \"{}\", \"amount\": \"{}\", \"token\": \"{}\" }}{comma}",
+            t.seq,
+            esc(&t.sender.to_string()),
+            esc(&t.receiver.to_string()),
+            t.amount,
+            esc(&sym(t.token))
+        );
+    }
+    let _ = writeln!(j, "  ],");
+
+    let _ = writeln!(j, "  \"trades\": [");
+    for (i, t) in analysis.trades.iter().enumerate() {
+        let comma = if i + 1 < analysis.trades.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "    {{ \"seq\": {}, \"kind\": \"{}\", \"buyer\": \"{}\", \"seller\": \"{}\", \"sells\": [{}], \"buys\": [{}] }}{comma}",
+            t.seq,
+            t.kind,
+            esc(&t.buyer.to_string()),
+            esc(&t.seller.to_string()),
+            side(&t.sells),
+            side(&t.buys)
+        );
+    }
+    let _ = writeln!(j, "  ],");
+
+    let _ = writeln!(j, "  \"borrower_tags\": [");
+    for (i, tag) in analysis.borrower_tags.iter().enumerate() {
+        let comma = if i + 1 < analysis.borrower_tags.len() { "," } else { "" };
+        let _ = writeln!(j, "    \"{}\"{comma}", esc(&tag.to_string()));
+    }
+    let _ = writeln!(j, "  ],");
+
+    let _ = writeln!(j, "  \"matches\": [");
+    for (i, m) in analysis.matches.iter().enumerate() {
+        let seqs = m
+            .trade_seqs
+            .iter()
+            .map(|s| s.to_string())
+            .collect::<Vec<_>>()
+            .join(", ");
+        let comma = if i + 1 < analysis.matches.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "    {{ \"kind\": \"{}\", \"target_token\": \"{}\", \"quote_token\": \"{}\", \"trade_seqs\": [{seqs}], \"volatility\": {:.6}, \"counterparty\": \"{}\" }}{comma}",
+            m.kind,
+            esc(&sym(m.target_token)),
+            esc(&sym(m.quote_token)),
+            m.volatility,
+            esc(&m.counterparty)
+        );
+    }
+    let _ = writeln!(j, "  ]");
+    let _ = writeln!(j, "}}");
+    j
+}
+
+fn golden_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+}
+
+#[test]
+fn golden_corpus_matches_snapshots() {
+    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let dir = golden_dir();
+
+    let mut world = World::new();
+    let attacks = run_all_attacks(&mut world);
+    assert_eq!(attacks.len(), 22, "the Table I corpus has 22 attacks");
+    let labels = world.detector_labels();
+    let view = world.view(&labels);
+    let detector = LeiShen::new(DetectorConfig::paper());
+
+    if update {
+        std::fs::create_dir_all(&dir).expect("create tests/golden");
+    }
+
+    let mut failures = Vec::new();
+    let mut expected_files = Vec::new();
+    for attack in &attacks {
+        let record = world.chain.replay(attack.tx).expect("recorded");
+        let analysis = detector.analyze(record, &view);
+        let rendered = snapshot(&world, attack, &analysis);
+        let file = format!("{:02}_{}.json", attack.spec.id, slug(attack.spec.name));
+        let path = dir.join(&file);
+        expected_files.push(file.clone());
+
+        if update {
+            std::fs::write(&path, &rendered).expect("write snapshot");
+            continue;
+        }
+        match std::fs::read_to_string(&path) {
+            Ok(golden) if golden == rendered => {}
+            Ok(golden) => {
+                // Point at the first diverging line to keep the failure
+                // readable; the full diff is one `UPDATE_GOLDEN=1` +
+                // `git diff` away.
+                let line = golden
+                    .lines()
+                    .zip(rendered.lines())
+                    .position(|(a, b)| a != b)
+                    .map(|i| i + 1)
+                    .unwrap_or_else(|| golden.lines().count().min(rendered.lines().count()) + 1);
+                failures.push(format!(
+                    "{file}: output drifted from snapshot (first difference at line {line}); \
+                     if intentional, regenerate with UPDATE_GOLDEN=1 and review the diff"
+                ));
+            }
+            Err(e) => failures.push(format!(
+                "{file}: cannot read snapshot ({e}); generate with UPDATE_GOLDEN=1"
+            )),
+        }
+    }
+
+    // The directory must hold exactly the 22 snapshots — a stale file
+    // from a renamed attack would otherwise linger unchecked.
+    if !update {
+        let mut on_disk: Vec<String> = std::fs::read_dir(&dir)
+            .map(|rd| {
+                rd.filter_map(|e| e.ok())
+                    .map(|e| e.file_name().to_string_lossy().into_owned())
+                    .filter(|n| n.ends_with(".json"))
+                    .collect()
+            })
+            .unwrap_or_default();
+        on_disk.sort();
+        expected_files.sort();
+        if on_disk != expected_files {
+            failures.push(format!(
+                "tests/golden contents mismatch:\n  on disk: {on_disk:?}\n  expected: {expected_files:?}"
+            ));
+        }
+    }
+
+    assert!(failures.is_empty(), "\n{}", failures.join("\n"));
+}
+
+/// The snapshot renderer itself must be deterministic — two runs on two
+/// separately built worlds produce byte-identical output.
+#[test]
+fn snapshots_are_deterministic_across_worlds() {
+    let render_all = || {
+        let mut world = World::new();
+        let attacks = run_all_attacks(&mut world);
+        let labels = world.detector_labels();
+        let view = world.view(&labels);
+        let detector = LeiShen::new(DetectorConfig::paper());
+        attacks
+            .iter()
+            .map(|attack| {
+                let record = world.chain.replay(attack.tx).expect("recorded");
+                let analysis = detector.analyze(record, &view);
+                snapshot(&world, attack, &analysis)
+            })
+            .collect::<Vec<_>>()
+    };
+    assert_eq!(render_all(), render_all());
+}
+
+#[test]
+fn slugs_are_filesystem_safe() {
+    assert_eq!(slug("bZx-1"), "bzx_1");
+    assert_eq!(slug("MY FARM PET"), "my_farm_pet");
+    assert_eq!(slug("Wault.Finance"), "wault_finance");
+    let mut world = World::new();
+    let attacks = run_all_attacks(&mut world);
+    let slugs: std::collections::HashSet<String> =
+        attacks.iter().map(|a| slug(a.spec.name)).collect();
+    assert_eq!(slugs.len(), attacks.len(), "snapshot names must be unique");
+}

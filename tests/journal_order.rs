@@ -1,0 +1,225 @@
+//! Property tests for the transfer journal's total order — the substrate
+//! guarantee the whole detector rests on (paper §V-A: the modified Geth
+//! recovers the happened-before relationship between internal-transaction
+//! Ether transfers and event-log ERC20 transfers).
+//!
+//! Three invariants, each over randomized transaction bodies:
+//!
+//! * every action stream of a trace (transfers, logs, frames) draws from
+//!   one shared `seq` counter, so the merged stream has unique, and each
+//!   per-stream sequence strictly increasing, positions;
+//! * the journal records ETH and ERC20 transfers interleaved exactly in
+//!   execution order, with the tuples `(sender, receiver, amount, token)`
+//!   the paper's Fig. 6 names;
+//! * `simplify` with `merge_tolerance = 0` neither drops nor reorders any
+//!   transfer that crosses an application boundary — rules 1–3 only ever
+//!   remove intra-app noise, WETH wrapping, and near-identical
+//!   pass-throughs, never trading signal.
+
+use proptest::prelude::*;
+
+use ethsim::{Address, Chain, ChainConfig, TokenId};
+use leishen::config::DetectorConfig;
+use leishen::simplify::simplify;
+use leishen::tagging::{Tag, TaggedTransfer};
+
+/// One randomized action inside a transaction body, decoded from a raw
+/// `(kind, from, to, amount)` tuple (the vendored proptest stand-in has
+/// no `prop_oneof`/`prop_map`). `from`/`to` index a small account pool so
+/// transfers collide on accounts often enough to exercise balance
+/// bookkeeping.
+#[derive(Clone, Copy, Debug)]
+enum Op {
+    Eth { from: usize, to: usize, amount: u128 },
+    Token { from: usize, to: usize, amount: u128 },
+    Mint { to: usize, amount: u128 },
+    Log { emitter: usize },
+}
+
+/// Raw tuple drawn by the strategy: `(kind 0..4, from 0..3, to 0..3,
+/// amount 1..1000)`.
+type RawOp = (u8, usize, usize, u128);
+
+fn decode(raw: RawOp) -> Op {
+    let (kind, from, to, amount) = raw;
+    match kind {
+        0 => Op::Eth { from, to, amount },
+        1 => Op::Token { from, to, amount },
+        2 => Op::Mint { to, amount },
+        _ => Op::Log { emitter: from },
+    }
+}
+
+/// Executes `raw` ops in one transaction and returns the recorded trace
+/// plus the transfer tuples expected from walking the ops in program
+/// order.
+fn run_ops(raw: &[RawOp]) -> (ethsim::TxTrace, Vec<(Address, Address, u128, TokenId)>) {
+    let ops: Vec<Op> = raw.iter().copied().map(decode).collect();
+    let mut chain = Chain::new(ChainConfig::default());
+    let accounts: Vec<Address> = ["a", "b", "c"].iter().map(|s| chain.create_eoa(s)).collect();
+    let tok = chain
+        .state_mut()
+        .register_token("TOK", 18, Address::from_seed("tok"));
+    for &acct in &accounts {
+        chain.state_mut().credit_eth(acct, 1_000_000).unwrap();
+    }
+    chain.state_mut().commit();
+    // Token balances are seeded by a funding transaction — minting is a
+    // journaled action, not a state poke.
+    chain
+        .execute(accounts[0], accounts[0], "fund", |ctx| {
+            for &acct in &accounts {
+                ctx.mint_token(tok, acct, 1_000_000)?;
+            }
+            Ok(())
+        })
+        .unwrap();
+
+    // The expected journal, built while building the transaction: every
+    // op that moves value appends its Fig. 6 tuple in program order.
+    let mut expected = Vec::new();
+    let tx = chain
+        .execute(accounts[0], accounts[1], "journal", |ctx| {
+            for op in ops {
+                match op {
+                    Op::Eth { from, to, amount } => {
+                        ctx.transfer_eth(accounts[from], accounts[to], amount)?;
+                        expected.push((accounts[from], accounts[to], amount, TokenId::ETH));
+                    }
+                    Op::Token { from, to, amount } => {
+                        ctx.transfer_token(tok, accounts[from], accounts[to], amount)?;
+                        expected.push((accounts[from], accounts[to], amount, tok));
+                    }
+                    Op::Mint { to, amount } => {
+                        ctx.mint_token(tok, accounts[to], amount)?;
+                        expected.push((Address::ZERO, accounts[to], amount, tok));
+                    }
+                    Op::Log { emitter } => {
+                        ctx.emit_log(accounts[emitter], "Ping", vec![]);
+                    }
+                }
+            }
+            Ok(())
+        })
+        .unwrap();
+    let trace = chain.replay(tx).unwrap().trace.clone();
+    (trace, expected)
+}
+
+fn strictly_increasing(seqs: impl Iterator<Item = u32>) -> bool {
+    let mut prev: Option<u32> = None;
+    for s in seqs {
+        if prev.is_some_and(|p| p >= s) {
+            return false;
+        }
+        prev = Some(s);
+    }
+    true
+}
+
+proptest! {
+    /// All three action streams draw from one counter: positions are
+    /// unique across the merged stream and strictly increasing within
+    /// each stream.
+    #[test]
+    fn trace_streams_share_one_strictly_increasing_counter(
+        ops in prop::collection::vec((0u8..4, 0usize..3, 0usize..3, 1u128..1_000), 1..60)
+    ) {
+        let (trace, _) = run_ops(&ops);
+        prop_assert!(strictly_increasing(trace.transfers.iter().map(|t| t.seq)));
+        prop_assert!(strictly_increasing(trace.logs.iter().map(|l| l.seq)));
+        prop_assert!(strictly_increasing(trace.frames.iter().map(|f| f.seq)));
+
+        let mut all: Vec<u32> = trace
+            .transfers
+            .iter()
+            .map(|t| t.seq)
+            .chain(trace.logs.iter().map(|l| l.seq))
+            .chain(trace.frames.iter().map(|f| f.seq))
+            .collect();
+        let n = all.len();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), n, "seq positions must be unique across streams");
+    }
+
+    /// The journal is the execution order: ETH and ERC20 transfers land
+    /// interleaved exactly as the body performed them, as the Fig. 6
+    /// tuples `(sender, receiver, amount, token)`.
+    #[test]
+    fn journal_matches_execution_order(
+        ops in prop::collection::vec((0u8..4, 0usize..3, 0usize..3, 1u128..1_000), 1..60)
+    ) {
+        let (trace, expected) = run_ops(&ops);
+        let journal: Vec<_> = trace
+            .transfers
+            .iter()
+            .map(|t| (t.sender, t.receiver, t.amount, t.token))
+            .collect();
+        prop_assert_eq!(journal, expected);
+    }
+
+    /// With `merge_tolerance = 0` the pass-through merge can never fire
+    /// (no two amounts are *strictly* within a zero tolerance), so
+    /// simplification over app-boundary transfers is exactly the rule-1
+    /// intra-app filter: every cross-app transfer survives, in order,
+    /// amount untouched.
+    #[test]
+    fn zero_tolerance_simplify_keeps_every_cross_app_transfer(
+        legs in prop::collection::vec((0u64..4, 0u64..4, 1u128..1_000, 0u8..2), 1..60)
+    ) {
+        let token_a = TokenId::from_index(1);
+        let token_b = TokenId::from_index(2);
+        let tagged: Vec<TaggedTransfer> = legs
+            .iter()
+            .enumerate()
+            .map(|(i, &(s, r, amount, tok))| TaggedTransfer {
+                seq: i as u32,
+                sender: Tag::Root(Address::from_u64(100 + s)),
+                receiver: Tag::Root(Address::from_u64(100 + r)),
+                amount,
+                token: if tok == 0 { token_a } else { token_b },
+            })
+            .collect();
+        let config = DetectorConfig {
+            merge_tolerance: 0.0,
+            ..DetectorConfig::paper()
+        };
+        let out = simplify(&tagged, None, &config);
+        let expected: Vec<TaggedTransfer> = tagged
+            .iter()
+            .filter(|t| t.sender != t.receiver)
+            .cloned()
+            .collect();
+        prop_assert_eq!(out, expected);
+    }
+
+    /// Under any tolerance, simplification's output sequence numbers are
+    /// a subsequence of the input's — transfers are only removed or
+    /// absorbed into an *earlier* survivor, never reordered.
+    #[test]
+    fn simplify_never_reorders(
+        legs in prop::collection::vec((0u64..4, 0u64..4, 1u128..1_000, 0u8..2), 1..60),
+        tolerance in 0.0f64..0.5
+    ) {
+        let tagged: Vec<TaggedTransfer> = legs
+            .iter()
+            .enumerate()
+            .map(|(i, &(s, r, amount, tok))| TaggedTransfer {
+                seq: i as u32,
+                sender: Tag::Root(Address::from_u64(100 + s)),
+                receiver: Tag::Root(Address::from_u64(100 + r)),
+                amount,
+                token: TokenId::from_index(1 + u32::from(tok)),
+            })
+            .collect();
+        let config = DetectorConfig {
+            merge_tolerance: tolerance,
+            ..DetectorConfig::paper()
+        };
+        let out = simplify(&tagged, None, &config);
+        prop_assert!(strictly_increasing(out.iter().map(|t| t.seq)));
+        let input_seqs: std::collections::HashSet<u32> = tagged.iter().map(|t| t.seq).collect();
+        prop_assert!(out.iter().all(|t| input_seqs.contains(&t.seq)));
+    }
+}
