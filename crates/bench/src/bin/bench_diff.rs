@@ -1,0 +1,165 @@
+//! Bench-regression gate: fresh `BENCH_scan.json` / `BENCH_obs.json`
+//! against the committed baselines.
+//!
+//! ```sh
+//! cargo run -p leishen-bench --release --bin bench_diff -- \
+//!     --baseline-scan baseline_scan.json --baseline-obs baseline_obs.json
+//! ```
+//!
+//! Fails (exit 1) when:
+//!
+//! * throughput regresses by more than `--max-regression-pct` (default
+//!   25%) — compared on absolute `tx_per_sec` when the two runs measured
+//!   the same corpus (seed, scale, transaction count), and on the
+//!   scale-free `speedup` fields otherwise (CI smoke runs use a smaller
+//!   corpus than the committed full-run baselines);
+//! * the telemetry sink's sampled overhead exceeds
+//!   `--max-sink-overhead-pct` (default 5%).
+//!
+//! Both JSON files are parsed with the dependency-free
+//! `leishen::trace::json` parser — the same one the provenance importer
+//! uses — so the gate needs nothing beyond the workspace.
+
+use std::process::ExitCode;
+
+use leishen::trace::json::{parse, Json};
+use leishen_bench::{cli_f64, cli_str};
+
+fn load(path: &str) -> Json {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
+    parse(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+}
+
+fn f64_at(doc: &Json, path: &[&str], file: &str) -> f64 {
+    let mut cur = doc;
+    for key in path {
+        cur = cur
+            .get(key)
+            .unwrap_or_else(|| panic!("{file}: missing field {}", path.join(".")));
+    }
+    cur.as_f64()
+        .unwrap_or_else(|| panic!("{file}: {} is not a number", path.join(".")))
+}
+
+/// Whether two runs measured the same corpus and are therefore comparable
+/// on absolute throughput.
+fn same_corpus(a: &Json, b: &Json) -> bool {
+    let key = |d: &Json| {
+        let c = d.get("corpus")?;
+        Some((
+            c.get("seed")?.as_u64()?,
+            c.get("scale")?.as_f64()?.to_bits(),
+            c.get("transactions")?.as_u64()?,
+        ))
+    };
+    matches!((key(a), key(b)), (Some(x), Some(y)) if x == y)
+}
+
+/// One throughput comparison; appends a violation when `fresh` falls more
+/// than `max_drop_pct` below `base`.
+fn check_drop(
+    what: &str,
+    base: f64,
+    fresh: f64,
+    max_drop_pct: f64,
+    violations: &mut Vec<String>,
+) {
+    let change_pct = (fresh / base.max(1e-12) - 1.0) * 100.0;
+    let verdict = if change_pct < -max_drop_pct { "FAIL" } else { "ok" };
+    println!("  {verdict:<4} {what}: baseline {base:.1}, fresh {fresh:.1} ({change_pct:+.1}%)");
+    if change_pct < -max_drop_pct {
+        violations.push(format!(
+            "{what} regressed {:.1}% (limit {max_drop_pct}%)",
+            -change_pct
+        ));
+    }
+}
+
+fn main() -> ExitCode {
+    let max_drop = cli_f64("--max-regression-pct", 25.0);
+    let max_sink = cli_f64("--max-sink-overhead-pct", 5.0);
+    let base_scan_path = cli_str("--baseline-scan", "baseline_scan.json");
+    let base_obs_path = cli_str("--baseline-obs", "baseline_obs.json");
+    let fresh_scan_path = cli_str("--fresh-scan", "BENCH_scan.json");
+    let fresh_obs_path = cli_str("--fresh-obs", "BENCH_obs.json");
+
+    let base_scan = load(&base_scan_path);
+    let fresh_scan = load(&fresh_scan_path);
+    let base_obs = load(&base_obs_path);
+    let fresh_obs = load(&fresh_obs_path);
+    let mut violations = Vec::new();
+
+    // ----- scan throughput -------------------------------------------------
+    if same_corpus(&base_scan, &fresh_scan) {
+        println!("scan: corpora match — comparing absolute throughput");
+        check_drop(
+            "serial tx/s",
+            f64_at(&base_scan, &["serial", "tx_per_sec"], &base_scan_path),
+            f64_at(&fresh_scan, &["serial", "tx_per_sec"], &fresh_scan_path),
+            max_drop,
+            &mut violations,
+        );
+        let workers = |doc: &Json, file: &str| -> Vec<(u64, f64)> {
+            doc.get("parallel")
+                .and_then(Json::as_arr)
+                .unwrap_or_else(|| panic!("{file}: missing parallel[]"))
+                .iter()
+                .filter_map(|r| Some((r.get("workers")?.as_u64()?, r.get("tx_per_sec")?.as_f64()?)))
+                .collect()
+        };
+        let base_rows = workers(&base_scan, &base_scan_path);
+        let fresh_rows = workers(&fresh_scan, &fresh_scan_path);
+        for (w, base_tps) in &base_rows {
+            if let Some((_, fresh_tps)) = fresh_rows.iter().find(|(fw, _)| fw == w) {
+                check_drop(
+                    &format!("{w}-worker tx/s"),
+                    *base_tps,
+                    *fresh_tps,
+                    max_drop,
+                    &mut violations,
+                );
+            }
+        }
+    } else {
+        println!("scan: corpora differ — comparing scale-free speedup");
+        check_drop(
+            "speedup at 4 workers",
+            f64_at(&base_scan, &["speedup_at_4_workers"], &base_scan_path),
+            f64_at(&fresh_scan, &["speedup_at_4_workers"], &fresh_scan_path),
+            max_drop,
+            &mut violations,
+        );
+    }
+
+    // ----- obs: sink overhead ----------------------------------------------
+    if same_corpus(&base_obs, &fresh_obs) {
+        println!("obs: corpora match — comparing absolute noop throughput");
+        check_drop(
+            "noop tx/s",
+            f64_at(&base_obs, &["sink_overhead", "noop_tx_per_sec"], &base_obs_path),
+            f64_at(&fresh_obs, &["sink_overhead", "noop_tx_per_sec"], &fresh_obs_path),
+            max_drop,
+            &mut violations,
+        );
+    }
+    let overhead = f64_at(&fresh_obs, &["sink_overhead", "overhead_pct"], &fresh_obs_path);
+    let verdict = if overhead > max_sink { "FAIL" } else { "ok" };
+    println!("  {verdict:<4} sampled sink overhead: {overhead:+.2}% (limit {max_sink}%)");
+    if overhead > max_sink {
+        violations.push(format!(
+            "sampled sink overhead {overhead:.2}% exceeds {max_sink}%"
+        ));
+    }
+
+    if violations.is_empty() {
+        println!("\nbench_diff: no regressions");
+        ExitCode::SUCCESS
+    } else {
+        println!("\nbench_diff: {} violation(s):", violations.len());
+        for v in &violations {
+            println!("  - {v}");
+        }
+        ExitCode::FAILURE
+    }
+}

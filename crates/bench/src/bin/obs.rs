@@ -25,7 +25,7 @@
 //!    `NoopSink` path vs the `RecordingSink` path; the recording sink is
 //!    expected to stay within a few percent.
 
-use leishen::{DetectorConfig, LeiShen, RecordingSink, ScanEngine, TagCache, STAGES};
+use leishen::{DetectorConfig, FlightRecorder, LeiShen, RecordingSink, ScanEngine, TagCache, STAGES};
 use leishen_bench::{
     cli_flag, cli_f64, cli_u64, corpus_records, print_table, wild_world,
 };
@@ -174,6 +174,33 @@ fn main() {
         "\nsink overhead (best of {reps}): noop {noop_tps:.0} tx/s, exact {exact_tps:.0} tx/s ({exact_pct:+.1}%), sampled 1-in-{SAMPLE_EVERY} {sampled_tps:.0} tx/s ({overhead_pct:+.1}%)"
     );
 
+    // ----- flight-recorder overhead ----------------------------------------
+    // The NoopTracer path (what every untraced scan uses) vs a live
+    // FlightRecorder capturing full per-tx provenance. The noop path is
+    // the zero-cost claim: `T::ENABLED = false` compiles every event
+    // construction out of the hot loop.
+    let mut untraced_best = f64::INFINITY;
+    let mut traced_best = f64::INFINITY;
+    let mut traced_recorded = 0u64;
+    for _ in 0..reps {
+        let start = Instant::now();
+        std::hint::black_box(engine1.scan_with_cache(&detector, &records, &view, &rec_cache));
+        untraced_best = untraced_best.min(start.elapsed().as_secs_f64());
+
+        let recorder = FlightRecorder::with_capacity(256);
+        let start = Instant::now();
+        std::hint::black_box(engine1.scan_traced(&detector, &records, &view, &rec_cache, &recorder));
+        traced_best = traced_best.min(start.elapsed().as_secs_f64());
+        traced_recorded = recorder.recorded();
+    }
+    let untraced_tps = n as f64 / untraced_best.max(1e-12);
+    let traced_tps = n as f64 / traced_best.max(1e-12);
+    let tracer_pct = (traced_best / untraced_best.max(1e-12) - 1.0) * 100.0;
+    println!(
+        "tracer overhead (best of {reps}): untraced {untraced_tps:.0} tx/s, flight recorder {traced_tps:.0} tx/s ({tracer_pct:+.1}%, {traced_recorded} traces/pass)"
+    );
+    assert_eq!(traced_recorded, n as u64, "recorder must capture every tx");
+
     // ----- persist ----------------------------------------------------------
     let stage_json = summaries
         .iter()
@@ -191,7 +218,7 @@ fn main() {
         .collect::<Vec<_>>()
         .join(",\n");
     let json = format!(
-        "{{\n  \"bench\": \"obs\",\n  \"smoke\": {smoke},\n  \"corpus\": {{ \"seed\": {seed}, \"scale\": {scale}, \"transactions\": {n} }},\n  \"substrate\": {{ \"transactions\": {}, \"committed\": {}, \"reverted\": {}, \"frames\": {}, \"transfers\": {}, \"logs\": {}, \"journal_entries\": {} }},\n  \"stages\": [\n{stage_json}\n  ],\n  \"counters\": {{ \"transactions\": {}, \"account_transfers\": {}, \"flash_loans\": {}, \"tags_resolved\": {}, \"app_transfers\": {}, \"transfers_dropped\": {}, \"transfers_merged\": {}, \"trades\": {}, \"borrower_tags\": {}, \"patterns_tried\": {}, \"patterns_matched\": {}, \"attacks\": {attacks} }},\n  \"cache\": [\n{}\n  ],\n  \"sink_overhead\": {{ \"reps\": {reps}, \"sample_every\": {SAMPLE_EVERY}, \"noop_tx_per_sec\": {noop_tps:.1}, \"exact_tx_per_sec\": {exact_tps:.1}, \"exact_overhead_pct\": {exact_pct:.2}, \"recording_tx_per_sec\": {sampled_tps:.1}, \"overhead_pct\": {overhead_pct:.2} }}\n}}\n",
+        "{{\n  \"bench\": \"obs\",\n  \"smoke\": {smoke},\n  \"corpus\": {{ \"seed\": {seed}, \"scale\": {scale}, \"transactions\": {n} }},\n  \"substrate\": {{ \"transactions\": {}, \"committed\": {}, \"reverted\": {}, \"frames\": {}, \"transfers\": {}, \"logs\": {}, \"journal_entries\": {} }},\n  \"stages\": [\n{stage_json}\n  ],\n  \"counters\": {{ \"transactions\": {}, \"account_transfers\": {}, \"flash_loans\": {}, \"tags_resolved\": {}, \"app_transfers\": {}, \"transfers_dropped\": {}, \"transfers_merged\": {}, \"trades\": {}, \"borrower_tags\": {}, \"patterns_tried\": {}, \"patterns_matched\": {}, \"attacks\": {attacks} }},\n  \"cache\": [\n{}\n  ],\n  \"sink_overhead\": {{ \"reps\": {reps}, \"sample_every\": {SAMPLE_EVERY}, \"noop_tx_per_sec\": {noop_tps:.1}, \"exact_tx_per_sec\": {exact_tps:.1}, \"exact_overhead_pct\": {exact_pct:.2}, \"recording_tx_per_sec\": {sampled_tps:.1}, \"overhead_pct\": {overhead_pct:.2} }},\n  \"tracer_overhead\": {{ \"reps\": {reps}, \"untraced_tx_per_sec\": {untraced_tps:.1}, \"traced_tx_per_sec\": {traced_tps:.1}, \"overhead_pct\": {tracer_pct:.2}, \"traces_per_pass\": {traced_recorded} }}\n}}\n",
         exec.transactions,
         exec.committed,
         exec.reverted,

@@ -66,6 +66,16 @@ pub fn cli_u64(flag: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+/// Parses a `--flag value` string option.
+pub fn cli_str(flag: &str, default: &str) -> String {
+    let args: Vec<String> = std::env::args().collect();
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .cloned()
+        .unwrap_or_else(|| default.to_string())
+}
+
 /// Whether a bare `--flag` is present.
 pub fn cli_flag(flag: &str) -> bool {
     std::env::args().any(|a| a == flag)

@@ -347,6 +347,7 @@ mod tests {
             patterns: vec![],
             volatilities: vec![],
             profit_usd: None,
+            exits: vec![],
         };
         let reports = vec![
             report(1, 100),

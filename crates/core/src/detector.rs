@@ -9,12 +9,13 @@ use crate::analytics::{pair_volatility, profit_of, PairVolatility, UsdPriceTable
 use crate::config::DetectorConfig;
 use crate::flashloan::{identify_flash_loans, FlashLoanEvent};
 use crate::labels::Labels;
-use crate::patterns::{all_legs, match_all_legs_scratch, PatternMatch, PatternScratch};
+use crate::patterns::{all_legs, match_all_legs_observed, PatternMatch, PatternScratch};
 use crate::report::AttackReport;
 use crate::scan::{BuildFnv, TagCache};
-use crate::simplify::simplify_into;
+use crate::simplify::{simplify_into_observed, SimplifyAction};
 use crate::tagging::{tag_of, tag_transfers_with_into, Tag, TaggedTransfer};
 use crate::telemetry::{MetricsSink, NoopSink, Stage, StageClock, TxCounters};
+use crate::trace::{Decision, NoopTracer, Reason, TraceBuilder, TraceEvent, TraceSink, Verdict};
 use crate::trades::{identify_trades_into, Trade};
 
 /// The detector's read-only view of chain context: the label cloud, the
@@ -184,24 +185,65 @@ impl LeiShen {
         scratch: &mut AnalysisScratch,
         sink: &S,
     ) -> Analysis {
+        self.analyze_traced(tx, view, resolve, scratch, sink, &NoopTracer)
+    }
+
+    /// Like [`LeiShen::analyze_metered`], additionally recording the full
+    /// decision provenance — stage spans, structured events for every
+    /// reduction and matcher verdict, and the final reason chain — into
+    /// `tracer`. Like the metrics sink, the tracer is a compile-time
+    /// parameter: monomorphized over [`NoopTracer`] every event closure
+    /// and span clock is dead code. Produces exactly the same
+    /// [`Analysis`] as `analyze` for any sink/tracer combination.
+    pub fn analyze_traced<S: MetricsSink, T: TraceSink>(
+        &self,
+        tx: &TxRecord,
+        view: &ChainView<'_>,
+        resolve: &mut dyn FnMut(Address) -> Tag,
+        scratch: &mut AnalysisScratch,
+        sink: &S,
+        tracer: &T,
+    ) -> Analysis {
         let timed = S::ENABLED && {
             scratch.lap_tick = scratch.lap_tick.wrapping_add(1);
             let every = sink.stage_sampling();
             every <= 1 || scratch.lap_tick.is_multiple_of(every)
         };
         let mut clock = StageClock::start(sink, timed);
+        let mut builder = TraceBuilder::start(tracer);
         let mut counters = TxCounters::default();
         let flash_loans = if tx.status.is_success() {
             identify_flash_loans(tx)
         } else {
             Vec::new()
         };
+        for loan in &flash_loans {
+            builder.event(tracer, || TraceEvent::FlashLoan {
+                provider: loan.provider.to_string(),
+                lender: loan.lender.to_string(),
+                borrower: loan.borrower.to_string(),
+                amount: loan.amount,
+            });
+        }
         clock.lap(sink, Stage::FlashLoan);
+        builder.lap(tracer, Stage::FlashLoan);
         if flash_loans.is_empty() {
             if S::ENABLED {
                 counters.account_transfers = tx.trace.transfers.len() as u32;
             }
             clock.finish(sink, &counters);
+            builder.finish(
+                tracer,
+                tx,
+                Decision {
+                    flagged: false,
+                    reasons: vec![if tx.status.is_success() {
+                        Reason::NoFlashLoan
+                    } else {
+                        Reason::Reverted
+                    }],
+                },
+            );
             return Analysis {
                 flash_loans,
                 account_transfer_count: tx.trace.transfers.len(),
@@ -222,10 +264,48 @@ impl LeiShen {
         // Stage 2: account tagging + simplification. Buffers are sized up
         // front: simplification only ever removes or merges transfers.
         tag_transfers_with_into(&tx.trace.transfers, &mut *resolve, tagged);
+        if T::ENABLED {
+            // First occurrence of each distinct tag, in journal order,
+            // with the transfer that triggered it.
+            let mut seen: HashSet<&Tag> = HashSet::with_capacity(tagged.len());
+            for t in tagged.iter() {
+                for tag in [&t.sender, &t.receiver] {
+                    if seen.insert(tag) {
+                        builder.event(tracer, || TraceEvent::TagAssigned {
+                            tag: tag.to_string(),
+                            first_seq: t.seq,
+                        });
+                    }
+                }
+            }
+        }
         clock.lap(sink, Stage::Tagging);
+        builder.lap(tracer, Stage::Tagging);
         let mut app_transfers = Vec::with_capacity(tagged.len());
-        let simplify_stats = simplify_into(tagged, view.weth, &self.config, &mut app_transfers);
+        let simplify_stats = simplify_into_observed(
+            tagged,
+            view.weth,
+            &self.config,
+            &mut app_transfers,
+            |action| {
+                if T::ENABLED {
+                    match action {
+                        SimplifyAction::Kept { .. } => {}
+                        SimplifyAction::Dropped { seq, rule } => builder
+                            .event(tracer, || TraceEvent::SimplifyDropped { seq, rule }),
+                        SimplifyAction::Merged { seq, into_seq } => builder
+                            .event(tracer, || TraceEvent::SimplifyMerged { seq, into_seq }),
+                    }
+                }
+            },
+        );
+        builder.event(tracer, || TraceEvent::SimplifySummary {
+            kept: simplify_stats.kept,
+            dropped: simplify_stats.dropped,
+            merged: simplify_stats.merged,
+        });
         clock.lap(sink, Stage::Simplify);
+        builder.lap(tracer, Stage::Simplify);
 
         // Stage 3: trades + patterns, per distinct borrower tag. The tx
         // initiator is always considered a borrower identity as well — the
@@ -233,7 +313,16 @@ impl LeiShen {
         // creation-tree tag anyway.
         let mut trades = Vec::with_capacity(app_transfers.len() / 2 + 1);
         identify_trades_into(&app_transfers, &mut trades);
+        for trade in &trades {
+            builder.event(tracer, || TraceEvent::TradeIdentified {
+                seq: trade.seq,
+                kind: trade.kind.to_string(),
+                buyer: trade.buyer.to_string(),
+                seller: trade.seller.to_string(),
+            });
+        }
         clock.lap(sink, Stage::Trades);
+        builder.lap(tracer, Stage::Trades);
         let mut borrower_tags: Vec<Tag> = Vec::new();
         seen_tags.clear();
         for loan in &flash_loans {
@@ -252,7 +341,34 @@ impl LeiShen {
         seen_matches.clear();
         let active_matchers = 3 + usize::from(self.config.experimental_kdp);
         for tag in &borrower_tags {
-            for m in match_all_legs_scratch(&legs, tag, &self.config, patterns) {
+            let found =
+                match_all_legs_observed(&legs, tag, &self.config, patterns, |verdict| {
+                    if T::ENABLED {
+                        builder.event(tracer, || TraceEvent::PatternVerdict {
+                            kind: verdict.kind,
+                            borrower: tag.to_string(),
+                            quote: verdict.quote.to_string(),
+                            target: verdict.target.to_string(),
+                            outcome: match verdict.failed {
+                                Some(failed) => Verdict::Rejected {
+                                    failed: failed.to_string(),
+                                },
+                                None => Verdict::Matched {
+                                    trade_seqs: verdict
+                                        .matched
+                                        .iter()
+                                        .map(|m| m.trade_seqs.clone())
+                                        .collect(),
+                                    volatility: verdict
+                                        .matched
+                                        .first()
+                                        .map_or(0.0, |m| m.volatility),
+                                },
+                            },
+                        });
+                    }
+                });
+            for m in found {
                 if seen_matches.insert(match_key(&m)) {
                     matches.push(m);
                 }
@@ -263,6 +379,7 @@ impl LeiShen {
             }
         }
         clock.lap(sink, Stage::Patterns);
+        builder.lap(tracer, Stage::Patterns);
 
         if S::ENABLED {
             // Every counter is derived from state the pipeline already
@@ -280,6 +397,37 @@ impl LeiShen {
             counters.patterns_matched = matches.len() as u32;
         }
         clock.finish(sink, &counters);
+        if T::ENABLED {
+            // Reason chain: every identified loan, then either the
+            // flagging evidence (one reason per deduped match) or the
+            // explicit clear.
+            let mut reasons = Vec::with_capacity(flash_loans.len() + matches.len().max(1));
+            for loan in &flash_loans {
+                reasons.push(Reason::FlashLoan {
+                    provider: loan.provider.to_string(),
+                });
+            }
+            if matches.is_empty() {
+                reasons.push(Reason::NoPatternMatched);
+            } else {
+                for m in &matches {
+                    reasons.push(Reason::PatternMatched {
+                        kind: m.kind,
+                        target: m.target_token.to_string(),
+                        quote: m.quote_token.to_string(),
+                        trade_seqs: m.trade_seqs.clone(),
+                    });
+                }
+            }
+            builder.finish(
+                tracer,
+                tx,
+                Decision {
+                    flagged: !matches.is_empty(),
+                    reasons,
+                },
+            );
+        }
 
         Analysis {
             flash_loans,
@@ -343,6 +491,7 @@ impl LeiShen {
             patterns: analysis.matches,
             volatilities,
             profit_usd,
+            exits: Vec::new(),
         })
     }
 }

@@ -34,6 +34,26 @@ pub enum ExitKind {
     CoinMixer,
 }
 
+impl ExitKind {
+    /// Stable machine-readable name, as serialized into report JSON and
+    /// provenance traces.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ExitKind::Direct => "direct",
+            ExitKind::MultiLevel { .. } => "multi_level",
+            ExitKind::CoinMixer => "coin_mixer",
+        }
+    }
+
+    /// Intermediary hops traversed (0 for direct and mixer exits).
+    pub fn hops(&self) -> u32 {
+        match self {
+            ExitKind::MultiLevel { hops } => *hops,
+            _ => 0,
+        }
+    }
+}
+
 /// One traced profit exit.
 #[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
 pub struct ExitReport {
@@ -139,7 +159,14 @@ pub fn trace_exits(
             path,
         });
     }
-    exits.sort_by_key(|e| std::cmp::Reverse(e.amount));
+    // Total order (amount desc, then sink, then token) so reports are
+    // deterministic regardless of HashMap iteration order.
+    exits.sort_by(|a, b| {
+        b.amount
+            .cmp(&a.amount)
+            .then(a.sink.cmp(&b.sink))
+            .then(a.token.cmp(&b.token))
+    });
     exits
 }
 

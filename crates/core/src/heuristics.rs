@@ -27,6 +27,38 @@ pub fn initiated_by_aggregator(
     }
 }
 
+/// The outcome of one post-detection heuristic check, in the shape the
+/// provenance trace records it ([`crate::trace::TraceEvent::Heuristic`]).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HeuristicOutcome {
+    /// Stable heuristic name.
+    pub name: &'static str,
+    /// Whether the report survives the check (`false` = would be dropped).
+    pub passed: bool,
+    /// Human-readable explanation of the verdict.
+    pub detail: String,
+}
+
+/// Runs the §VI-C yield-aggregator-initiator rule against one report's
+/// initiator and returns a recordable outcome instead of filtering.
+pub fn aggregator_heuristic(
+    initiator: Address,
+    aggregator_apps: &[&str],
+    labels: &Labels,
+    creations: &CreationIndex,
+) -> HeuristicOutcome {
+    let is_aggregator = initiated_by_aggregator(initiator, aggregator_apps, labels, creations);
+    HeuristicOutcome {
+        name: "aggregator_initiator",
+        passed: !is_aggregator,
+        detail: if is_aggregator {
+            format!("initiator {initiator} is tagged as a yield aggregator")
+        } else {
+            format!("initiator {initiator} is not a known yield aggregator")
+        },
+    }
+}
+
 /// Applies the paper's heuristic verbatim: "a transaction initiated from
 /// yield aggregators is not an attack" — any report whose initiator is an
 /// aggregator is dropped, whatever patterns it matched. This is what lifts
@@ -90,6 +122,7 @@ mod tests {
             patterns: kinds.iter().map(|k| pm(*k)).collect(),
             volatilities: vec![],
             profit_usd: None,
+            exits: vec![],
         }
     }
 
@@ -119,6 +152,22 @@ mod tests {
             block: 0,
         }]);
         assert!(initiated_by_aggregator(strategy, &["Kyber"], &labels, &idx));
+    }
+
+    #[test]
+    fn aggregator_heuristic_reports_both_verdicts() {
+        let agg = Address::from_u64(1);
+        let user = Address::from_u64(2);
+        let mut labels = Labels::new();
+        labels.set(agg, "Yearn");
+        let idx = CreationIndex::new(&[]);
+        let failed = aggregator_heuristic(agg, &["Yearn"], &labels, &idx);
+        assert_eq!(failed.name, "aggregator_initiator");
+        assert!(!failed.passed);
+        assert!(failed.detail.contains("yield aggregator"));
+        let passed = aggregator_heuristic(user, &["Yearn"], &labels, &idx);
+        assert!(passed.passed);
+        assert!(passed.detail.contains(&user.to_string()));
     }
 
     #[test]

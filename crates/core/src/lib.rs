@@ -59,6 +59,7 @@ pub mod scan;
 pub mod simplify;
 pub mod tagging;
 pub mod telemetry;
+pub mod trace;
 pub mod trades;
 
 pub use analytics::{cluster_reports, pair_volatility, profit_of, AttackCluster, PairVolatility};
@@ -66,14 +67,23 @@ pub use config::DetectorConfig;
 pub use detector::{Analysis, AnalysisScratch, ChainView, LeiShen};
 pub use flashloan::{identify_flash_loans, FlashLoanEvent, Provider};
 pub use forensics::{trace_exits, ExitKind, ExitReport};
+pub use heuristics::{
+    aggregator_heuristic, filter_aggregator_initiated, initiated_by_aggregator, HeuristicOutcome,
+};
 pub use labels::Labels;
 pub use patterns::{PatternKind, PatternMatch, PatternScratch};
 pub use report::AttackReport;
 pub use scan::{LocalTagCache, ScanEngine, ScanStats, ShardStat, TagCache};
-pub use simplify::{simplify, simplify_into, SimplifyStats};
+pub use simplify::{
+    simplify, simplify_into, simplify_into_observed, DropRule, SimplifyAction, SimplifyStats,
+};
 pub use tagging::{tag_transfers, tag_transfers_with, tag_transfers_with_into, Tag, TagMap, TaggedTransfer};
 pub use telemetry::{
     MetricsSink, NoopSink, RecordingSink, Stage, StageSummary, TxCounters, TxCountersTotal,
     STAGES, STAGE_COUNT,
+};
+pub use trace::{
+    Decision, FlightRecorder, NoopTracer, Reason, SpanRecord, TraceEvent, TraceSink, TxProvenance,
+    Verdict, WorkerTracer,
 };
 pub use trades::{identify_trades, identify_trades_into, Trade, TradeKind, TradeSide};

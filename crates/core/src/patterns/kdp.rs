@@ -29,17 +29,23 @@ pub fn detect(
     let mut out = Vec::new();
     let mut scratch = crate::patterns::PatternScratch::default();
     for_each_pair(legs, borrower, &mut scratch, |pair, _| {
-        detect_pair(pair, config, &mut out)
+        let _ = detect_pair(pair, config, &mut out);
     });
     out
 }
 
 /// KDP over one pair's leg views — allocation-free until a match.
+///
+/// Returns `None` when a match was pushed, otherwise the deepest
+/// predicate that failed — the provenance layer's "why not".
 pub(crate) fn detect_pair(
     pair: &PairLegs<'_, '_, '_>,
     config: &DetectorConfig,
     out: &mut Vec<PatternMatch>,
-) {
+) -> Option<&'static str> {
+    // 0 = no net dump followed by a smaller rebuy; 1 = rebuy not cheaper;
+    // 2 = cheaper but the drop is under the threshold.
+    let mut depth = 0u8;
     let mut found = false;
     for &dump in pair.own_sells {
         let dump = pair.leg(dump);
@@ -57,8 +63,10 @@ pub(crate) fn detect_pair(
             }
             let Some(rebuy_rate) = rebuy.buy_rate() else { continue };
             if rebuy_rate >= dump_rate {
+                depth = depth.max(1);
                 continue; // must re-accumulate cheaper
             }
+            depth = depth.max(2);
             let drop = (dump_rate - rebuy_rate) / dump_rate;
             if drop >= config.kdp_min_drop {
                 out.push(PatternMatch {
@@ -74,6 +82,14 @@ pub(crate) fn detect_pair(
             }
         }
     }
+    if found {
+        return None;
+    }
+    Some(match depth {
+        0 => "no dump followed by a smaller rebuy",
+        1 => "rebuy price not below the dump price",
+        _ => "price drop below kdp_min_drop",
+    })
 }
 
 #[cfg(test)]

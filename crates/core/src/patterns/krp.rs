@@ -21,7 +21,7 @@ pub fn detect(
     let mut out = Vec::new();
     let mut scratch = PatternScratch::default();
     for_each_pair(legs, borrower, &mut scratch, |pair, matcher| {
-        detect_pair(pair, config, matcher, &mut out)
+        let _ = detect_pair(pair, config, matcher, &mut out);
     });
     out
 }
@@ -29,15 +29,25 @@ pub fn detect(
 /// KRP over one pair's leg views. Most pairs fall to the `min_buys` gate
 /// up front; past it, the per-seller series go into the reused scratch,
 /// so nothing allocates until a match is emitted.
+///
+/// Returns `None` when at least one match was pushed, otherwise the
+/// deepest predicate that failed — the provenance layer's "why not".
 pub(crate) fn detect_pair(
     pair: &PairLegs<'_, '_, '_>,
     config: &DetectorConfig,
     scratch: &mut MatcherScratch,
     out: &mut Vec<PatternMatch>,
-) {
-    if pair.own_sells.is_empty() || pair.own_buys.len() < config.krp_min_buys {
-        return;
+) -> Option<&'static str> {
+    if pair.own_sells.is_empty() {
+        return Some("no sell of the target by the borrower");
     }
+    if pair.own_buys.len() < config.krp_min_buys {
+        return Some("fewer than krp_min_buys buys of the target");
+    }
+    let before = out.len();
+    // 0 = no seller's series reached min_buys before a sell;
+    // 1 = a long-enough series existed but its price never rose.
+    let mut depth = 0u8;
     let MatcherScratch {
         sellers, series, ..
     } = scratch;
@@ -68,6 +78,7 @@ pub(crate) fn detect_pair(
             if n < config.krp_min_buys {
                 continue;
             }
+            depth = depth.max(1);
             let (Some(first), Some(last)) = (
                 pair.leg(series[0]).buy_rate(),
                 pair.leg(series[n - 1]).buy_rate(),
@@ -88,6 +99,13 @@ pub(crate) fn detect_pair(
                 continue 'sellers; // one match per (pair, seller)
             }
         }
+    }
+    if out.len() > before {
+        None
+    } else if depth == 0 {
+        Some("no seller accumulated krp_min_buys buys before a sell")
+    } else {
+        Some("buy price not rising across the series")
     }
 }
 

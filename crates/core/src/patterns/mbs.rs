@@ -21,7 +21,7 @@ pub fn detect(
     let mut out = Vec::new();
     let mut scratch = PatternScratch::default();
     for_each_pair(legs, borrower, &mut scratch, |pair, matcher| {
-        detect_pair(pair, config, matcher, &mut out)
+        let _ = detect_pair(pair, config, matcher, &mut out);
     });
     out
 }
@@ -30,17 +30,22 @@ pub fn detect(
 /// sell, so pairs with fewer than `min_rounds` of either fall to the
 /// gate up front; past it, the event and round lists go into the reused
 /// scratch, so nothing allocates until a match is emitted.
+///
+/// Returns `None` when at least one match was pushed, otherwise the
+/// deepest predicate that failed — the provenance layer's "why not".
 pub(crate) fn detect_pair(
     pair: &PairLegs<'_, '_, '_>,
     config: &DetectorConfig,
     scratch: &mut MatcherScratch,
     out: &mut Vec<PatternMatch>,
-) {
+) -> Option<&'static str> {
     let buys = pair.own_buys;
     let sells = pair.own_sells;
     if buys.len() < config.mbs_min_rounds || sells.len() < config.mbs_min_rounds {
-        return;
+        return Some("fewer than mbs_min_rounds buys or sells of the target");
     }
+    let before = out.len();
+    let mut any_profitable_round = false;
     let MatcherScratch {
         sellers,
         events,
@@ -95,6 +100,7 @@ pub(crate) fn detect_pair(
                 }
             }
         }
+        any_profitable_round |= !rounds.is_empty();
         if rounds.len() >= config.mbs_min_rounds {
             out.push(PatternMatch {
                 kind: PatternKind::Mbs,
@@ -109,6 +115,13 @@ pub(crate) fn detect_pair(
                 counterparty: seller.to_string(),
             });
         }
+    }
+    if out.len() > before {
+        None
+    } else if any_profitable_round {
+        Some("fewer than mbs_min_rounds profitable rounds")
+    } else {
+        Some("no profitable buy-then-sell round")
     }
 }
 

@@ -110,16 +110,80 @@ pub fn match_all_legs_scratch(
     config: &DetectorConfig,
     scratch: &mut PatternScratch,
 ) -> Vec<PatternMatch> {
+    // The no-op observer monomorphizes to the plain matcher cascade.
+    match_all_legs_observed(legs, borrower, config, scratch, |_| {})
+}
+
+/// One matcher's verdict on one `(quote, target)` pair — what the
+/// decision-provenance observer sees: either the matches just pushed, or
+/// the deepest predicate that failed.
+pub(crate) struct PairVerdict<'m> {
+    /// Which matcher was evaluated.
+    pub kind: PatternKind,
+    /// The token the target is priced in.
+    pub quote: TokenId,
+    /// The manipulated (target) token.
+    pub target: TokenId,
+    /// The matches this matcher pushed for this pair (usually 0 or 1).
+    pub matched: &'m [PatternMatch],
+    /// `Some` exactly when `matched` is empty: the first predicate, in
+    /// cascade order, that no candidate trade combination got past.
+    pub failed: Option<&'static str>,
+}
+
+/// [`match_all_legs_scratch`] reporting every matcher's per-pair verdict
+/// through `observe`. Verdicts arrive pair-major (each pair is judged by
+/// KRP, SBS, MBS and — when enabled — KDP in that order); the returned
+/// matches keep `match_all`'s kind-major order regardless.
+pub(crate) fn match_all_legs_observed(
+    legs: &[TradeLeg<'_>],
+    borrower: &Tag,
+    config: &DetectorConfig,
+    scratch: &mut PatternScratch,
+    mut observe: impl FnMut(&PairVerdict<'_>),
+) -> Vec<PatternMatch> {
     let mut out = Vec::new();
     let mut sbs_m = Vec::new();
     let mut mbs_m = Vec::new();
     let mut kdp_m = Vec::new();
     for_each_pair(legs, borrower, scratch, |pair, matcher| {
-        krp::detect_pair(pair, config, matcher, &mut out);
-        sbs::detect_pair(pair, config, &mut sbs_m);
-        mbs::detect_pair(pair, config, matcher, &mut mbs_m);
+        let before = out.len();
+        let failed = krp::detect_pair(pair, config, matcher, &mut out);
+        observe(&PairVerdict {
+            kind: PatternKind::Krp,
+            quote: pair.quote,
+            target: pair.target,
+            matched: &out[before..],
+            failed,
+        });
+        let before = sbs_m.len();
+        let failed = sbs::detect_pair(pair, config, &mut sbs_m);
+        observe(&PairVerdict {
+            kind: PatternKind::Sbs,
+            quote: pair.quote,
+            target: pair.target,
+            matched: &sbs_m[before..],
+            failed,
+        });
+        let before = mbs_m.len();
+        let failed = mbs::detect_pair(pair, config, matcher, &mut mbs_m);
+        observe(&PairVerdict {
+            kind: PatternKind::Mbs,
+            quote: pair.quote,
+            target: pair.target,
+            matched: &mbs_m[before..],
+            failed,
+        });
         if config.experimental_kdp {
-            kdp::detect_pair(pair, config, &mut kdp_m);
+            let before = kdp_m.len();
+            let failed = kdp::detect_pair(pair, config, &mut kdp_m);
+            observe(&PairVerdict {
+                kind: PatternKind::Kdp,
+                quote: pair.quote,
+                target: pair.target,
+                matched: &kdp_m[before..],
+                failed,
+            });
         }
     });
     out.append(&mut sbs_m);
@@ -391,6 +455,61 @@ mod tests {
         assert!(seen.contains(&(tk(0), tk(1), 1, 2, 1)));
         // the projected reverse direction: e's sell of t1 is a buy of t0
         assert!(seen.contains(&(tk(1), tk(0), 1, 1, 1)));
+    }
+
+    #[test]
+    fn observed_matching_reports_verdicts_and_preserves_output() {
+        let e = app("root:E");
+        let compound = app("Compound");
+        let bzx = app("bZx");
+        let uni = app("Uniswap");
+        // The bZx-1 SBS shape: KRP and MBS must reject with a reason,
+        // SBS must match with concrete trade seqs.
+        let trades = vec![
+            buy(0, &e, &compound, 5_500_000, 0, 112_000, 1),
+            buy(1, &bzx, &uni, 5_637_000, 0, 51_000, 1),
+            sell(2, &e, &uni, 112_000, 1, 6_871_000, 0),
+        ];
+        let legs = all_legs(&trades);
+        let cfg = DetectorConfig::default();
+        let mut verdicts: Vec<(PatternKind, TokenId, TokenId, usize, Option<&'static str>)> =
+            Vec::new();
+        let observed = match_all_legs_observed(
+            &legs,
+            &e,
+            &cfg,
+            &mut PatternScratch::default(),
+            |v| verdicts.push((v.kind, v.quote, v.target, v.matched.len(), v.failed)),
+        );
+        let plain = match_all_legs_scratch(&legs, &e, &cfg, &mut PatternScratch::default());
+        assert_eq!(observed, plain, "observer must not change the matches");
+        // KDP disabled by default: 2 pairs × 3 matchers.
+        assert_eq!(verdicts.len(), 6);
+        assert!(verdicts.contains(&(
+            PatternKind::Sbs,
+            tk(0),
+            tk(1),
+            1,
+            None
+        )));
+        assert!(verdicts.contains(&(
+            PatternKind::Krp,
+            tk(0),
+            tk(1),
+            0,
+            Some("fewer than krp_min_buys buys of the target")
+        )));
+        assert!(verdicts.contains(&(
+            PatternKind::Mbs,
+            tk(0),
+            tk(1),
+            0,
+            Some("fewer than mbs_min_rounds buys or sells of the target")
+        )));
+        // Every verdict is exclusive: matches XOR a failure reason.
+        for (_, _, _, n, failed) in &verdicts {
+            assert_eq!(*n == 0, failed.is_some());
+        }
     }
 
     #[test]

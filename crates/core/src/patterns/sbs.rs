@@ -23,17 +23,29 @@ pub fn detect(
     let mut out = Vec::new();
     let mut scratch = crate::patterns::PatternScratch::default();
     for_each_pair(legs, borrower, &mut scratch, |pair, _| {
-        detect_pair(pair, config, &mut out)
+        let _ = detect_pair(pair, config, &mut out);
     });
     out
 }
 
 /// SBS over one pair's leg views — allocation-free until a match.
+///
+/// Returns `None` when a match was pushed, otherwise the deepest
+/// predicate that failed — the provenance layer's "why not".
 pub(crate) fn detect_pair(
     pair: &PairLegs<'_, '_, '_>,
     config: &DetectorConfig,
     out: &mut Vec<PatternMatch>,
-) {
+) -> Option<&'static str> {
+    if pair.own_sells.is_empty() {
+        return Some("no sell of the target by the borrower");
+    }
+    if pair.own_buys.is_empty() {
+        return Some("no buy of the target by the borrower");
+    }
+    // Predicate depth reached across all candidate triples; the failure
+    // message reports the deepest one.
+    let mut depth = 0u8;
     let mut found = false;
     for &t3 in pair.own_sells {
         let t3 = pair.leg(t3);
@@ -48,12 +60,14 @@ pub(crate) fn detect_pair(
             if t1.seq >= t3.seq {
                 continue;
             }
+            depth = depth.max(1);
             if !amounts_match(t1.buy_amount, t3.sell_amount, config.sbs_amount_tolerance) {
                 continue;
             }
             let (Some(rate1), Some(sell_rate3)) = (t1.buy_rate(), t3.sell_rate()) else {
                 continue;
             };
+            depth = depth.max(2);
             for &t2 in pair.any_buys {
                 let t2 = pair.leg(t2);
                 if t2.seq <= t1.seq || t2.seq >= t3.seq {
@@ -62,6 +76,7 @@ pub(crate) fn detect_pair(
                 let Some(rate2) = t2.buy_rate() else { continue };
                 let ordered = rate1 < sell_rate3 && sell_rate3 < rate2;
                 let volatility = (rate2 - rate1) / rate1;
+                depth = depth.max(if ordered { 4 } else { 3 });
                 if ordered && volatility >= config.sbs_min_volatility {
                     out.push(PatternMatch {
                         kind: PatternKind::Sbs,
@@ -77,6 +92,16 @@ pub(crate) fn detect_pair(
             }
         }
     }
+    if found {
+        return None;
+    }
+    Some(match depth {
+        0 => "no buy preceding a sell",
+        1 => "no symmetric buy/sell amounts within tolerance",
+        2 => "no pump trade between the symmetric legs",
+        3 => "rate ordering violated",
+        _ => "volatility below sbs_min_volatility",
+    })
 }
 
 fn amounts_match(a: u128, b: u128, tolerance: f64) -> bool {

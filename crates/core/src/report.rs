@@ -6,6 +6,7 @@ use serde::{Deserialize, Serialize};
 
 use crate::analytics::PairVolatility;
 use crate::flashloan::FlashLoanEvent;
+use crate::forensics::ExitReport;
 use crate::patterns::{PatternKind, PatternMatch};
 
 /// The detector's verdict for one flash-loan transaction flagged as a
@@ -28,9 +29,32 @@ pub struct AttackReport {
     pub volatilities: Vec<PairVolatility>,
     /// Attacker's net USD profit, when a price table was supplied.
     pub profit_usd: Option<f64>,
+    /// Where the proceeds went ([`crate::forensics::trace_exits`] over the
+    /// attacker cluster's follow-up window). Empty when no post-detection
+    /// forensics pass ran; populated via [`AttackReport::with_exits`].
+    pub exits: Vec<ExitReport>,
 }
 
 impl AttackReport {
+    /// Attaches a forensics exit analysis to the report.
+    pub fn with_exits(mut self, exits: Vec<ExitReport>) -> Self {
+        self.exits = exits;
+        self
+    }
+
+    /// The distinct exit kinds observed, in display order (direct,
+    /// multi-level, coin-mixer), each with its occurrence count.
+    pub fn exit_kind_counts(&self) -> Vec<(&'static str, usize)> {
+        let mut counts: Vec<(&'static str, usize)> = Vec::new();
+        for e in &self.exits {
+            let name = e.kind.name();
+            match counts.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, c)) => *c += 1,
+                None => counts.push((name, 1)),
+            }
+        }
+        counts
+    }
     /// Whether a given pattern kind matched.
     pub fn has_pattern(&self, kind: PatternKind) -> bool {
         self.patterns.iter().any(|p| p.kind == kind)
@@ -96,7 +120,33 @@ mod tests {
             patterns: vec![pm(PatternKind::Mbs), pm(PatternKind::Sbs), pm(PatternKind::Mbs)],
             volatilities: vec![],
             profit_usd: Some(350_000.0),
+            exits: vec![],
         }
+    }
+
+    #[test]
+    fn exit_kinds_are_counted_in_order() {
+        use crate::forensics::{ExitKind, ExitReport};
+        let sink = |i: u64| Address::from_u64(100 + i);
+        let exit = |i: u64, kind: ExitKind| ExitReport {
+            sink: sink(i),
+            sink_tag: crate::tagging::Tag::Unknown(sink(i)),
+            kind,
+            amount: 10 * (i as u128 + 1),
+            token: TokenId::ETH,
+            path: vec![sink(i)],
+        };
+        let r = report().with_exits(vec![
+            exit(0, ExitKind::Direct),
+            exit(1, ExitKind::CoinMixer),
+            exit(2, ExitKind::Direct),
+            exit(3, ExitKind::MultiLevel { hops: 2 }),
+        ]);
+        assert_eq!(
+            r.exit_kind_counts(),
+            vec![("direct", 2), ("coin_mixer", 1), ("multi_level", 1)]
+        );
+        assert!(report().exit_kind_counts().is_empty());
     }
 
     #[test]

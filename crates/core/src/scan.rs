@@ -42,6 +42,7 @@ use crate::detector::{Analysis, AnalysisScratch, ChainView, LeiShen};
 use crate::labels::Labels;
 use crate::tagging::{tag_of, Tag};
 use crate::telemetry::{MetricsSink, NoopSink, RecordingSink};
+use crate::trace::{FlightRecorder, NoopTracer, TraceSink};
 
 /// Number of independent lock shards. A power of two so the shard index
 /// is a mask; 16 keeps contention negligible for any realistic worker
@@ -362,7 +363,24 @@ impl ScanEngine {
         view: &ChainView<'_>,
         cache: &TagCache,
     ) -> Vec<Analysis> {
-        self.scan_impl(detector, txs, view, cache, &NoopSink)
+        self.scan_impl(detector, txs, view, cache, &NoopSink, &NoopTracer)
+    }
+
+    /// Like [`ScanEngine::scan_with_cache`], with every worker recording
+    /// decision provenance into one shared [`FlightRecorder`] through its
+    /// own lock-free [`TraceSink::worker_front`]. Produces exactly the
+    /// same analyses, in the same input order, as the untraced scan — the
+    /// trace identity test asserts this — while the recorder retains the
+    /// last-N cleared traces and pins every flagged one.
+    pub fn scan_traced(
+        &self,
+        detector: &LeiShen,
+        txs: &[&TxRecord],
+        view: &ChainView<'_>,
+        cache: &TagCache,
+        recorder: &FlightRecorder,
+    ) -> Vec<Analysis> {
+        self.scan_impl(detector, txs, view, cache, &NoopSink, recorder)
     }
 
     /// Like [`ScanEngine::scan_with_cache`], with every worker reporting
@@ -379,20 +397,23 @@ impl ScanEngine {
         cache: &TagCache,
         sink: &RecordingSink,
     ) -> Vec<Analysis> {
-        self.scan_impl(detector, txs, view, cache, sink)
+        self.scan_impl(detector, txs, view, cache, sink, &NoopTracer)
     }
 
-    /// The scan, generic over the metrics sink so the [`NoopSink`] path
-    /// monomorphizes with zero instrumentation. Each worker records into
-    /// its own [`MetricsSink::worker_front`] — thread-local, lock-free —
-    /// which merges into `sink` when the worker finishes.
-    fn scan_impl<S: MetricsSink + Sync>(
+    /// The scan, generic over the metrics sink and trace sink so the
+    /// [`NoopSink`]/[`NoopTracer`] path monomorphizes with zero
+    /// instrumentation. Each worker records into its own
+    /// [`MetricsSink::worker_front`] / [`TraceSink::worker_front`] —
+    /// thread-local, lock-free — which merges into the shared sink when
+    /// the worker finishes.
+    fn scan_impl<S: MetricsSink + Sync, T: TraceSink + Sync>(
         &self,
         detector: &LeiShen,
         txs: &[&TxRecord],
         view: &ChainView<'_>,
         cache: &TagCache,
         sink: &S,
+        tracer: &T,
     ) -> Vec<Analysis> {
         if txs.is_empty() {
             return Vec::new();
@@ -410,15 +431,17 @@ impl ScanEngine {
             let mut local = LocalTagCache::new(cache);
             let mut scratch = AnalysisScratch::default();
             let front = sink.worker_front();
+            let tfront = tracer.worker_front();
             return txs
                 .iter()
                 .map(|tx| {
-                    detector.analyze_metered(
+                    detector.analyze_traced(
                         tx,
                         view,
                         &mut |addr| local.resolve(addr, view.labels(), view.creations()),
                         &mut scratch,
                         &front,
+                        &tfront,
                     )
                 })
                 .collect();
@@ -441,6 +464,7 @@ impl ScanEngine {
                         let mut tags = LocalTagCache::new(cache);
                         let mut scratch = AnalysisScratch::default();
                         let front = sink.worker_front();
+                        let tfront = tracer.worker_front();
                         let mut local: Vec<(usize, Vec<Analysis>)> = Vec::new();
                         loop {
                             match injector.steal() {
@@ -448,7 +472,7 @@ impl ScanEngine {
                                     let analyses = txs[start..end]
                                         .iter()
                                         .map(|tx| {
-                                            detector.analyze_metered(
+                                            detector.analyze_traced(
                                                 tx,
                                                 view,
                                                 &mut |addr| {
@@ -460,6 +484,7 @@ impl ScanEngine {
                                                 },
                                                 &mut scratch,
                                                 &front,
+                                                &tfront,
                                             )
                                         })
                                         .collect();

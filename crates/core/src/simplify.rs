@@ -15,12 +15,69 @@
 //!    aggregators charging a sub-tolerance routing fee.
 
 use ethsim::TokenId;
+use serde::{Deserialize, Serialize};
 
 use crate::config::DetectorConfig;
 use crate::tagging::{Tag, TaggedTransfer};
 
 /// The Wrapped Ether application tag matched by rule 2.
 pub const WETH_TAG: &str = "Wrapped Ether";
+
+/// Which simplification rule dropped a transfer — recorded by
+/// decision-provenance tracing so an analyst can see exactly why a
+/// journal entry never reached the trade identifier.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum DropRule {
+    /// Rule 1: sender and receiver share a tag.
+    IntraApp,
+    /// Rule 2: either side is tagged `"Wrapped Ether"`.
+    WethRelated,
+}
+
+impl DropRule {
+    /// Stable machine-readable name.
+    pub fn name(self) -> &'static str {
+        match self {
+            DropRule::IntraApp => "intra_app",
+            DropRule::WethRelated => "weth_related",
+        }
+    }
+
+    /// Inverse of [`DropRule::name`].
+    pub fn from_name(name: &str) -> Option<DropRule> {
+        match name {
+            "intra_app" => Some(DropRule::IntraApp),
+            "weth_related" => Some(DropRule::WethRelated),
+            _ => None,
+        }
+    }
+}
+
+/// What [`simplify_into_observed`] reports about each input transfer, in
+/// input order. The `seq`s are journal sequence numbers, so provenance
+/// consumers can cross-link back into the raw trace.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SimplifyAction {
+    /// The transfer survived into the application-level list.
+    Kept {
+        /// Journal `seq` of the surviving transfer.
+        seq: u32,
+    },
+    /// The transfer was dropped by rule 1 or 2.
+    Dropped {
+        /// Journal `seq` of the dropped transfer.
+        seq: u32,
+        /// Which rule dropped it.
+        rule: DropRule,
+    },
+    /// The transfer was absorbed into a surviving predecessor (rule 3).
+    Merged {
+        /// Journal `seq` of the absorbed transfer.
+        seq: u32,
+        /// `seq` of the surviving transfer it merged into.
+        into_seq: u32,
+    },
+}
 
 /// Applies all three simplification rules, producing application-level
 /// transfers. `weth_token`, when known, is rewritten to [`TokenId::ETH`]
@@ -65,6 +122,20 @@ pub fn simplify_into(
     config: &DetectorConfig,
     out: &mut Vec<TaggedTransfer>,
 ) -> SimplifyStats {
+    // The no-op observer monomorphizes to the plain reduction loop.
+    simplify_into_observed(tagged, weth_token, config, out, |_| {})
+}
+
+/// [`simplify_into`] reporting the fate of every input transfer through
+/// `observe` — the decision-provenance hook. `observe` runs in input
+/// order and sees exactly one [`SimplifyAction`] per input transfer.
+pub fn simplify_into_observed(
+    tagged: &[TaggedTransfer],
+    weth_token: Option<TokenId>,
+    config: &DetectorConfig,
+    out: &mut Vec<TaggedTransfer>,
+    mut observe: impl FnMut(SimplifyAction),
+) -> SimplifyStats {
     out.clear();
     let mut stats = SimplifyStats::default();
     let is_weth = |tag: &Tag| tag.app_name() == Some(WETH_TAG);
@@ -73,10 +144,18 @@ pub fn simplify_into(
         // entries never pay a clone's tag refcount traffic.
         if t.sender == t.receiver {
             stats.dropped += 1;
+            observe(SimplifyAction::Dropped {
+                seq: t.seq,
+                rule: DropRule::IntraApp,
+            });
             continue;
         }
         if is_weth(&t.sender) || is_weth(&t.receiver) {
             stats.dropped += 1;
+            observe(SimplifyAction::Dropped {
+                seq: t.seq,
+                rule: DropRule::WethRelated,
+            });
             continue;
         }
         let token = if weth_token == Some(t.token) {
@@ -91,9 +170,14 @@ pub fn simplify_into(
                 prev.receiver = t.receiver.clone();
                 prev.amount = t.amount;
                 stats.merged += 1;
+                observe(SimplifyAction::Merged {
+                    seq: t.seq,
+                    into_seq: prev.seq,
+                });
                 continue;
             }
         }
+        observe(SimplifyAction::Kept { seq: t.seq });
         out.push(TaggedTransfer {
             seq: t.seq,
             sender: t.sender.clone(),
@@ -383,6 +467,46 @@ mod tests {
             list.len() as u32
         );
         assert_eq!(out.len(), stats.kept as usize);
+    }
+
+    #[test]
+    fn observed_simplify_reports_one_action_per_input() {
+        let weth = TokenId::from_index(9);
+        let list = vec![
+            t(0, app("Uniswap"), app("Uniswap"), 1, 1),
+            t(1, app("A"), app("Router"), 100_000, 9),
+            t(2, app("Router"), app(WETH_TAG), 100_000, 9),
+            t(3, app(WETH_TAG), app("Router"), 100_000, 0),
+            t(4, app("Router"), app("B"), 99_990, 0),
+        ];
+        let mut out = Vec::new();
+        let mut actions = Vec::new();
+        let stats = simplify_into_observed(
+            &list,
+            Some(weth),
+            &DetectorConfig::default(),
+            &mut out,
+            |a| actions.push(a),
+        );
+        assert_eq!(
+            actions,
+            vec![
+                SimplifyAction::Dropped { seq: 0, rule: DropRule::IntraApp },
+                SimplifyAction::Kept { seq: 1 },
+                SimplifyAction::Dropped { seq: 2, rule: DropRule::WethRelated },
+                SimplifyAction::Dropped { seq: 3, rule: DropRule::WethRelated },
+                SimplifyAction::Merged { seq: 4, into_seq: 1 },
+            ]
+        );
+        // The observed pass and the plain pass agree exactly.
+        let mut plain = Vec::new();
+        let plain_stats =
+            simplify_into(&list, Some(weth), &DetectorConfig::default(), &mut plain);
+        assert_eq!(out, plain);
+        assert_eq!(stats, plain_stats);
+        assert_eq!(DropRule::from_name("intra_app"), Some(DropRule::IntraApp));
+        assert_eq!(DropRule::from_name("weth_related"), Some(DropRule::WethRelated));
+        assert_eq!(DropRule::from_name("bogus"), None);
     }
 
     #[test]

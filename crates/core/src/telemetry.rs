@@ -28,9 +28,10 @@ use std::cell::RefCell;
 use std::time::Instant;
 
 use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
 
 /// The instrumented pipeline stages, in execution order.
-#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize)]
 pub enum Stage {
     /// Flash-loan identification (Table II signatures) — runs for every
     /// transaction, including the ones that short-circuit.
@@ -72,6 +73,11 @@ impl Stage {
             Stage::Trades => "trades",
             Stage::Patterns => "patterns",
         }
+    }
+
+    /// Inverse of [`Stage::name`] — used by the trace importers.
+    pub fn from_name(name: &str) -> Option<Stage> {
+        STAGES.iter().copied().find(|s| s.name() == name)
     }
 }
 

@@ -1,0 +1,753 @@
+//! Decision-provenance tracing — structured spans and events recording
+//! *why* the detector flagged (or cleared) each transaction.
+//!
+//! Aggregate telemetry ([`crate::telemetry`]) answers "where does the
+//! pipeline spend its time"; this layer answers the analyst's question:
+//! *why was this transaction flagged?* For every analyzed transaction a
+//! [`TxProvenance`] records
+//!
+//! * the per-stage spans (wall-clock offsets from a shared epoch),
+//! * the full event log — flash loans found, tags assigned with the
+//!   transfer that first triggered them, simplify keeps/drops/merges,
+//!   identified trades, and every pattern matcher's verdict (the journal
+//!   `seq`s it matched, or the first predicate that failed),
+//! * the final [`Decision`] with a machine-readable [`Reason`] chain.
+//!
+//! The collection design mirrors the telemetry sink exactly:
+//!
+//! * [`TraceSink`] — compile-time-guarded hook trait; monomorphized over
+//!   [`NoopTracer`] every event closure and clock read is dead code.
+//! * [`FlightRecorder`] — the shared sink: a bounded ring that retains
+//!   the last *N* cleared traces and **pins** every trace whose decision
+//!   flagged an attack, so batch scans stay allocation-lean while
+//!   attacks are always fully recorded.
+//! * [`WorkerTracer`] — a per-worker lock-free front ([`FlightRecorder`]'s
+//!   `worker_front`): traces accumulate in a thread-local buffer (itself
+//!   ring-bounded) and merge into the shared recorder in one mutex
+//!   acquisition when the worker finishes.
+//!
+//! Exporters live in [`export`]: JSONL event logs (one trace per line,
+//! re-importable via [`export::parse_jsonl`]) and Chrome `trace_event`
+//! JSON openable in `chrome://tracing` / Perfetto, with stage spans
+//! nested per worker. [`json`] holds the small hand-rolled JSON parser
+//! both the re-import and the `bench_diff` gate share.
+
+pub mod export;
+pub mod json;
+
+use std::cell::RefCell;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU32, Ordering};
+use std::time::Instant;
+
+use ethsim::{SpanId, TxId, TxRecord};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::patterns::PatternKind;
+use crate::simplify::DropRule;
+use crate::telemetry::Stage;
+
+/// One structured provenance event, in pipeline order.
+///
+/// Addresses, tags and tokens appear in display form: events are the
+/// analyst-facing audit trail, and strings survive the JSONL round trip
+/// exactly.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum TraceEvent {
+    /// A Table II flash-loan signature matched.
+    FlashLoan {
+        /// Lending protocol (display name).
+        provider: String,
+        /// Lender contract address.
+        lender: String,
+        /// Borrower contract address.
+        borrower: String,
+        /// Borrowed amount, when the signature exposes it.
+        amount: Option<u128>,
+    },
+    /// A distinct tag entered the transaction's tagged transfer list.
+    TagAssigned {
+        /// The tag, in display form.
+        tag: String,
+        /// `seq` of the first journal transfer carrying the tag.
+        first_seq: u32,
+    },
+    /// A journal transfer was dropped by simplify rules 1–2.
+    SimplifyDropped {
+        /// Journal `seq` of the dropped transfer.
+        seq: u32,
+        /// Which rule dropped it.
+        rule: DropRule,
+    },
+    /// A journal transfer was merged into a surviving predecessor
+    /// (simplify rule 3, pass-through collapse).
+    SimplifyMerged {
+        /// Journal `seq` of the absorbed transfer.
+        seq: u32,
+        /// `seq` of the surviving transfer it merged into.
+        into_seq: u32,
+    },
+    /// Stage-2 reduction totals (`kept + dropped + merged` = journal size).
+    SimplifySummary {
+        /// Transfers surviving into the application-level list.
+        kept: u32,
+        /// Transfers dropped by rules 1–2.
+        dropped: u32,
+        /// Transfers merged by rule 3.
+        merged: u32,
+    },
+    /// A Table III trade action was identified.
+    TradeIdentified {
+        /// `seq` of the trade's first transfer.
+        seq: u32,
+        /// Swap / Mint-liquidity / Remove-liquidity.
+        kind: String,
+        /// Buying application tag.
+        buyer: String,
+        /// Selling application tag.
+        seller: String,
+    },
+    /// One matcher's verdict on one `(quote, target)` pair for one
+    /// borrower tag.
+    PatternVerdict {
+        /// Which pattern was evaluated.
+        kind: PatternKind,
+        /// The borrower tag evaluated.
+        borrower: String,
+        /// The quote token (display form).
+        quote: String,
+        /// The target token (display form).
+        target: String,
+        /// Matched with evidence, or the first predicate that failed.
+        outcome: Verdict,
+    },
+    /// A post-detection heuristic ran (e.g. the aggregator-initiator
+    /// filter, §VI-C).
+    Heuristic {
+        /// Heuristic name.
+        name: String,
+        /// Whether the report survives the heuristic.
+        passed: bool,
+        /// Human-readable score/justification.
+        detail: String,
+    },
+    /// A [`crate::forensics::trace_exits`] exit path cross-linked into
+    /// the flagged trace.
+    ExitTraced {
+        /// Exit classification (`direct` / `multi_level` / `coin_mixer`).
+        kind: String,
+        /// Terminal sink address.
+        sink: String,
+        /// Asset (display form).
+        token: String,
+        /// Amount arriving at the sink.
+        amount: u128,
+        /// Intermediary hops traversed.
+        hops: u32,
+        /// Accounts on the path from cluster boundary to sink.
+        path_len: u32,
+    },
+}
+
+/// One matcher's outcome on one pair: the concrete journal `seq`s it
+/// matched, or the first (deepest) predicate that failed.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Verdict {
+    /// The pattern matched.
+    Matched {
+        /// Journal `seq`s of the trades forming each match.
+        trade_seqs: Vec<Vec<u32>>,
+        /// Volatility of the first match on this pair.
+        volatility: f64,
+    },
+    /// No match; `failed` names the deepest predicate reached.
+    Rejected {
+        /// The first predicate that failed.
+        failed: String,
+    },
+}
+
+/// One machine-readable link of a decision's reason chain.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub enum Reason {
+    /// The transaction reverted; LeiShen only replays committed ones.
+    Reverted,
+    /// No Table II flash-loan signature matched.
+    NoFlashLoan,
+    /// A flash loan from `provider` was identified.
+    FlashLoan {
+        /// Lending protocol display name.
+        provider: String,
+    },
+    /// Flash loan present but no attack pattern matched.
+    NoPatternMatched,
+    /// An attack pattern matched — the flagging evidence.
+    PatternMatched {
+        /// Which pattern.
+        kind: PatternKind,
+        /// Target token (display form).
+        target: String,
+        /// Quote token (display form).
+        quote: String,
+        /// Journal `seq`s of the matched trades.
+        trade_seqs: Vec<u32>,
+    },
+}
+
+impl Reason {
+    /// Stable machine-readable code for the reason variant.
+    pub fn code(&self) -> &'static str {
+        match self {
+            Reason::Reverted => "reverted",
+            Reason::NoFlashLoan => "no_flash_loan",
+            Reason::FlashLoan { .. } => "flash_loan",
+            Reason::NoPatternMatched => "no_pattern",
+            Reason::PatternMatched { .. } => "pattern",
+        }
+    }
+}
+
+/// The final decision for one transaction, with its reason chain.
+#[derive(Clone, Debug, Default, PartialEq, Serialize, Deserialize)]
+pub struct Decision {
+    /// Whether the transaction was flagged as a flpAttack.
+    pub flagged: bool,
+    /// Machine-readable reasons, in pipeline order.
+    pub reasons: Vec<Reason>,
+}
+
+impl Decision {
+    /// Whether the reason chain names at least one matched pattern.
+    pub fn names_pattern(&self) -> bool {
+        self.reasons
+            .iter()
+            .any(|r| matches!(r, Reason::PatternMatched { .. }))
+    }
+}
+
+/// One pipeline stage's span: wall-clock offsets (nanoseconds) from the
+/// recorder's epoch, so spans from different workers share a timeline.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SpanRecord {
+    /// Which stage.
+    pub stage: Stage,
+    /// Start offset from the recorder epoch, nanoseconds.
+    pub start_ns: u64,
+    /// End offset from the recorder epoch, nanoseconds.
+    pub end_ns: u64,
+}
+
+/// The full decision provenance of one analyzed transaction.
+#[derive(Clone, Debug, PartialEq, Serialize, Deserialize)]
+pub struct TxProvenance {
+    /// The analyzed transaction.
+    pub tx: TxId,
+    /// Root span id ([`SpanId::tx_root`]).
+    pub span: SpanId,
+    /// Index of the scan worker that analyzed the transaction.
+    pub worker: u32,
+    /// Per-stage spans, in execution order (empty after short-circuits
+    /// only the reached stages appear).
+    pub spans: Vec<SpanRecord>,
+    /// The structured event log, in pipeline order.
+    pub events: Vec<TraceEvent>,
+    /// The final decision and its reason chain.
+    pub decision: Decision,
+}
+
+/// The trace hook the pipeline calls — the provenance twin of
+/// [`crate::telemetry::MetricsSink`], with the same compile-time guard:
+/// `ENABLED` is an associated constant, so a pipeline monomorphized over
+/// [`NoopTracer`] contains no event construction, no clock reads and no
+/// branches.
+pub trait TraceSink {
+    /// Whether the pipeline should build provenance for this sink.
+    const ENABLED: bool;
+
+    /// The worker-local front of this sink (see
+    /// [`TraceSink::worker_front`]).
+    type WorkerFront<'a>: TraceSink
+    where
+        Self: 'a;
+
+    /// A front for one worker: traces recorded into the front accumulate
+    /// thread-locally — no locks — and merge into the shared sink when
+    /// the front drops.
+    fn worker_front(&self) -> Self::WorkerFront<'_>;
+
+    /// The shared epoch span offsets are measured from, when one exists.
+    fn epoch(&self) -> Option<Instant> {
+        None
+    }
+
+    /// This front's worker index (0 for shared/serial use).
+    fn worker_id(&self) -> u32 {
+        0
+    }
+
+    /// One transaction's finished provenance.
+    fn record(&self, trace: TxProvenance);
+}
+
+/// The do-nothing tracer: the hot path's default. Compiles to nothing.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct NoopTracer;
+
+impl TraceSink for NoopTracer {
+    const ENABLED: bool = false;
+
+    type WorkerFront<'a> = NoopTracer;
+
+    #[inline(always)]
+    fn worker_front(&self) -> NoopTracer {
+        NoopTracer
+    }
+
+    #[inline(always)]
+    fn record(&self, _trace: TxProvenance) {}
+}
+
+/// What the recorder (and each worker front) accumulates: the bounded
+/// ring of recent cleared traces plus the pinned flagged ones.
+#[derive(Debug, Default)]
+struct RecorderBuf {
+    ring: VecDeque<TxProvenance>,
+    pinned: Vec<TxProvenance>,
+    recorded: u64,
+    evicted: u64,
+}
+
+impl RecorderBuf {
+    fn record(&mut self, capacity: usize, trace: TxProvenance) {
+        self.recorded += 1;
+        if trace.decision.flagged {
+            self.pinned.push(trace);
+        } else {
+            self.ring.push_back(trace);
+            while self.ring.len() > capacity {
+                self.ring.pop_front();
+                self.evicted += 1;
+            }
+        }
+    }
+
+    fn merge(&mut self, capacity: usize, other: RecorderBuf) {
+        self.recorded += other.recorded;
+        self.evicted += other.evicted;
+        self.pinned.extend(other.pinned);
+        for trace in other.ring {
+            self.ring.push_back(trace);
+            while self.ring.len() > capacity {
+                self.ring.pop_front();
+                self.evicted += 1;
+            }
+        }
+    }
+}
+
+/// The scan flight recorder: bounded ring of recent traces + pinned
+/// flagged traces.
+///
+/// Memory is bounded by construction: the shared ring holds at most
+/// `capacity` cleared traces (each worker front is bounded by the same
+/// capacity while a scan is in flight), and only flagged traces — attacks
+/// are rare by definition — escape the bound by being pinned. Under a
+/// parallel scan the ring's "last N" is per-worker-merge approximate, as
+/// with any multi-writer flight recorder; pinned traces are always exact
+/// and complete.
+#[derive(Debug)]
+pub struct FlightRecorder {
+    inner: Mutex<RecorderBuf>,
+    capacity: usize,
+    epoch: Instant,
+    next_worker: AtomicU32,
+}
+
+impl Default for FlightRecorder {
+    fn default() -> Self {
+        FlightRecorder::new()
+    }
+}
+
+impl FlightRecorder {
+    /// Default ring capacity (cleared traces retained).
+    pub const DEFAULT_CAPACITY: usize = 256;
+
+    /// A recorder with the default ring capacity.
+    pub fn new() -> Self {
+        FlightRecorder::with_capacity(Self::DEFAULT_CAPACITY)
+    }
+
+    /// A recorder retaining the last `capacity` cleared traces (minimum
+    /// 1); flagged traces are pinned outside the ring and never evicted.
+    pub fn with_capacity(capacity: usize) -> Self {
+        FlightRecorder {
+            inner: Mutex::new(RecorderBuf::default()),
+            capacity: capacity.max(1),
+            epoch: Instant::now(),
+            next_worker: AtomicU32::new(0),
+        }
+    }
+
+    /// The ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Total traces recorded (including since-evicted ones).
+    pub fn recorded(&self) -> u64 {
+        self.inner.lock().recorded
+    }
+
+    /// Cleared traces evicted from the ring.
+    pub fn evicted(&self) -> u64 {
+        self.inner.lock().evicted
+    }
+
+    /// The retained cleared traces, oldest first.
+    pub fn recent(&self) -> Vec<TxProvenance> {
+        self.inner.lock().ring.iter().cloned().collect()
+    }
+
+    /// The pinned (flagged) traces, in record order.
+    pub fn pinned(&self) -> Vec<TxProvenance> {
+        self.inner.lock().pinned.clone()
+    }
+
+    /// Every retained trace — pinned first, then the ring — sorted by
+    /// transaction id for deterministic export.
+    pub fn traces(&self) -> Vec<TxProvenance> {
+        let inner = self.inner.lock();
+        let mut all: Vec<TxProvenance> =
+            inner.pinned.iter().chain(inner.ring.iter()).cloned().collect();
+        all.sort_by_key(|t| t.tx);
+        all
+    }
+
+    /// The retained trace of `tx`, if any (pinned or still in the ring).
+    pub fn find(&self, tx: TxId) -> Option<TxProvenance> {
+        let inner = self.inner.lock();
+        inner
+            .pinned
+            .iter()
+            .chain(inner.ring.iter())
+            .rev()
+            .find(|t| t.tx == tx)
+            .cloned()
+    }
+
+    /// Appends events to the retained trace of `tx` in place — how the
+    /// `trace` bin cross-links post-detection context (heuristic verdicts,
+    /// forensic exit paths) into a recorded provenance. Returns `false`
+    /// when the trace is no longer retained.
+    pub fn annotate(&self, tx: TxId, f: impl FnOnce(&mut TxProvenance)) -> bool {
+        let mut inner = self.inner.lock();
+        let RecorderBuf { ring, pinned, .. } = &mut *inner;
+        if let Some(t) = pinned
+            .iter_mut()
+            .chain(ring.iter_mut())
+            .rev()
+            .find(|t| t.tx == tx)
+        {
+            f(t);
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Drops all retained traces and counters (the epoch is kept).
+    pub fn clear(&self) {
+        *self.inner.lock() = RecorderBuf::default();
+    }
+
+    /// Merges a worker front's accumulated batch in one lock acquisition.
+    fn absorb(&self, batch: RecorderBuf) {
+        self.inner.lock().merge(self.capacity, batch);
+    }
+}
+
+impl TraceSink for FlightRecorder {
+    const ENABLED: bool = true;
+
+    type WorkerFront<'a> = WorkerTracer<'a>;
+
+    fn worker_front(&self) -> WorkerTracer<'_> {
+        WorkerTracer {
+            shared: self,
+            worker: self.next_worker.fetch_add(1, Ordering::Relaxed),
+            local: RefCell::new(RecorderBuf::default()),
+        }
+    }
+
+    fn epoch(&self) -> Option<Instant> {
+        Some(self.epoch)
+    }
+
+    fn record(&self, trace: TxProvenance) {
+        self.inner.lock().record(self.capacity, trace);
+    }
+}
+
+/// One worker's lock-free front of a shared [`FlightRecorder`]: recording
+/// is a `RefCell` borrow plus a ring push; the batch merges into the
+/// shared recorder when the front drops.
+#[derive(Debug)]
+pub struct WorkerTracer<'a> {
+    shared: &'a FlightRecorder,
+    worker: u32,
+    local: RefCell<RecorderBuf>,
+}
+
+impl TraceSink for WorkerTracer<'_> {
+    const ENABLED: bool = true;
+
+    type WorkerFront<'b>
+        = WorkerTracer<'b>
+    where
+        Self: 'b;
+
+    /// A front of a front still funnels into the same shared recorder.
+    fn worker_front(&self) -> WorkerTracer<'_> {
+        self.shared.worker_front()
+    }
+
+    fn epoch(&self) -> Option<Instant> {
+        Some(self.shared.epoch)
+    }
+
+    fn worker_id(&self) -> u32 {
+        self.worker
+    }
+
+    fn record(&self, trace: TxProvenance) {
+        self.local
+            .borrow_mut()
+            .record(self.shared.capacity, trace);
+    }
+}
+
+impl Drop for WorkerTracer<'_> {
+    fn drop(&mut self) {
+        self.shared.absorb(self.local.take());
+    }
+}
+
+/// Builds one transaction's provenance on the worker's stack while the
+/// pipeline runs — the trace twin of the telemetry `StageClock`. With a
+/// disabled sink every method body is dead code behind `T::ENABLED`, and
+/// the event closures passed to [`TraceBuilder::event`] are never built.
+pub(crate) struct TraceBuilder {
+    timing: Option<(Instant, Instant)>,
+    spans: Vec<SpanRecord>,
+    events: Vec<TraceEvent>,
+}
+
+impl TraceBuilder {
+    /// Starts a builder; clocks start only when `T` records.
+    pub fn start<T: TraceSink>(tracer: &T) -> Self {
+        let timing = if T::ENABLED {
+            let now = Instant::now();
+            Some((tracer.epoch().unwrap_or(now), now))
+        } else {
+            None
+        };
+        TraceBuilder {
+            timing,
+            spans: Vec::new(),
+            events: Vec::new(),
+        }
+    }
+
+    /// Closes the span of `stage` at the current instant and opens the
+    /// next one.
+    pub fn lap<T: TraceSink>(&mut self, _tracer: &T, stage: Stage) {
+        if T::ENABLED {
+            if let Some((epoch, start)) = self.timing {
+                let now = Instant::now();
+                self.spans.push(SpanRecord {
+                    stage,
+                    start_ns: start.saturating_duration_since(epoch).as_nanos() as u64,
+                    end_ns: now.saturating_duration_since(epoch).as_nanos() as u64,
+                });
+                self.timing = Some((epoch, now));
+            }
+        }
+    }
+
+    /// Appends the event `f` builds — `f` is only called (and its
+    /// captures only touched) when `T` records.
+    pub fn event<T: TraceSink>(&mut self, _tracer: &T, f: impl FnOnce() -> TraceEvent) {
+        if T::ENABLED {
+            self.events.push(f());
+        }
+    }
+
+    /// Delivers the finished provenance to the sink.
+    pub fn finish<T: TraceSink>(self, tracer: &T, tx: &TxRecord, decision: Decision) {
+        if T::ENABLED {
+            tracer.record(TxProvenance {
+                tx: tx.id,
+                span: SpanId::tx_root(tx.id),
+                worker: tracer.worker_id(),
+                spans: self.spans,
+                events: self.events,
+                decision,
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn trace(tx: u64, flagged: bool) -> TxProvenance {
+        TxProvenance {
+            tx: TxId(tx),
+            span: SpanId::tx_root(TxId(tx)),
+            worker: 0,
+            spans: vec![SpanRecord {
+                stage: Stage::FlashLoan,
+                start_ns: 0,
+                end_ns: 10,
+            }],
+            events: Vec::new(),
+            decision: Decision {
+                flagged,
+                reasons: if flagged {
+                    vec![Reason::PatternMatched {
+                        kind: PatternKind::Sbs,
+                        target: "WBTC".into(),
+                        quote: "ETH".into(),
+                        trade_seqs: vec![1, 2, 3],
+                    }]
+                } else {
+                    vec![Reason::NoFlashLoan]
+                },
+            },
+        }
+    }
+
+    #[test]
+    fn noop_is_disabled() {
+        const { assert!(!NoopTracer::ENABLED) }
+        NoopTracer.record(trace(0, false));
+    }
+
+    #[test]
+    fn ring_is_bounded_and_flags_are_pinned() {
+        let rec = FlightRecorder::with_capacity(4);
+        for i in 0..10 {
+            rec.record(trace(i, false));
+        }
+        rec.record(trace(100, true));
+        rec.record(trace(101, true));
+        assert_eq!(rec.recent().len(), 4, "ring bounded at capacity");
+        assert_eq!(rec.recent()[0].tx, TxId(6), "oldest evicted first");
+        assert_eq!(rec.pinned().len(), 2, "every flagged trace pinned");
+        assert_eq!(rec.evicted(), 6);
+        assert_eq!(rec.recorded(), 12);
+        // Flagged traces survive arbitrary later traffic.
+        for i in 200..300 {
+            rec.record(trace(i, false));
+        }
+        assert_eq!(rec.pinned().len(), 2);
+        assert_eq!(rec.recent().len(), 4);
+    }
+
+    #[test]
+    fn traces_are_sorted_and_findable() {
+        let rec = FlightRecorder::with_capacity(8);
+        rec.record(trace(5, false));
+        rec.record(trace(2, true));
+        rec.record(trace(9, false));
+        let all = rec.traces();
+        assert_eq!(
+            all.iter().map(|t| t.tx.0).collect::<Vec<_>>(),
+            vec![2, 5, 9]
+        );
+        assert!(rec.find(TxId(2)).unwrap().decision.flagged);
+        assert!(rec.find(TxId(7)).is_none());
+    }
+
+    #[test]
+    fn annotate_appends_events_in_place() {
+        let rec = FlightRecorder::new();
+        rec.record(trace(3, true));
+        let ok = rec.annotate(TxId(3), |t| {
+            t.events.push(TraceEvent::Heuristic {
+                name: "aggregator_initiator".into(),
+                passed: true,
+                detail: "initiator untagged".into(),
+            })
+        });
+        assert!(ok);
+        assert_eq!(rec.find(TxId(3)).unwrap().events.len(), 1);
+        assert!(!rec.annotate(TxId(99), |_| {}));
+    }
+
+    #[test]
+    fn worker_front_merges_on_drop() {
+        let rec = FlightRecorder::with_capacity(16);
+        {
+            let front = rec.worker_front();
+            front.record(trace(1, false));
+            front.record(trace(2, true));
+            assert_eq!(rec.recorded(), 0, "nothing shared before the drop");
+        }
+        assert_eq!(rec.recorded(), 2);
+        assert_eq!(rec.pinned().len(), 1);
+        assert_eq!(rec.recent().len(), 1);
+        // Worker ids are distinct per front.
+        let a = rec.worker_front();
+        let b = rec.worker_front();
+        assert_ne!(a.worker_id(), b.worker_id());
+    }
+
+    #[test]
+    fn builder_records_spans_events_and_decision() {
+        let rec = FlightRecorder::new();
+        let tx = TxRecord {
+            id: TxId(7),
+            block: 1,
+            timestamp: 0,
+            from: ethsim::Address::from_u64(1),
+            to: ethsim::Address::from_u64(2),
+            function: "f".into(),
+            status: ethsim::TxStatus::Success,
+            trace: Default::default(),
+        };
+        let mut b = TraceBuilder::start(&rec);
+        b.event(&rec, || TraceEvent::SimplifySummary {
+            kept: 1,
+            dropped: 2,
+            merged: 0,
+        });
+        b.lap(&rec, Stage::FlashLoan);
+        b.lap(&rec, Stage::Tagging);
+        b.finish(
+            &rec,
+            &tx,
+            Decision {
+                flagged: false,
+                reasons: vec![Reason::NoPatternMatched],
+            },
+        );
+        let t = rec.find(TxId(7)).expect("recorded");
+        assert_eq!(t.span, SpanId::tx_root(TxId(7)));
+        assert_eq!(t.spans.len(), 2);
+        assert_eq!(t.spans[0].stage, Stage::FlashLoan);
+        assert!(t.spans[0].end_ns <= t.spans[1].start_ns + 1);
+        assert_eq!(t.events.len(), 1);
+        assert_eq!(t.decision.reasons[0].code(), "no_pattern");
+        assert!(!t.decision.names_pattern());
+
+        // A noop builder is inert end to end (and the closure never runs).
+        let mut b = TraceBuilder::start(&NoopTracer);
+        b.event(&NoopTracer, || unreachable!("disabled sinks build nothing"));
+        b.lap(&NoopTracer, Stage::FlashLoan);
+        b.finish(&NoopTracer, &tx, Decision::default());
+    }
+}

@@ -83,7 +83,7 @@ pub use log::{EventLog, LogValue};
 pub use state::{AccountKind, SKey, WorldState};
 pub use token::{TokenId, TokenInfo};
 pub use transfer::Transfer;
-pub use tx::{TxId, TxRecord, TxStatus, TxTrace};
+pub use tx::{SpanId, TxId, TxRecord, TxStatus, TxTrace};
 
 /// Convenience result alias used throughout the substrate.
 pub type Result<T> = std::result::Result<T, SimError>;

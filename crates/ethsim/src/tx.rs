@@ -24,6 +24,62 @@ impl std::fmt::Display for TxId {
     }
 }
 
+/// A stable identifier for one span of a transaction's execution, used by
+/// trace tooling to cross-link journal entries into per-transaction
+/// provenance records.
+///
+/// The encoding packs the transaction id and an intra-transaction journal
+/// sequence into one `u64`: the high bits carry `tx.0 + 1` (so the zero
+/// value is never a valid span), the low [`SpanId::SEQ_BITS`] bits carry
+/// `seq + 1` for journal-entry spans and `0` for the transaction's root
+/// span. Journal traces hold well under `2^20` entries, so the packing is
+/// collision-free for any realistic corpus.
+#[derive(
+    Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord, Serialize, Deserialize, Default,
+)]
+pub struct SpanId(pub u64);
+
+impl SpanId {
+    /// Low bits reserved for the journal sequence number.
+    pub const SEQ_BITS: u32 = 20;
+
+    /// The root span covering the whole transaction.
+    pub fn tx_root(tx: TxId) -> Self {
+        SpanId((tx.0 + 1) << Self::SEQ_BITS)
+    }
+
+    /// The span of one journal entry (`seq` as recorded in the trace).
+    pub fn journal(tx: TxId, seq: u32) -> Self {
+        debug_assert!(u64::from(seq) + 1 < (1 << Self::SEQ_BITS));
+        SpanId(((tx.0 + 1) << Self::SEQ_BITS) | (u64::from(seq) + 1))
+    }
+
+    /// The transaction this span belongs to.
+    pub fn tx(self) -> TxId {
+        TxId((self.0 >> Self::SEQ_BITS) - 1)
+    }
+
+    /// The journal sequence number, or `None` for the root span.
+    pub fn seq(self) -> Option<u32> {
+        let low = self.0 & ((1 << Self::SEQ_BITS) - 1);
+        (low != 0).then(|| (low - 1) as u32)
+    }
+
+    /// Whether this is a transaction root span (no journal seq).
+    pub fn is_root(self) -> bool {
+        self.seq().is_none()
+    }
+}
+
+impl std::fmt::Display for SpanId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.seq() {
+            Some(seq) => write!(f, "{}/{}", self.tx(), seq),
+            None => write!(f, "{}/root", self.tx()),
+        }
+    }
+}
+
 /// Outcome of transaction execution.
 #[derive(Clone, Debug, PartialEq, Eq, Serialize, Deserialize)]
 pub enum TxStatus {
@@ -117,12 +173,43 @@ impl TxRecord {
     pub fn initiator(&self) -> Address {
         self.from
     }
+
+    /// The root span id covering this transaction's whole execution.
+    pub fn span_id(&self) -> SpanId {
+        SpanId::tx_root(self.id)
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
     use crate::token::TokenId;
+
+    #[test]
+    fn span_ids_round_trip_and_never_collide() {
+        let root = SpanId::tx_root(TxId(42));
+        assert!(root.is_root());
+        assert_eq!(root.tx(), TxId(42));
+        assert_eq!(root.seq(), None);
+        assert_eq!(root.to_string(), "tx#42/root");
+
+        let j = SpanId::journal(TxId(42), 0);
+        assert_ne!(j, root, "seq 0 is distinct from the root span");
+        assert_eq!(j.tx(), TxId(42));
+        assert_eq!(j.seq(), Some(0));
+        assert_eq!(j.to_string(), "tx#42/0");
+
+        // Distinct (tx, seq) pairs map to distinct ids.
+        let mut seen = std::collections::HashSet::new();
+        for tx in 0..8u64 {
+            assert!(seen.insert(SpanId::tx_root(TxId(tx))));
+            for seq in 0..8u32 {
+                assert!(seen.insert(SpanId::journal(TxId(tx), seq)));
+            }
+        }
+        // The zero value is never produced.
+        assert!(!seen.contains(&SpanId(0)));
+    }
 
     #[test]
     fn status_helpers() {

@@ -23,11 +23,12 @@
 //! and the only floats (pattern volatilities) are formatted to six
 //! decimal places.
 
+use std::collections::HashSet;
 use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use ethsim::TokenId;
-use leishen::{Analysis, DetectorConfig, LeiShen};
+use leishen::{trace_exits, Analysis, ChainView, DetectorConfig, ExitReport, LeiShen};
 use leishen_scenarios::{run_all_attacks, ExecutedAttack, World};
 
 /// JSON string escaping for the identifier-ish strings we emit (tags,
@@ -60,9 +61,30 @@ fn slug(name: &str) -> String {
     out.trim_end_matches('_').to_string()
 }
 
+/// Funds leaving the attacker cluster within the attack transaction
+/// itself, classified by [`trace_exits`]. Routed through
+/// [`leishen::AttackReport::with_exits`] by the callers so the report
+/// wiring is exercised, not just the raw forensics pass.
+fn exits_for(world: &World, attack: &ExecutedAttack, view: &ChainView<'_>) -> Vec<ExitReport> {
+    let record = world.chain.replay(attack.tx).expect("recorded");
+    let cluster: HashSet<_> = [attack.attacker, attack.contract].into_iter().collect();
+    trace_exits(
+        &[record],
+        &cluster,
+        view.labels(),
+        view.creations(),
+        &["Tornado Cash"],
+    )
+}
+
 /// Renders the detector's complete output for one attack as
 /// deterministic, pretty-printed JSON.
-fn snapshot(world: &World, attack: &ExecutedAttack, analysis: &Analysis) -> String {
+fn snapshot(
+    world: &World,
+    attack: &ExecutedAttack,
+    analysis: &Analysis,
+    exits: &[ExitReport],
+) -> String {
     let sym = |t: TokenId| -> String {
         world
             .chain
@@ -163,6 +185,23 @@ fn snapshot(world: &World, attack: &ExecutedAttack, analysis: &Analysis) -> Stri
             esc(&m.counterparty)
         );
     }
+    let _ = writeln!(j, "  ],");
+
+    let _ = writeln!(j, "  \"exits\": [");
+    for (i, e) in exits.iter().enumerate() {
+        let comma = if i + 1 < exits.len() { "," } else { "" };
+        let _ = writeln!(
+            j,
+            "    {{ \"sink\": \"{}\", \"sink_tag\": \"{}\", \"kind\": \"{}\", \"hops\": {}, \"amount\": \"{}\", \"token\": \"{}\", \"path_len\": {} }}{comma}",
+            e.sink,
+            esc(&e.sink_tag.to_string()),
+            e.kind.name(),
+            e.kind.hops(),
+            e.amount,
+            esc(&sym(e.token)),
+            e.path.len()
+        );
+    }
     let _ = writeln!(j, "  ]");
     let _ = writeln!(j, "}}");
     j
@@ -195,7 +234,15 @@ fn golden_corpus_matches_snapshots() {
     for attack in &attacks {
         let record = world.chain.replay(attack.tx).expect("recorded");
         let analysis = detector.analyze(record, &view);
-        let rendered = snapshot(&world, attack, &analysis);
+        // Route exits through the report builder when the detector flags
+        // the tx (all but the experimental-KDP attacks under the paper
+        // config) so `AttackReport::with_exits` is exercised end-to-end.
+        let exits = exits_for(&world, attack, &view);
+        let exits = match detector.detect(record, &view, None) {
+            Some(report) => report.with_exits(exits).exits,
+            None => exits,
+        };
+        let rendered = snapshot(&world, attack, &analysis, &exits);
         let file = format!("{:02}_{}.json", attack.spec.id, slug(attack.spec.name));
         let path = dir.join(&file);
         expected_files.push(file.clone());
@@ -265,7 +312,8 @@ fn snapshots_are_deterministic_across_worlds() {
             .map(|attack| {
                 let record = world.chain.replay(attack.tx).expect("recorded");
                 let analysis = detector.analyze(record, &view);
-                snapshot(&world, attack, &analysis)
+                let exits = exits_for(&world, attack, &view);
+                snapshot(&world, attack, &analysis, &exits)
             })
             .collect::<Vec<_>>()
     };

@@ -1,5 +1,6 @@
-//! Integration: the detector's public data types (reports, traces, labels,
-//! configs, price tables) implement `serde::Serialize` end to end, so
+//! Integration: the detector's public data types (reports, provenance
+//! traces, labels, configs, price tables) implement `serde::Serialize`
+//! end to end, so
 //! downstream tooling (dashboards, archives) can consume them with any
 //! serde format crate. No format crate is in the approved offline
 //! dependency set, so the check drives each value through a minimal
@@ -239,6 +240,41 @@ fn detector_outputs_are_serializable() {
 
     assert!(serializes(&report) > 10, "AttackReport serializes");
     assert!(serializes(record) > 10, "TxRecord serializes");
+
+    // The report with a forensics exit analysis attached.
+    let cluster: std::collections::HashSet<_> =
+        [attack.attacker, attack.contract].into_iter().collect();
+    let exits = leishen::trace_exits(
+        &[record],
+        &cluster,
+        view.labels(),
+        view.creations(),
+        &["Tornado Cash"],
+    );
+    assert!(!exits.is_empty(), "bZx-1 moves funds out of the cluster");
+    let with_exits = report.clone().with_exits(exits);
+    assert!(
+        serializes(&with_exits) > serializes(&report),
+        "ExitReports add serialized fields"
+    );
+
+    // A full provenance trace from the flight recorder.
+    let recorder = leishen::FlightRecorder::new();
+    let engine = leishen::ScanEngine::new(1);
+    let cache = leishen::TagCache::new();
+    engine.scan_traced(
+        &LeiShen::new(DetectorConfig::paper()),
+        &[record],
+        &view,
+        &cache,
+        &recorder,
+    );
+    let trace = recorder.find(record.id).expect("trace recorded");
+    assert!(trace.decision.flagged, "bZx-1 is detected");
+    assert!(
+        serializes(&trace) > 20,
+        "TxProvenance (spans + events + decision) serializes"
+    );
     assert!(serializes(&labels) > 0, "Labels serialize");
     assert!(serializes(&DetectorConfig::paper()) > 0, "config serializes");
     assert!(
