@@ -16,6 +16,10 @@
 //! * the telemetry sink's sampled overhead exceeds
 //!   `--max-sink-overhead-pct` (default 5%).
 //!
+//! Setup problems get their own exit codes so CI logs distinguish "the
+//! baseline was never stashed" from "the baseline is corrupt": exit 2 for
+//! a missing/unreadable file, exit 3 for one that does not parse as JSON.
+//!
 //! Both JSON files are parsed with the dependency-free
 //! `leishen::trace::json` parser — the same one the provenance importer
 //! uses — so the gate needs nothing beyond the workspace.
@@ -25,10 +29,55 @@ use std::process::ExitCode;
 use leishen::trace::json::{parse, Json};
 use leishen_bench::{cli_f64, cli_str};
 
+/// Why a benchmark document could not be loaded — missing file and
+/// malformed content are different operator errors and carry different
+/// exit codes.
+#[derive(Debug)]
+enum LoadError {
+    /// The file could not be read at all (never stashed, wrong path).
+    Missing(String),
+    /// The file was read but is not valid JSON (truncated, corrupt).
+    Malformed(String),
+}
+
+impl LoadError {
+    /// The process exit code this error maps to: 2 missing, 3 malformed
+    /// (1 stays reserved for genuine benchmark regressions).
+    fn exit_code(&self) -> u8 {
+        match self {
+            LoadError::Missing(_) => 2,
+            LoadError::Malformed(_) => 3,
+        }
+    }
+
+    fn message(&self) -> &str {
+        match self {
+            LoadError::Missing(m) | LoadError::Malformed(m) => m,
+        }
+    }
+}
+
+fn try_load(path: &str) -> Result<Json, LoadError> {
+    let text = std::fs::read_to_string(path).map_err(|e| {
+        LoadError::Missing(format!(
+            "bench_diff: missing baseline or fresh file {path}: {e}"
+        ))
+    })?;
+    parse(&text).map_err(|e| {
+        LoadError::Malformed(format!(
+            "bench_diff: malformed JSON in {path}: {e}"
+        ))
+    })
+}
+
 fn load(path: &str) -> Json {
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("cannot read {path}: {e}"));
-    parse(&text).unwrap_or_else(|e| panic!("cannot parse {path}: {e}"))
+    match try_load(path) {
+        Ok(doc) => doc,
+        Err(e) => {
+            eprintln!("{}", e.message());
+            std::process::exit(e.exit_code().into());
+        }
+    }
 }
 
 fn f64_at(doc: &Json, path: &[&str], file: &str) -> f64 {
@@ -161,5 +210,46 @@ fn main() -> ExitCode {
             println!("  - {v}");
         }
         ExitCode::FAILURE
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn missing_file_maps_to_exit_code_2() {
+        let err = try_load("/nonexistent/bench_diff_no_such_file.json")
+            .expect_err("path does not exist");
+        assert!(matches!(err, LoadError::Missing(_)), "{err:?}");
+        assert_eq!(err.exit_code(), 2);
+        assert!(err.message().contains("missing"), "{}", err.message());
+        assert!(
+            err.message().contains("bench_diff_no_such_file.json"),
+            "message names the offending path: {}",
+            err.message()
+        );
+    }
+
+    #[test]
+    fn malformed_file_maps_to_exit_code_3() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("bench_diff_malformed_test.json");
+        std::fs::write(&path, "{\"bench\": ").expect("write fixture");
+        let err = try_load(path.to_str().unwrap()).expect_err("file is truncated JSON");
+        std::fs::remove_file(&path).ok();
+        assert!(matches!(err, LoadError::Malformed(_)), "{err:?}");
+        assert_eq!(err.exit_code(), 3);
+        assert!(err.message().contains("malformed"), "{}", err.message());
+    }
+
+    #[test]
+    fn well_formed_file_loads() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("bench_diff_wellformed_test.json");
+        std::fs::write(&path, "{\"bench\": \"scan\"}").expect("write fixture");
+        let doc = try_load(path.to_str().unwrap()).expect("valid JSON loads");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(doc.get("bench").and_then(Json::as_str), Some("scan"));
     }
 }

@@ -1,0 +1,218 @@
+//! The budgeted fuzzing campaign: seed pre-pass, operator round-robin,
+//! shrink-on-failure, and the statistics the `fuzz` bench bin serializes.
+//!
+//! The campaign is deliberately detector-agnostic plumbing: everything it
+//! knows about correctness lives in the [`DiffOracle`] and the seed's
+//! ground-truth expectations. The caller observes every passing mutant
+//! through a visitor (the bench bin uses it to diff the `baselines` crate
+//! against the same mutants).
+
+use super::ops::{OpFamily, Operator};
+use super::oracle::DiffOracle;
+use super::rng::FuzzRng;
+use super::shrink::shrink_mutant;
+use super::{CaseVerdict, Mutant, SeedCase};
+
+/// Campaign budget and switches.
+#[derive(Clone, Debug)]
+pub struct CampaignConfig {
+    /// RNG seed; equal seeds replay the identical campaign.
+    pub seed: u64,
+    /// Target number of *generated* mutants (not counting inapplicable
+    /// operator draws).
+    pub mutants: usize,
+    /// Hard cap on operator draws, so a seed where most operators are
+    /// inapplicable still terminates.
+    pub max_attempts: usize,
+    /// Shrink failing mutants (disable for raw triage speed).
+    pub shrink: bool,
+}
+
+impl CampaignConfig {
+    /// Default budget: `mutants` mutants from `seed`, shrinking enabled.
+    pub fn new(seed: u64, mutants: usize) -> Self {
+        CampaignConfig { seed, mutants, max_attempts: mutants * 4 + 64, shrink: true }
+    }
+}
+
+/// Per-operator campaign counters.
+#[derive(Clone, Debug)]
+pub struct OperatorStats {
+    /// The operator.
+    pub operator: Operator,
+    /// Mutants generated (operator applicable).
+    pub generated: usize,
+    /// Draws where the operator was inapplicable.
+    pub skipped: usize,
+    /// Oracle violations among this operator's mutants.
+    pub violations: usize,
+}
+
+/// One oracle violation, shrunk and ready to persist.
+#[derive(Clone, Debug)]
+pub struct ViolationReport {
+    /// Operator name (`"seed"` for the unmutated pre-pass).
+    pub operator: String,
+    /// Campaign iteration (0 for the pre-pass).
+    pub iteration: usize,
+    /// Stable violation code ([`super::Violation::code`]).
+    pub code: &'static str,
+    /// Human-readable violation message at find time.
+    pub message: String,
+    /// The shrunk reproducing mutant.
+    pub shrunk: Mutant,
+    /// Oracle runs the shrink spent.
+    pub shrink_runs: usize,
+}
+
+/// Detector confusion counters over preserving mutants, judged against
+/// ground truth (scenario metadata), per transaction.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Confusion {
+    /// Ground-truth attacks the detector flagged.
+    pub tp: usize,
+    /// Benign transactions the detector flagged.
+    pub fp: usize,
+    /// Benign transactions the detector cleared.
+    pub tn: usize,
+    /// Ground-truth attacks the detector cleared.
+    pub fn_: usize,
+}
+
+impl Confusion {
+    /// False-positive rate `fp / (fp + tn)` (0 when the denominator is 0).
+    pub fn fp_rate(&self) -> f64 {
+        ratio(self.fp, self.fp + self.tn)
+    }
+
+    /// False-negative rate `fn / (fn + tp)` (0 when the denominator is 0).
+    pub fn fn_rate(&self) -> f64 {
+        ratio(self.fn_, self.fn_ + self.tp)
+    }
+}
+
+fn ratio(num: usize, den: usize) -> f64 {
+    if den == 0 {
+        0.0
+    } else {
+        num as f64 / den as f64
+    }
+}
+
+/// Everything a campaign run produced.
+#[derive(Clone, Debug)]
+pub struct CampaignReport {
+    /// Budget the run was asked for.
+    pub requested: usize,
+    /// Mutants actually generated.
+    pub generated: usize,
+    /// Inapplicable operator draws.
+    pub skipped: usize,
+    /// Per-operator counters, in round-robin order.
+    pub per_operator: Vec<OperatorStats>,
+    /// Violations found on mutants, in discovery order.
+    pub violations: Vec<ViolationReport>,
+    /// Violation found on the *unmutated* seed by the pre-pass, if any
+    /// (an injected detector bug shows up here before any mutation).
+    pub seed_violation: Option<ViolationReport>,
+    /// Detector-vs-ground-truth confusion over preserving mutants.
+    pub confusion: Confusion,
+}
+
+impl CampaignReport {
+    /// Total violation count including the seed pre-pass.
+    pub fn total_violations(&self) -> usize {
+        self.violations.len() + usize::from(self.seed_violation.is_some())
+    }
+}
+
+/// Runs a campaign: a pre-pass of the oracle over the unmutated seed,
+/// then `config.mutants` mutants drawn round-robin from
+/// [`Operator::ALL`]. Failing mutants are shrunk (when enabled) and
+/// reported; passing mutants are handed to `on_mutant` with their
+/// verdicts.
+pub fn run_campaign(
+    seed: &SeedCase,
+    oracle: &DiffOracle,
+    config: &CampaignConfig,
+    mut on_mutant: impl FnMut(&Mutant, &[CaseVerdict]),
+) -> CampaignReport {
+    let mut report = CampaignReport {
+        requested: config.mutants,
+        generated: 0,
+        skipped: 0,
+        per_operator: Operator::ALL
+            .into_iter()
+            .map(|operator| OperatorStats { operator, generated: 0, skipped: 0, violations: 0 })
+            .collect(),
+        violations: Vec::new(),
+        seed_violation: None,
+        confusion: Confusion::default(),
+    };
+
+    // Pre-pass: the unmutated history must already satisfy ground truth
+    // and four-way agreement; otherwise every mutant would just echo the
+    // same detector bug.
+    if let Err(v) = oracle.check(&seed.case, &seed.expect) {
+        let mutant = seed.as_mutant(Operator::ReorderTxs);
+        let (shrunk, shrink_runs) =
+            if config.shrink { shrink_mutant(&mutant, oracle) } else { (mutant, 0) };
+        report.seed_violation = Some(ViolationReport {
+            operator: "seed".to_string(),
+            iteration: 0,
+            code: v.code(),
+            message: v.to_string(),
+            shrunk,
+            shrink_runs,
+        });
+    }
+
+    let mut rng = FuzzRng::new(config.seed);
+    let mut draws = 0usize;
+    while report.generated < config.mutants && draws < config.max_attempts {
+        let op = Operator::ALL[draws % Operator::ALL.len()];
+        let iteration = draws + 1;
+        draws += 1;
+        let stats = report
+            .per_operator
+            .iter_mut()
+            .find(|s| s.operator == op)
+            .expect("per_operator covers ALL");
+        let Some(mutant) = op.apply(seed, &mut rng) else {
+            report.skipped += 1;
+            stats.skipped += 1;
+            continue;
+        };
+        report.generated += 1;
+        stats.generated += 1;
+        match oracle.check_mutant(&mutant) {
+            Ok(verdicts) => {
+                if op.family() == OpFamily::Preserving {
+                    for (v, e) in verdicts.iter().zip(&mutant.expect) {
+                        match (e.flagged, v.flagged) {
+                            (true, true) => report.confusion.tp += 1,
+                            (false, true) => report.confusion.fp += 1,
+                            (false, false) => report.confusion.tn += 1,
+                            (true, false) => report.confusion.fn_ += 1,
+                        }
+                    }
+                }
+                on_mutant(&mutant, &verdicts);
+            }
+            Err(v) => {
+                stats.violations += 1;
+                let (shrunk, shrink_runs) =
+                    if config.shrink { shrink_mutant(&mutant, oracle) } else { (mutant, 0) };
+                report.violations.push(ViolationReport {
+                    operator: op.name().to_string(),
+                    iteration,
+                    code: v.code(),
+                    message: v.to_string(),
+                    shrunk,
+                    shrink_runs,
+                });
+            }
+        }
+    }
+    report
+}

@@ -1,0 +1,98 @@
+//! Deterministic fuzzing RNG.
+//!
+//! The fuzzer must replay byte-identically from a seed (CI pins one), so
+//! it cannot depend on an external RNG crate whose stream might change.
+//! [`FuzzRng`] is SplitMix64 — the tiny, well-studied generator used to
+//! seed xoshiro — which is more than enough for choosing mutation sites.
+
+/// A deterministic SplitMix64 stream.
+///
+/// ```
+/// use leishen::fuzz::FuzzRng;
+///
+/// let mut a = FuzzRng::new(42);
+/// let mut b = FuzzRng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Clone, Debug)]
+pub struct FuzzRng {
+    state: u64,
+}
+
+impl FuzzRng {
+    /// Creates a stream from a seed; equal seeds give equal streams.
+    pub fn new(seed: u64) -> Self {
+        FuzzRng { state: seed }
+    }
+
+    /// Next raw 64-bit value.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform value in `0..n` (`n = 0` returns 0). Uses the widening
+    /// multiply trick; the modulo bias is irrelevant for mutation choice.
+    pub fn below(&mut self, n: usize) -> usize {
+        if n == 0 {
+            return 0;
+        }
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Uniform value in the inclusive range `lo..=hi`.
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        debug_assert!(lo <= hi);
+        lo + self.below(hi - lo + 1)
+    }
+
+    /// Picks one element of a non-empty slice.
+    pub fn pick<'a, T>(&mut self, items: &'a [T]) -> &'a T {
+        &items[self.below(items.len())]
+    }
+
+    /// Fisher–Yates shuffle of `items`, in place.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            items.swap(i, self.below(i + 1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_and_seed_sensitive() {
+        let seq = |seed| {
+            let mut r = FuzzRng::new(seed);
+            (0..8).map(|_| r.next_u64()).collect::<Vec<_>>()
+        };
+        assert_eq!(seq(7), seq(7));
+        assert_ne!(seq(7), seq(8));
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut r = FuzzRng::new(1);
+        for _ in 0..1000 {
+            assert!(r.below(13) < 13);
+        }
+        assert_eq!(r.below(0), 0);
+        assert_eq!(r.range(4, 4), 4);
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = FuzzRng::new(3);
+        let mut v: Vec<u32> = (0..32).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..32).collect::<Vec<_>>());
+    }
+}

@@ -51,6 +51,7 @@ pub mod config;
 pub mod detector;
 pub mod flashloan;
 pub mod forensics;
+pub mod fuzz;
 pub mod heuristics;
 pub mod labels;
 pub mod patterns;
@@ -67,6 +68,7 @@ pub use config::DetectorConfig;
 pub use detector::{Analysis, AnalysisScratch, ChainView, LeiShen};
 pub use flashloan::{identify_flash_loans, FlashLoanEvent, Provider};
 pub use forensics::{trace_exits, ExitKind, ExitReport};
+pub use fuzz::{CaseVerdict, DiffOracle, FuzzCase, FuzzRng, Mutant, SeedCase, TxExpect};
 pub use heuristics::{
     aggregator_heuristic, filter_aggregator_initiated, initiated_by_aggregator, HeuristicOutcome,
 };

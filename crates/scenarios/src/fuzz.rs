@@ -1,0 +1,111 @@
+//! Fuzzing seed corpora: the histories the metamorphic campaign mutates.
+//!
+//! The seed mixes the things the paper's evaluation cares about, each with
+//! a **ground-truth** verdict known from construction (never read back
+//! from the detector):
+//!
+//! * the 22 Table I attacks — flagged per the `expect_leishen` column;
+//! * the benign flash-loan workloads of [`crate::benign`] — never flagged;
+//! * the three near-miss confusers — flagged by design (they exist to
+//!   bound precision).
+//!
+//! A separate benign pool (same builders, fresh accounts, rotated
+//! providers) feeds the interleaving operator, so insertions never reuse
+//! a transaction id already in the seed.
+
+use ethsim::TxRecord;
+use leishen::flashloan::Provider;
+use leishen::fuzz::{FuzzCase, SeedCase};
+use leishen::{DetectorConfig, LeiShen};
+
+use crate::attacks::run_all_attacks;
+use crate::benign;
+use crate::world::World;
+
+/// One benign workload builder with its ground-truth flag.
+type Workload = (&'static str, fn(&mut World, Provider, ethsim::Address, ethsim::Address) -> ethsim::TxId, bool);
+
+/// The benign + confuser workload table (name, builder, ground-truth
+/// flagged). The confusers *are* flagged — that is their design point.
+const WORKLOADS: &[Workload] = &[
+    ("plain", benign::plain_loan, false),
+    ("arbitrage", benign::arbitrage, false),
+    ("collateral", benign::collateral_swap, false),
+    ("routed", benign::routed_trade, false),
+    ("near_krp", benign::near_krp, false),
+    ("near_sbs", benign::near_sbs, false),
+    ("lossy", benign::lossy_rounds, false),
+    ("confuser_mbs", benign::confuser_mbs, true),
+    ("confuser_sbs", benign::confuser_sbs, true),
+    ("confuser_sbs_mbs", benign::confuser_sbs_mbs, true),
+];
+
+const PROVIDERS: [Provider; 3] = [Provider::Uniswap, Provider::Aave, Provider::Dydx];
+
+/// Builds the standard fuzzing seed on a fresh [`World`]: the 22 attacks,
+/// the ten benign/confuser workloads, and a 7-transaction benign
+/// interleaving pool, with reference analyses from `config`.
+pub fn seed_case(config: DetectorConfig) -> SeedCase {
+    let mut world = World::new();
+    let mut txs: Vec<TxRecord> = Vec::new();
+    let mut flags: Vec<bool> = Vec::new();
+
+    for attack in run_all_attacks(&mut world) {
+        txs.push(world.chain.replay(attack.tx).expect("attack recorded").clone());
+        flags.push(attack.spec.expect_leishen);
+    }
+    for (i, (name, build, flagged)) in WORKLOADS.iter().enumerate() {
+        let (eoa, contract) = world.create_attacker(&format!("fuzz-seed-{name}"));
+        let tx = build(&mut world, PROVIDERS[i % PROVIDERS.len()], eoa, contract);
+        txs.push(world.chain.replay(tx).expect("workload recorded").clone());
+        flags.push(*flagged);
+    }
+
+    // The interleaving pool: the non-confuser workloads again, on fresh
+    // accounts with rotated providers so the pool transactions are not
+    // byte-copies of seed members.
+    let mut pool: Vec<TxRecord> = Vec::new();
+    let mut pool_flags: Vec<bool> = Vec::new();
+    for (i, (name, build, flagged)) in WORKLOADS.iter().take(7).enumerate() {
+        let (eoa, contract) = world.create_attacker(&format!("fuzz-pool-{name}"));
+        let tx = build(&mut world, PROVIDERS[(i + 1) % PROVIDERS.len()], eoa, contract);
+        pool.push(world.chain.replay(tx).expect("pool recorded").clone());
+        pool_flags.push(*flagged);
+    }
+
+    let case = FuzzCase {
+        txs,
+        labels: world.detector_labels(),
+        creations: world.chain.state().creations().to_vec(),
+        weth: Some(world.weth.token),
+    };
+    let detector = LeiShen::new(config);
+    SeedCase::prepare(case, &flags, pool, &pool_flags, &detector)
+}
+
+/// A [`FuzzCase`] holding only the benign (never-flagged) workloads —
+/// every builder × every provider. The negative-corpus test runs all four
+/// pipeline configurations over it and requires zero flagged verdicts.
+pub fn benign_case() -> (FuzzCase, Vec<bool>) {
+    let mut world = World::new();
+    let mut txs: Vec<TxRecord> = Vec::new();
+    for (name, build, flagged) in WORKLOADS.iter() {
+        if *flagged {
+            continue;
+        }
+        for provider in PROVIDERS {
+            let (eoa, contract) =
+                world.create_attacker(&format!("benign-{name}-{provider:?}"));
+            let tx = build(&mut world, provider, eoa, contract);
+            txs.push(world.chain.replay(tx).expect("benign recorded").clone());
+        }
+    }
+    let flags = vec![false; txs.len()];
+    let case = FuzzCase {
+        txs,
+        labels: world.detector_labels(),
+        creations: world.chain.state().creations().to_vec(),
+        weth: Some(world.weth.token),
+    };
+    (case, flags)
+}

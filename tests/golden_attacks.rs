@@ -28,8 +28,11 @@ use std::fmt::Write as _;
 use std::path::PathBuf;
 
 use ethsim::TokenId;
-use leishen::{trace_exits, Analysis, ChainView, DetectorConfig, ExitReport, LeiShen};
-use leishen_scenarios::{run_all_attacks, ExecutedAttack, World};
+use leishen::{trace_exits, Analysis, ChainView, ExitReport};
+use leishen_scenarios::{ExecutedAttack, World};
+
+mod common;
+use common::AttackCorpus;
 
 /// JSON string escaping for the identifier-ish strings we emit (tags,
 /// names, token symbols) — quotes, backslashes and control characters.
@@ -208,22 +211,17 @@ fn snapshot(
 }
 
 fn golden_dir() -> PathBuf {
-    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("tests")
-        .join("golden")
+    common::tests_dir("golden")
 }
 
 #[test]
 fn golden_corpus_matches_snapshots() {
-    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let update = common::update_golden();
     let dir = golden_dir();
 
-    let mut world = World::new();
-    let attacks = run_all_attacks(&mut world);
-    assert_eq!(attacks.len(), 22, "the Table I corpus has 22 attacks");
-    let labels = world.detector_labels();
-    let view = world.view(&labels);
-    let detector = LeiShen::new(DetectorConfig::paper());
+    let corpus = AttackCorpus::build();
+    let view = corpus.view();
+    let detector = common::paper_detector();
 
     if update {
         std::fs::create_dir_all(&dir).expect("create tests/golden");
@@ -231,18 +229,18 @@ fn golden_corpus_matches_snapshots() {
 
     let mut failures = Vec::new();
     let mut expected_files = Vec::new();
-    for attack in &attacks {
-        let record = world.chain.replay(attack.tx).expect("recorded");
+    for attack in &corpus.attacks {
+        let record = corpus.record(attack);
         let analysis = detector.analyze(record, &view);
         // Route exits through the report builder when the detector flags
         // the tx (all but the experimental-KDP attacks under the paper
         // config) so `AttackReport::with_exits` is exercised end-to-end.
-        let exits = exits_for(&world, attack, &view);
+        let exits = exits_for(&corpus.world, attack, &view);
         let exits = match detector.detect(record, &view, None) {
             Some(report) => report.with_exits(exits).exits,
             None => exits,
         };
-        let rendered = snapshot(&world, attack, &analysis, &exits);
+        let rendered = snapshot(&corpus.world, attack, &analysis, &exits);
         let file = format!("{:02}_{}.json", attack.spec.id, slug(attack.spec.name));
         let path = dir.join(&file);
         expected_files.push(file.clone());
@@ -302,18 +300,17 @@ fn golden_corpus_matches_snapshots() {
 #[test]
 fn snapshots_are_deterministic_across_worlds() {
     let render_all = || {
-        let mut world = World::new();
-        let attacks = run_all_attacks(&mut world);
-        let labels = world.detector_labels();
-        let view = world.view(&labels);
-        let detector = LeiShen::new(DetectorConfig::paper());
-        attacks
+        let corpus = AttackCorpus::build();
+        let view = corpus.view();
+        let detector = common::paper_detector();
+        corpus
+            .attacks
             .iter()
             .map(|attack| {
-                let record = world.chain.replay(attack.tx).expect("recorded");
+                let record = corpus.record(attack);
                 let analysis = detector.analyze(record, &view);
-                let exits = exits_for(&world, attack, &view);
-                snapshot(&world, attack, &analysis, &exits)
+                let exits = exits_for(&corpus.world, attack, &view);
+                snapshot(&corpus.world, attack, &analysis, &exits)
             })
             .collect::<Vec<_>>()
     };
@@ -325,9 +322,8 @@ fn slugs_are_filesystem_safe() {
     assert_eq!(slug("bZx-1"), "bzx_1");
     assert_eq!(slug("MY FARM PET"), "my_farm_pet");
     assert_eq!(slug("Wault.Finance"), "wault_finance");
-    let mut world = World::new();
-    let attacks = run_all_attacks(&mut world);
+    let corpus = AttackCorpus::build();
     let slugs: std::collections::HashSet<String> =
-        attacks.iter().map(|a| slug(a.spec.name)).collect();
-    assert_eq!(slugs.len(), attacks.len(), "snapshot names must be unique");
+        corpus.attacks.iter().map(|a| slug(a.spec.name)).collect();
+    assert_eq!(slugs.len(), corpus.attacks.len(), "snapshot names must be unique");
 }

@@ -1,0 +1,54 @@
+//! Negative corpus: every benign flash-loan workload, under every
+//! provider, must come out clean — in all four pipeline configurations.
+//!
+//! The positive tests pin what the detector *must* flag; this suite pins
+//! what it must *not*. `benign_case` instantiates each never-flagged
+//! workload builder against Uniswap, AAVE and dYdX, and the differential
+//! oracle runs the serial reference, the 4-worker parallel scan, the
+//! metered scan and the traced scan over the batch. Any flagged verdict —
+//! or any disagreement between configurations — fails.
+
+use leishen::fuzz::{DiffOracle, TxExpect};
+use leishen::DetectorConfig;
+use leishen_scenarios::fuzz::benign_case;
+
+#[test]
+fn benign_workloads_are_clean_in_all_four_configurations() {
+    let (case, flags) = benign_case();
+    assert!(
+        case.txs.len() >= 21,
+        "expected every benign builder × provider, got {}",
+        case.txs.len()
+    );
+    assert!(flags.iter().all(|f| !f), "the negative corpus is benign by construction");
+
+    let expect: Vec<TxExpect> = flags.iter().map(|&f| TxExpect::flag_only(f)).collect();
+    let oracle = DiffOracle::new(DetectorConfig::paper());
+    let verdicts = oracle
+        .check(&case, &expect)
+        .expect("benign corpus must satisfy all four configurations");
+    let flagged: Vec<usize> = verdicts
+        .iter()
+        .enumerate()
+        .filter(|(_, v)| v.flagged)
+        .map(|(i, _)| i)
+        .collect();
+    assert!(flagged.is_empty(), "benign transactions flagged at indices {flagged:?}");
+}
+
+#[test]
+fn benign_workloads_still_borrow_flash_loans() {
+    // The corpus is only a meaningful false-positive probe if the
+    // transactions actually take flash loans — a detector that flags
+    // every borrower would otherwise pass trivially.
+    let (case, flags) = benign_case();
+    let expect: Vec<TxExpect> = flags.iter().map(|&f| TxExpect::flag_only(f)).collect();
+    let oracle = DiffOracle::new(DetectorConfig::paper());
+    let verdicts = oracle.check(&case, &expect).expect("benign corpus is clean");
+    let with_loan = verdicts.iter().filter(|v| v.flash_loan).count();
+    assert_eq!(
+        with_loan,
+        verdicts.len(),
+        "every negative-corpus transaction borrows a flash loan"
+    );
+}

@@ -378,3 +378,136 @@ proptest! {
         }
     }
 }
+
+// Properties of the fuzzing module's renaming operator: renaming an
+// entire case is a bijection whose image resolves to the same tags, and
+// neither the shared tag cache nor simplification can tell renamed
+// histories apart structurally.
+proptest! {
+    #[test]
+    fn renaming_preserves_tags_and_cache_coherence(
+        seed in 0u64..500,
+        salt in 0u64..1_000
+    ) {
+        use leishen::fuzz::{rename_case, FuzzCase};
+
+        // The same random creation-forest family the tagging properties
+        // use, packaged as a (transaction-free) fuzz case.
+        let mut records = Vec::new();
+        let mut labels = Labels::new();
+        let mut addrs = Vec::new();
+        for i in 0..20u64 {
+            let a = Address::from_u64(1000 + i);
+            addrs.push(a);
+            if i > 0 {
+                let parent = Address::from_u64(1000 + (seed + i) % i);
+                records.push(CreationRecord { creator: parent, created: a, block: 0 });
+            }
+            if (seed + i) % 5 == 0 {
+                labels.set(a, format!("App{}", (seed + i) % 3));
+            }
+        }
+        let case = FuzzCase {
+            txs: Vec::new(),
+            labels,
+            creations: records,
+            weth: None,
+        };
+        let (renamed, pairs) = rename_case(&case, salt);
+
+        // The mapping is an injection into fresh, non-zero addresses.
+        let mut fresh = std::collections::HashSet::new();
+        for (old, new) in &pairs {
+            prop_assert!(!new.is_zero());
+            prop_assert!(fresh.insert(*new), "address {new:?} assigned twice");
+            prop_assert_ne!(old, new);
+        }
+
+        // Tag isomorphism: every renamed address carries the tag of its
+        // pre-image with embedded root addresses mapped through the same
+        // bijection (label strings are preserved, only addresses move).
+        let addr_map: std::collections::HashMap<Address, Address> =
+            pairs.iter().copied().collect();
+        let rename_tag = |t: Tag| -> Tag {
+            match t {
+                Tag::Root(a) => Tag::Root(addr_map.get(&a).copied().unwrap_or(a)),
+                Tag::Unknown(a) => Tag::Unknown(addr_map.get(&a).copied().unwrap_or(a)),
+                other => other,
+            }
+        };
+        let old_idx = CreationIndex::new(&case.creations);
+        let new_idx = CreationIndex::new(&renamed.creations);
+        for (old, new) in &pairs {
+            prop_assert_eq!(
+                rename_tag(tag_of(*old, &case.labels, &old_idx)),
+                tag_of(*new, &renamed.labels, &new_idx),
+                "tag drifted across renaming for {:?} -> {:?}", old, new
+            );
+        }
+
+        // Cache coherence on the renamed forest: the shared TagCache is
+        // still a pure memo over `tag_of` after renaming, on misses and
+        // hits alike.
+        let cache = TagCache::new();
+        for pass in 0..2 {
+            for (_, new) in &pairs {
+                prop_assert_eq!(
+                    cache.resolve(*new, &renamed.labels, &new_idx),
+                    tag_of(*new, &renamed.labels, &new_idx),
+                    "pass {} address {:?}", pass, new
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn simplification_commutes_with_token_renaming(
+        amounts in prop::collection::vec(1u128..1_000_000, 2..25),
+        seed in 0u64..100,
+        salt in 1u32..50
+    ) {
+        use leishen::simplify::simplify;
+
+        // The same transfer family as `full_simplification_is_idempotent`,
+        // plus a token bijection shaped like the renaming operator's (ETH
+        // fixed, everything else moved past the highest observed index).
+        let mut tags: Vec<Tag> = (0..4).map(|i| Tag::App(format!("A{i}").into())).collect();
+        tags.push(Tag::App("Wrapped Ether".into()));
+        tags.push(Tag::BlackHole);
+        let list: Vec<TaggedTransfer> = amounts.iter().enumerate().map(|(i, amt)| {
+            let s = ((seed as usize) + i * 3) % tags.len();
+            let r = ((seed as usize) + i * 5 + 1) % tags.len();
+            TaggedTransfer {
+                seq: i as u32,
+                sender: tags[s].clone(),
+                receiver: tags[r].clone(),
+                amount: *amt,
+                token: TokenId::from_index((i % 3) as u32),
+            }
+        }).collect();
+        let remap = |t: TokenId| -> TokenId {
+            if t.is_eth() { t } else { TokenId::from_index(t.index() as u32 + 3 + salt) }
+        };
+        let renamed: Vec<TaggedTransfer> = list.iter().map(|t| TaggedTransfer {
+            token: remap(t.token),
+            ..t.clone()
+        }).collect();
+
+        let config = DetectorConfig::paper();
+        let weth = Some(TokenId::from_index(2));
+        let renamed_weth = weth.map(remap);
+
+        // Idempotence survives the renaming...
+        let once = simplify(&renamed, renamed_weth, &config);
+        let twice = simplify(&once, renamed_weth, &config);
+        prop_assert_eq!(&once, &twice);
+
+        // ...and simplification commutes with it: renaming the simplified
+        // original yields the simplified renamed history.
+        let baseline: Vec<TaggedTransfer> = simplify(&list, weth, &config)
+            .iter()
+            .map(|t| TaggedTransfer { token: remap(t.token), ..t.clone() })
+            .collect();
+        prop_assert_eq!(once, baseline);
+    }
+}

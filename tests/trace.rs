@@ -11,34 +11,26 @@
 //!   matches a golden snapshot in `tests/golden_trace/`; regenerate with
 //!   `UPDATE_GOLDEN=1 cargo test --test trace`.
 
-use std::path::PathBuf;
-
-use ethsim::TxRecord;
 use leishen::trace::export::{export_chrome_trace, export_json, export_jsonl, parse_jsonl};
 use leishen::trace::json;
-use leishen::{
-    DetectorConfig, FlightRecorder, LeiShen, ScanEngine, TagCache, TxProvenance,
-};
-use leishen_scenarios::{run_all_attacks, ExecutedAttack, World};
+use leishen::{FlightRecorder, ScanEngine, TagCache, TxProvenance};
+use leishen_scenarios::ExecutedAttack;
+
+mod common;
+use common::AttackCorpus;
 
 fn traced_corpus() -> (Vec<ExecutedAttack>, FlightRecorder, Vec<leishen::Analysis>, Vec<leishen::Analysis>) {
-    let mut world = World::new();
-    let attacks = run_all_attacks(&mut world);
-    let labels = world.detector_labels();
-    let view = world.view(&labels);
-    let detector = LeiShen::new(DetectorConfig::paper());
-    let mut records: Vec<&TxRecord> = attacks
-        .iter()
-        .map(|a| world.chain.replay(a.tx).expect("recorded"))
-        .collect();
-    records.sort_by_key(|r| r.id);
+    let corpus = AttackCorpus::build();
+    let view = corpus.view();
+    let detector = common::paper_detector();
+    let records = corpus.sorted_records();
 
     let recorder = FlightRecorder::with_capacity(64);
     let cache = TagCache::new();
     let engine = ScanEngine::new(4).allow_oversubscription();
     let traced = engine.scan_traced(&detector, &records, &view, &cache, &recorder);
     let reference: Vec<_> = records.iter().map(|r| detector.analyze(r, &view)).collect();
-    (attacks, recorder, traced, reference)
+    (corpus.attacks, recorder, traced, reference)
 }
 
 #[test]
@@ -109,7 +101,7 @@ fn sanitized(mut trace: TxProvenance) -> TxProvenance {
 
 #[test]
 fn harvest_finance_trace_matches_golden_snapshot() {
-    let update = std::env::var_os("UPDATE_GOLDEN").is_some();
+    let update = common::update_golden();
     let (attacks, recorder, _, _) = traced_corpus();
     let harvest = attacks
         .iter()
@@ -162,10 +154,7 @@ fn harvest_finance_trace_matches_golden_snapshot() {
     }
     rendered.push('\n');
 
-    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
-        .join("tests")
-        .join("golden_trace")
-        .join("05_harvest_finance.json");
+    let path = common::tests_dir("golden_trace").join("05_harvest_finance.json");
     if update {
         std::fs::create_dir_all(path.parent().unwrap()).expect("create tests/golden_trace");
         std::fs::write(&path, &rendered).expect("write trace snapshot");
