@@ -201,6 +201,45 @@ fn main() -> ExitCode {
         ));
     }
 
+    // ----- chaos: survival and recall-under-faults (opt-in) ----------------
+    // The chaos gate only arms when a baseline is named: the plain CI
+    // `test` job invocation keeps its historical argument list.
+    let base_chaos_path = cli_str("--baseline-chaos", "");
+    if !base_chaos_path.is_empty() {
+        let fresh_chaos_path = cli_str("--fresh-chaos", "BENCH_chaos.json");
+        let base_chaos = load(&base_chaos_path);
+        let fresh_chaos = load(&fresh_chaos_path);
+        println!("chaos: survival + recall under injected faults");
+
+        let survival = f64_at(&fresh_chaos, &["survival_rate"], &fresh_chaos_path);
+        let verdict = if survival < 1.0 { "FAIL" } else { "ok" };
+        println!("  {verdict:<4} survival rate: {survival:.4} (must be 1.0)");
+        if survival < 1.0 {
+            violations.push(format!("chaos survival rate {survival:.4} < 1.0"));
+        }
+
+        let base_recall = f64_at(&base_chaos, &["recall_clean"], &base_chaos_path);
+        let fresh_recall = f64_at(&fresh_chaos, &["recall_clean"], &fresh_chaos_path);
+        let verdict = if fresh_recall < base_recall { "FAIL" } else { "ok" };
+        println!(
+            "  {verdict:<4} recall on uncorrupted txs: baseline {base_recall:.4}, fresh {fresh_recall:.4}"
+        );
+        if fresh_recall < base_recall {
+            violations.push(format!(
+                "chaos recall under faults dropped: {fresh_recall:.4} < baseline {base_recall:.4}"
+            ));
+        }
+
+        let chaos_violations = f64_at(&fresh_chaos, &["violations"], &fresh_chaos_path);
+        let verdict = if chaos_violations > 0.0 { "FAIL" } else { "ok" };
+        println!("  {verdict:<4} campaign violations: {chaos_violations:.0} (must be 0)");
+        if chaos_violations > 0.0 {
+            violations.push(format!(
+                "chaos campaign recorded {chaos_violations:.0} violation(s)"
+            ));
+        }
+    }
+
     if violations.is_empty() {
         println!("\nbench_diff: no regressions");
         ExitCode::SUCCESS

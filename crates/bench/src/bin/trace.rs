@@ -50,6 +50,7 @@ fn reason_str(r: &Reason) -> String {
         Reason::PatternMatched { kind, target, quote, trade_seqs } => {
             format!("{kind} on {target}/{quote} over {} trades", trade_seqs.len())
         }
+        Reason::Indeterminate { fault } => format!("indeterminate ({fault})"),
     }
 }
 

@@ -209,7 +209,7 @@ impl LeiShen {
             let every = sink.stage_sampling();
             every <= 1 || scratch.lap_tick.is_multiple_of(every)
         };
-        let mut clock = StageClock::start(sink, timed);
+        let mut clock = StageClock::start(sink, timed, tx.id);
         let mut builder = TraceBuilder::start(tracer);
         let mut counters = TxCounters::default();
         let flash_loans = if tx.status.is_success() {

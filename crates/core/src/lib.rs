@@ -56,6 +56,7 @@ pub mod heuristics;
 pub mod labels;
 pub mod patterns;
 pub mod report;
+pub mod resilience;
 pub mod scan;
 pub mod simplify;
 pub mod tagging;
@@ -75,6 +76,10 @@ pub use heuristics::{
 pub use labels::Labels;
 pub use patterns::{PatternKind, PatternMatch, PatternScratch};
 pub use report::AttackReport;
+pub use resilience::{
+    install_quiet_hook, Fault, FaultInjector, FaultPlan, InducedFault, InputFault, PlannedFault,
+    Quarantine, ResilienceConfig, ResilientScan,
+};
 pub use scan::{LocalTagCache, ScanEngine, ScanStats, ShardStat, TagCache};
 pub use simplify::{
     simplify, simplify_into, simplify_into_observed, DropRule, SimplifyAction, SimplifyStats,

@@ -30,19 +30,25 @@
 //! assert!(analyses.is_empty());
 //! ```
 
+use std::any::Any;
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 use crossbeam::deque::{Injector, Steal};
-use ethsim::{Address, CreationIndex, TxRecord};
-use parking_lot::RwLock;
+use ethsim::{validate_record, Address, CreationIndex, TxRecord};
+use parking_lot::{Mutex, RwLock};
 
 use crate::detector::{Analysis, AnalysisScratch, ChainView, LeiShen};
 use crate::labels::Labels;
+use crate::resilience::{
+    payload_message, stage_of_payload, Fault, Quarantine, ResilienceConfig, ResilientScan,
+    Verdict,
+};
 use crate::tagging::{tag_of, Tag};
 use crate::telemetry::{MetricsSink, NoopSink, RecordingSink};
-use crate::trace::{FlightRecorder, NoopTracer, TraceSink};
+use crate::trace::{Decision, FlightRecorder, NoopTracer, Reason, TraceBuilder, TraceSink};
 
 /// Number of independent lock shards. A power of two so the shard index
 /// is a mask; 16 keeps contention negligible for any realistic worker
@@ -266,6 +272,10 @@ pub struct ScanStats {
     pub cache_hits: u64,
     /// Tag lookups that computed a fresh tag.
     pub cache_misses: u64,
+    /// Transactions quarantined instead of analyzed (always 0 outside
+    /// [`ScanEngine::scan_resilient`] — the legacy scans have no
+    /// quarantine path).
+    pub quarantined: usize,
 }
 
 impl ScanStats {
@@ -349,6 +359,7 @@ impl ScanEngine {
             attacks: analyses.iter().filter(|a| a.is_attack()).count(),
             cache_hits: cache.hits(),
             cache_misses: cache.misses(),
+            quarantined: 0,
         };
         (analyses, stats)
     }
@@ -400,12 +411,73 @@ impl ScanEngine {
         self.scan_impl(detector, txs, view, cache, sink, &NoopTracer)
     }
 
-    /// The scan, generic over the metrics sink and trace sink so the
-    /// [`NoopSink`]/[`NoopTracer`] path monomorphizes with zero
-    /// instrumentation. Each worker records into its own
-    /// [`MetricsSink::worker_front`] / [`TraceSink::worker_front`] —
-    /// thread-local, lock-free — which merges into the shared sink when
-    /// the worker finishes.
+    /// Like [`ScanEngine::scan_with_cache`] but generic over both the
+    /// metrics sink and the trace sink — metered *and* traced in one
+    /// pass. `scan_metered`/`scan_traced` are thin wrappers over this.
+    pub fn scan_instrumented<S: MetricsSink + Sync, T: TraceSink + Sync>(
+        &self,
+        detector: &LeiShen,
+        txs: &[&TxRecord],
+        view: &ChainView<'_>,
+        cache: &TagCache,
+        sink: &S,
+        tracer: &T,
+    ) -> Vec<Analysis> {
+        self.scan_impl(detector, txs, view, cache, sink, tracer)
+    }
+
+    /// Fault-isolated scan: every transaction gets a
+    /// [`Verdict`](crate::resilience::Verdict) — a completed analysis,
+    /// or a structured quarantine — and a panicking analysis never
+    /// takes the batch (or the process) down with it. See
+    /// [`ResilienceConfig`] for the validation/retry policy.
+    pub fn scan_resilient(
+        &self,
+        detector: &LeiShen,
+        txs: &[&TxRecord],
+        view: &ChainView<'_>,
+        cache: &TagCache,
+        policy: &ResilienceConfig,
+    ) -> ResilientScan {
+        self.scan_resilient_with(detector, txs, view, cache, policy, &NoopSink, &NoopTracer)
+    }
+
+    /// [`ScanEngine::scan_resilient`] with instrumentation: quarantines
+    /// are counted on the sink
+    /// ([`crate::telemetry::TxCountersTotal::quarantined`]) and each
+    /// quarantined transaction records a provenance trace whose
+    /// decision carries [`Reason::Indeterminate`]. Pass a
+    /// [`crate::resilience::FaultInjector`] as the sink to land induced
+    /// chaos faults mid-pipeline.
+    #[allow(clippy::too_many_arguments)]
+    pub fn scan_resilient_with<S: MetricsSink + Sync, T: TraceSink + Sync>(
+        &self,
+        detector: &LeiShen,
+        txs: &[&TxRecord],
+        view: &ChainView<'_>,
+        cache: &TagCache,
+        policy: &ResilienceConfig,
+        sink: &S,
+        tracer: &T,
+    ) -> ResilientScan {
+        let verdicts = self.scan_core(detector, txs, view, cache, sink, tracer, Some(policy));
+        let stats = ScanStats {
+            transactions: verdicts.len(),
+            attacks: verdicts
+                .iter()
+                .filter_map(Verdict::analysis)
+                .filter(|a| a.is_attack())
+                .count(),
+            cache_hits: cache.hits(),
+            cache_misses: cache.misses(),
+            quarantined: verdicts.iter().filter(|v| v.is_indeterminate()).count(),
+        };
+        ResilientScan { verdicts, stats }
+    }
+
+    /// The legacy scan: no validation, no catch — a panicking analysis
+    /// propagates to the caller (as a catchable panic on the calling
+    /// thread, never a process abort; see `scan_core`).
     fn scan_impl<S: MetricsSink + Sync, T: TraceSink + Sync>(
         &self,
         detector: &LeiShen,
@@ -415,6 +487,43 @@ impl ScanEngine {
         sink: &S,
         tracer: &T,
     ) -> Vec<Analysis> {
+        self.scan_core(detector, txs, view, cache, sink, tracer, None)
+            .into_iter()
+            .map(|verdict| match verdict {
+                Verdict::Analyzed(analysis) => analysis,
+                // Unreachable: scan_core only quarantines under Some(policy).
+                Verdict::Indeterminate(q) => {
+                    panic!("quarantine without a resilience policy: {}", q.reason())
+                }
+            })
+            .collect()
+    }
+
+    /// The scan, generic over the metrics sink and trace sink so the
+    /// [`NoopSink`]/[`NoopTracer`] path monomorphizes with zero
+    /// instrumentation. Each worker records into its own
+    /// [`MetricsSink::worker_front`] / [`TraceSink::worker_front`] —
+    /// thread-local, lock-free — which merges into the shared sink when
+    /// the worker finishes.
+    ///
+    /// With `policy: Some(..)` every transaction is analyzed under
+    /// `catch_unwind` and failures become [`Verdict::Indeterminate`];
+    /// with `None` the per-transaction guard compiles out and worker
+    /// panics are re-raised on the calling thread via `resume_unwind`
+    /// (original payload preserved) after every surviving worker has
+    /// been joined — a poisoned worker never aborts the process, and
+    /// the other workers' chunks are still drained.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_core<S: MetricsSink + Sync, T: TraceSink + Sync>(
+        &self,
+        detector: &LeiShen,
+        txs: &[&TxRecord],
+        view: &ChainView<'_>,
+        cache: &TagCache,
+        sink: &S,
+        tracer: &T,
+        policy: Option<&ResilienceConfig>,
+    ) -> Vec<Verdict> {
         if txs.is_empty() {
             return Vec::new();
         }
@@ -428,36 +537,36 @@ impl ScanEngine {
             .min(hw)
             .min(txs.len().div_ceil(self.chunk_size));
         if workers <= 1 {
-            let mut local = LocalTagCache::new(cache);
+            let mut tags = LocalTagCache::new(cache);
             let mut scratch = AnalysisScratch::default();
             let front = sink.worker_front();
             let tfront = tracer.worker_front();
             return txs
                 .iter()
-                .map(|tx| {
-                    detector.analyze_traced(
-                        tx,
-                        view,
-                        &mut |addr| local.resolve(addr, view.labels(), view.creations()),
-                        &mut scratch,
-                        &front,
-                        &tfront,
+                .enumerate()
+                .map(|(index, tx)| {
+                    analyze_guarded(
+                        detector, tx, index, view, &mut tags, &mut scratch, &front, &tfront,
+                        policy,
                     )
                 })
                 .collect();
         }
 
-        // Chunk descriptors go into a shared injector; workers steal them
-        // until it runs dry. Each worker keeps its chunk results keyed by
-        // chunk index so the main thread can reassemble input order.
+        // Chunk descriptors go into a shared injector; workers steal
+        // them until it runs dry. Completed chunks are published into
+        // index-keyed slots immediately, so work a worker finished
+        // before dying is never lost with it.
         let injector: Injector<(usize, usize, usize)> = Injector::new();
         for (chunk_idx, start) in (0..txs.len()).step_by(self.chunk_size).enumerate() {
             let end = (start + self.chunk_size).min(txs.len());
             injector.push((chunk_idx, start, end));
         }
         let chunk_count = txs.len().div_ceil(self.chunk_size);
+        let slots: Vec<Mutex<Option<Vec<Verdict>>>> =
+            (0..chunk_count).map(|_| Mutex::new(None)).collect();
 
-        let done = crossbeam::thread::scope(|scope| {
+        let scope_result = crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
                 .map(|_| {
                     scope.spawn(|_| {
@@ -465,56 +574,220 @@ impl ScanEngine {
                         let mut scratch = AnalysisScratch::default();
                         let front = sink.worker_front();
                         let tfront = tracer.worker_front();
-                        let mut local: Vec<(usize, Vec<Analysis>)> = Vec::new();
                         loop {
                             match injector.steal() {
                                 Steal::Success((chunk_idx, start, end)) => {
-                                    let analyses = txs[start..end]
+                                    let verdicts: Vec<Verdict> = txs[start..end]
                                         .iter()
-                                        .map(|tx| {
-                                            detector.analyze_traced(
+                                        .enumerate()
+                                        .map(|(offset, tx)| {
+                                            analyze_guarded(
+                                                detector,
                                                 tx,
+                                                start + offset,
                                                 view,
-                                                &mut |addr| {
-                                                    tags.resolve(
-                                                        addr,
-                                                        view.labels(),
-                                                        view.creations(),
-                                                    )
-                                                },
+                                                &mut tags,
                                                 &mut scratch,
                                                 &front,
                                                 &tfront,
+                                                policy,
                                             )
                                         })
                                         .collect();
-                                    local.push((chunk_idx, analyses));
+                                    *slots[chunk_idx].lock() = Some(verdicts);
                                 }
                                 Steal::Empty => break,
                                 Steal::Retry => continue,
                             }
                         }
-                        local
                     })
                 })
                 .collect();
-            let mut slots: Vec<Option<Vec<Analysis>>> = (0..chunk_count).map(|_| None).collect();
+            // Join every worker, collecting panic payloads instead of
+            // propagating the first one — the rest of the pool gets to
+            // finish draining the injector either way.
+            let mut panics: Vec<Box<dyn Any + Send>> = Vec::new();
             for handle in handles {
-                for (chunk_idx, analyses) in handle.join().expect("scan worker panicked") {
-                    slots[chunk_idx] = Some(analyses);
+                if let Err(payload) = handle.join() {
+                    panics.push(payload);
                 }
             }
-            slots
-        })
-        .expect("scan scope panicked");
+            panics
+        });
+        let mut panics = match scope_result {
+            Ok(panics) => panics,
+            // All threads were joined above, so the scope itself only
+            // errors if a payload slipped past the explicit joins.
+            Err(payload) => vec![payload],
+        };
 
-        done.into_iter()
-            .map(|slot| slot.expect("every chunk processed"))
-            .fold(Vec::with_capacity(txs.len()), |mut out, chunk| {
-                out.extend(chunk);
-                out
-            })
+        if policy.is_none() {
+            if let Some(payload) = panics.pop() {
+                // Legacy semantics: the caller sees the worker's panic
+                // (payload intact, catchable) on its own thread.
+                resume_unwind(payload);
+            }
+        }
+
+        let mut out: Vec<Verdict> = Vec::with_capacity(txs.len());
+        for (chunk_idx, slot) in slots.into_iter().enumerate() {
+            match slot.into_inner() {
+                Some(chunk) => out.extend(chunk),
+                None => {
+                    // A worker died between stealing this chunk and
+                    // publishing it (possible under a resilience policy
+                    // only if the fault escaped the per-transaction
+                    // guard). Reprocess the chunk on the calling thread
+                    // under the same guard.
+                    let start = chunk_idx * self.chunk_size;
+                    let end = (start + self.chunk_size).min(txs.len());
+                    let mut tags = LocalTagCache::new(cache);
+                    let mut scratch = AnalysisScratch::default();
+                    let front = sink.worker_front();
+                    let tfront = tracer.worker_front();
+                    for (offset, tx) in txs[start..end].iter().enumerate() {
+                        out.push(analyze_guarded(
+                            detector,
+                            tx,
+                            start + offset,
+                            view,
+                            &mut tags,
+                            &mut scratch,
+                            &front,
+                            &tfront,
+                            policy,
+                        ));
+                    }
+                }
+            }
+        }
+        out
     }
+}
+
+/// Analyzes one transaction under the given resilience policy.
+///
+/// `policy: None` is the legacy path — a direct `analyze_traced` call
+/// with no validation and no unwind guard, so the monomorphized hot
+/// path is unchanged. With a policy, the record is validated first
+/// (quarantining invalid input before it reaches the pipeline), the
+/// analysis runs under `catch_unwind`, and a panicking attempt is
+/// retried once with fresh scratch state when the policy allows it.
+#[allow(clippy::too_many_arguments)]
+fn analyze_guarded<S: MetricsSink, T: TraceSink>(
+    detector: &LeiShen,
+    tx: &TxRecord,
+    index: usize,
+    view: &ChainView<'_>,
+    tags: &mut LocalTagCache<'_>,
+    scratch: &mut AnalysisScratch,
+    front: &S,
+    tfront: &T,
+    policy: Option<&ResilienceConfig>,
+) -> Verdict {
+    let Some(policy) = policy else {
+        return Verdict::Analyzed(detector.analyze_traced(
+            tx,
+            view,
+            &mut |addr| tags.resolve(addr, view.labels(), view.creations()),
+            scratch,
+            front,
+            tfront,
+        ));
+    };
+
+    if policy.validate_inputs {
+        let violations = validate_record(tx);
+        if !violations.is_empty() {
+            return quarantine(
+                tx,
+                index,
+                Fault::InvalidInput { violations },
+                None,
+                0,
+                front,
+                tfront,
+            );
+        }
+    }
+
+    let max_attempts = if policy.retry_once { 2 } else { 1 };
+    let mut attempts = 0;
+    loop {
+        attempts += 1;
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            detector.analyze_traced(
+                tx,
+                view,
+                &mut |addr| tags.resolve(addr, view.labels(), view.creations()),
+                scratch,
+                front,
+                tfront,
+            )
+        }));
+        match outcome {
+            Ok(analysis) => return Verdict::Analyzed(analysis),
+            Err(payload) => {
+                // The unwound attempt may have left intermediate state
+                // in the scratch buffers; start the retry (and any
+                // later transaction) from a clean slate. The tag cache
+                // is kept — its entries are immutable once inserted.
+                *scratch = AnalysisScratch::default();
+                if attempts >= max_attempts {
+                    let message = payload_message(payload.as_ref());
+                    let stage = stage_of_payload(&message);
+                    return quarantine(
+                        tx,
+                        index,
+                        Fault::Panic { message },
+                        stage,
+                        attempts,
+                        front,
+                        tfront,
+                    );
+                }
+            }
+        }
+    }
+}
+
+/// Builds the [`Verdict::Indeterminate`] outcome: counts the quarantine
+/// on the metrics sink and records a degraded-mode provenance trace
+/// (decision `flagged: false` with a single [`Reason::Indeterminate`])
+/// so flight recorders see quarantined transactions too.
+fn quarantine<S: MetricsSink, T: TraceSink>(
+    tx: &TxRecord,
+    index: usize,
+    fault: Fault,
+    stage: Option<crate::telemetry::Stage>,
+    attempts: u32,
+    front: &S,
+    tfront: &T,
+) -> Verdict {
+    let record = Quarantine {
+        tx: tx.id,
+        index,
+        fault,
+        stage,
+        attempts,
+    };
+    if S::ENABLED {
+        front.quarantined();
+    }
+    if T::ENABLED {
+        let builder = TraceBuilder::start(tfront);
+        builder.finish(
+            tfront,
+            tx,
+            Decision {
+                flagged: false,
+                reasons: vec![Reason::Indeterminate {
+                    fault: record.reason(),
+                }],
+            },
+        );
+    }
+    Verdict::Indeterminate(record)
 }
 
 #[cfg(test)]
@@ -612,5 +885,264 @@ mod tests {
         let view = ChainView::new(&labels, &[], None);
         let detector = LeiShen::new(DetectorConfig::paper());
         assert!(engine.scan(&detector, &[], &view).is_empty());
+    }
+
+    // ----- resilience ------------------------------------------------------
+
+    use crate::resilience::{FaultInjector, InducedFault};
+    use crate::telemetry::Stage;
+    use crate::trace::FlightRecorder;
+    use ethsim::Chain;
+
+    /// A small genuine world: a dozen token transactions (no attacks —
+    /// the 22-attack corpus is exercised by the integration tests).
+    fn world() -> Vec<TxRecord> {
+        let mut chain = Chain::default();
+        let a = chain.create_eoa("resilience-a");
+        let b = chain.create_eoa("resilience-b");
+        chain.state_mut().credit_eth(a, 10_000_000).unwrap();
+        chain
+            .execute(a, a, "setup", |ctx| {
+                let c = ctx.create_contract(a)?;
+                let gold = ctx.register_token("RGOLD", 18, c);
+                ctx.mint_token(gold, a, 1_000_000)?;
+                Ok(())
+            })
+            .unwrap();
+        let gold = chain.state().token_by_symbol("RGOLD").unwrap();
+        for i in 0..12u64 {
+            chain
+                .execute(a, b, "pay", move |ctx| {
+                    ctx.call(a, b, "pay", 10 + i as u128, |inner| {
+                        inner.transfer_token(gold, a, b, 100 + i as u128)?;
+                        inner.emit_log(b, "Paid", vec![]);
+                        Ok(())
+                    })
+                })
+                .unwrap();
+        }
+        chain.transactions().to_vec()
+    }
+
+    fn refs(records: &[TxRecord]) -> Vec<&TxRecord> {
+        records.iter().collect()
+    }
+
+    #[test]
+    fn resilient_scan_matches_legacy_on_clean_input() {
+        let records = world();
+        let txs = refs(&records);
+        let labels = Labels::new();
+        let view = ChainView::new(&labels, &[], None);
+        let detector = LeiShen::new(DetectorConfig::paper());
+        let policy = ResilienceConfig::new();
+
+        for engine in [
+            ScanEngine::new(1),
+            ScanEngine::new(4).with_chunk_size(2).allow_oversubscription(),
+        ] {
+            let legacy = engine.scan(&detector, &txs, &view);
+            let resilient =
+                engine.scan_resilient(&detector, &txs, &view, &TagCache::new(), &policy);
+            assert!(resilient.is_fully_analyzed());
+            assert_eq!(resilient.stats.quarantined, 0);
+            assert_eq!(resilient.stats.transactions, txs.len());
+            let analyses: Vec<&Analysis> = resilient.analyses().collect();
+            assert_eq!(analyses.len(), legacy.len());
+            for (got, want) in analyses.iter().zip(&legacy) {
+                assert_eq!(*got, want);
+            }
+        }
+    }
+
+    #[test]
+    fn corrupted_record_is_quarantined_not_fatal() {
+        let mut records = world();
+        // Out-of-order transfer seqs: fails validation.
+        let victim = records.len() - 2;
+        records[victim].trace.transfers.first_mut().unwrap().seq = 9_999;
+        let txs = refs(&records);
+        let labels = Labels::new();
+        let view = ChainView::new(&labels, &[], None);
+        let detector = LeiShen::new(DetectorConfig::paper());
+
+        for engine in [
+            ScanEngine::new(1),
+            ScanEngine::new(4).with_chunk_size(2).allow_oversubscription(),
+        ] {
+            let scan = engine.scan_resilient(
+                &detector,
+                &txs,
+                &view,
+                &TagCache::new(),
+                &ResilienceConfig::new(),
+            );
+            assert_eq!(scan.stats.quarantined, 1);
+            assert_eq!(scan.verdicts.len(), txs.len());
+            let q = scan.verdicts[victim]
+                .quarantine()
+                .expect("corrupted record quarantined");
+            assert_eq!(q.index, victim);
+            assert_eq!(q.tx, records[victim].id);
+            assert_eq!(q.attempts, 0, "invalid input never enters the pipeline");
+            assert!(q.reason().starts_with("invalid_input:"), "{}", q.reason());
+            // Every other transaction still has a real verdict.
+            for (i, v) in scan.verdicts.iter().enumerate() {
+                assert_eq!(v.is_indeterminate(), i == victim, "index {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn induced_panic_is_transient_under_retry() {
+        let records = world();
+        let txs = refs(&records);
+        let labels = Labels::new();
+        let view = ChainView::new(&labels, &[], None);
+        let detector = LeiShen::new(DetectorConfig::paper());
+        let target = records[3].id;
+        let injector = FaultInjector::new(
+            NoopSink,
+            [(target, InducedFault::Panic { stage: Stage::FlashLoan })],
+        );
+        let engine = ScanEngine::new(1);
+        let scan = engine.scan_resilient_with(
+            &detector,
+            &txs,
+            &view,
+            &TagCache::new(),
+            &ResilienceConfig::new(),
+            &injector,
+            &NoopTracer,
+        );
+        assert_eq!(injector.panics_fired(), 1);
+        assert!(scan.is_fully_analyzed(), "retry absorbs the transient fault");
+    }
+
+    #[test]
+    fn induced_panic_quarantines_without_retry() {
+        let records = world();
+        let txs = refs(&records);
+        let labels = Labels::new();
+        let view = ChainView::new(&labels, &[], None);
+        let detector = LeiShen::new(DetectorConfig::paper());
+        let target = records[5].id;
+        let injector = FaultInjector::new(
+            NoopSink,
+            [(target, InducedFault::Panic { stage: Stage::FlashLoan })],
+        );
+        let engine = ScanEngine::new(4).with_chunk_size(2).allow_oversubscription();
+        let scan = engine.scan_resilient_with(
+            &detector,
+            &txs,
+            &view,
+            &TagCache::new(),
+            &ResilienceConfig::new().without_retry(),
+            &injector,
+            &NoopTracer,
+        );
+        assert_eq!(scan.stats.quarantined, 1);
+        let q = scan.quarantines().next().expect("one quarantine");
+        assert_eq!(q.tx, target);
+        assert_eq!(q.attempts, 1);
+        assert_eq!(q.stage, Some(Stage::FlashLoan));
+        assert_eq!(q.reason(), "panic@flash_loan");
+        // The batch survived: everything else analyzed.
+        assert_eq!(scan.analyses().count(), txs.len() - 1);
+    }
+
+    #[test]
+    fn quarantines_flow_into_telemetry_and_traces() {
+        let mut records = world();
+        let victim = 4;
+        records[victim].trace.transfers.first_mut().unwrap().amount = u128::MAX;
+        let txs = refs(&records);
+        let labels = Labels::new();
+        let view = ChainView::new(&labels, &[], None);
+        let detector = LeiShen::new(DetectorConfig::paper());
+
+        let sink = RecordingSink::new();
+        let recorder = FlightRecorder::new();
+        let engine = ScanEngine::new(4).with_chunk_size(3).allow_oversubscription();
+        let scan = engine.scan_resilient_with(
+            &detector,
+            &txs,
+            &view,
+            &TagCache::new(),
+            &ResilienceConfig::new(),
+            &sink,
+            &recorder,
+        );
+        assert_eq!(scan.stats.quarantined, 1);
+        assert_eq!(sink.counter_totals().quarantined, 1);
+        // The analyzed transactions were recorded as usual.
+        assert_eq!(sink.counter_totals().transactions, (txs.len() - 1) as u64);
+
+        let trace = recorder
+            .find(records[victim].id)
+            .expect("quarantined tx has a provenance trace");
+        assert!(!trace.decision.flagged);
+        assert_eq!(trace.decision.reasons.len(), 1);
+        match &trace.decision.reasons[0] {
+            crate::trace::Reason::Indeterminate { fault } => {
+                assert_eq!(fault, "invalid_input:amount_overflow");
+            }
+            other => panic!("expected Indeterminate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn legacy_scan_propagates_worker_panics_catchably() {
+        let records = world();
+        let txs = refs(&records);
+        let labels = Labels::new();
+        let view = ChainView::new(&labels, &[], None);
+        let detector = LeiShen::new(DetectorConfig::paper());
+        let target = records[2].id;
+
+        for engine in [
+            ScanEngine::new(1),
+            ScanEngine::new(4).with_chunk_size(2).allow_oversubscription(),
+        ] {
+            let injector = FaultInjector::new(
+                NoopSink,
+                [(target, InducedFault::Panic { stage: Stage::FlashLoan })],
+            );
+            let cache = TagCache::new();
+            let caught = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                engine.scan_instrumented(&detector, &txs, &view, &cache, &injector, &NoopTracer)
+            }));
+            // No quarantine path in the legacy scan: the panic reaches
+            // the caller with its payload intact — and is catchable, so
+            // a worker fault cannot abort the process.
+            let payload = caught.expect_err("legacy scan re-raises the panic");
+            let message = payload_message(payload.as_ref());
+            assert!(
+                message.starts_with(crate::resilience::INDUCED_PANIC_PREFIX),
+                "{message}"
+            );
+        }
+    }
+
+    #[test]
+    fn validation_can_be_disabled() {
+        let mut records = world();
+        records[1].trace.transfers.first_mut().unwrap().amount = u128::MAX;
+        let txs = refs(&records);
+        let labels = Labels::new();
+        let view = ChainView::new(&labels, &[], None);
+        let detector = LeiShen::new(DetectorConfig::paper());
+        let engine = ScanEngine::new(1);
+        // An overflow amount doesn't panic the pipeline — it just
+        // produces an untrusted analysis. Without validation the
+        // resilient scan analyzes it like the legacy scan would.
+        let scan = engine.scan_resilient(
+            &detector,
+            &txs,
+            &view,
+            &TagCache::new(),
+            &ResilienceConfig::new().without_validation(),
+        );
+        assert!(scan.is_fully_analyzed());
     }
 }

@@ -27,6 +27,7 @@
 use std::cell::RefCell;
 use std::time::Instant;
 
+use ethsim::TxId;
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
@@ -211,6 +212,20 @@ pub trait MetricsSink {
     /// One transaction finished with these counters and stage laps
     /// (empty when the transaction was not picked for stage timing).
     fn transaction(&self, counters: &TxCounters, laps: &StageLaps);
+
+    /// Transaction `tx` just crossed the closing boundary of `stage`.
+    ///
+    /// Called for every transaction (not just stage-timed ones) on
+    /// enabled sinks, in stage order, from inside the pipeline — the
+    /// one hook that observes a transaction *mid-analysis*. The default
+    /// does nothing; the resilience layer's fault injector overrides it
+    /// to land induced panics and delays at exact pipeline stages.
+    fn stage_boundary(&self, _tx: TxId, _stage: Stage) {}
+
+    /// One transaction was quarantined instead of analyzed (resilient
+    /// scans only). Counted next to [`MetricsSink::transaction`] so
+    /// operators can monitor degraded-mode rates per batch.
+    fn quarantined(&self) {}
 }
 
 /// The do-nothing sink: the hot path's default. Compiles to nothing.
@@ -352,6 +367,10 @@ impl MetricsSink for RecordingSink {
     fn transaction(&self, c: &TxCounters, laps: &StageLaps) {
         self.inner.lock().record(c, laps);
     }
+
+    fn quarantined(&self) {
+        self.inner.lock().totals.quarantined += 1;
+    }
 }
 
 /// One worker's thread-local front of a shared [`RecordingSink`].
@@ -387,6 +406,10 @@ impl MetricsSink for WorkerSink<'_> {
 
     fn transaction(&self, c: &TxCounters, laps: &StageLaps) {
         self.local.borrow_mut().record(c, laps);
+    }
+
+    fn quarantined(&self) {
+        self.local.borrow_mut().totals.quarantined += 1;
     }
 }
 
@@ -443,6 +466,9 @@ pub struct TxCountersTotal {
     pub patterns_tried: u64,
     /// Sum of [`TxCounters::patterns_matched`].
     pub patterns_matched: u64,
+    /// Transactions quarantined instead of analyzed (resilient scans;
+    /// not part of [`TxCounters`] — see [`MetricsSink::quarantined`]).
+    pub quarantined: u64,
 }
 
 impl TxCountersTotal {
@@ -474,6 +500,7 @@ impl TxCountersTotal {
         self.borrower_tags += other.borrower_tags;
         self.patterns_tried += other.patterns_tried;
         self.patterns_matched += other.patterns_matched;
+        self.quarantined += other.quarantined;
     }
 }
 
@@ -525,30 +552,38 @@ impl StageSummary {
 /// disabled sink all three are free: the struct holds no timestamp and
 /// every method body is dead code behind `S::ENABLED`.
 pub(crate) struct StageClock {
+    tx: TxId,
     start: Option<Instant>,
     laps: StageLaps,
 }
 
 impl StageClock {
     /// Starts timing if `S` records and the caller picked this
-    /// transaction for stage timing; otherwise a no-op clock.
-    pub fn start<S: MetricsSink>(_sink: &S, timed: bool) -> Self {
+    /// transaction for stage timing; otherwise a no-op clock. `tx` is
+    /// reported to [`MetricsSink::stage_boundary`] at every lap.
+    pub fn start<S: MetricsSink>(_sink: &S, timed: bool, tx: TxId) -> Self {
         StageClock {
+            tx,
             start: (S::ENABLED && timed).then(Instant::now),
             laps: StageLaps::empty(),
         }
     }
 
     /// Marks the time since the previous lap (or start) as `stage`, and
-    /// restarts the clock for the next stage.
-    pub fn lap<S: MetricsSink>(&mut self, _sink: &S, stage: Stage) {
-        if S::ENABLED && self.start.is_some() {
-            // One clock read serves as both this lap's end and the next
-            // lap's start — the boundaries stay contiguous and the cost
-            // per stage is a single `Instant::now`.
-            let now = Instant::now();
-            if let Some(prev) = self.start.replace(now) {
-                self.laps.record(stage, (now - prev).as_nanos() as u64);
+    /// restarts the clock for the next stage. Always announces the
+    /// boundary to the sink (even for transactions not picked for
+    /// stage timing) so mid-pipeline hooks see every transaction.
+    pub fn lap<S: MetricsSink>(&mut self, sink: &S, stage: Stage) {
+        if S::ENABLED {
+            sink.stage_boundary(self.tx, stage);
+            if self.start.is_some() {
+                // One clock read serves as both this lap's end and the
+                // next lap's start — the boundaries stay contiguous and
+                // the cost per stage is a single `Instant::now`.
+                let now = Instant::now();
+                if let Some(prev) = self.start.replace(now) {
+                    self.laps.record(stage, (now - prev).as_nanos() as u64);
+                }
             }
         }
     }
@@ -646,21 +681,21 @@ mod tests {
     #[test]
     fn clock_records_only_when_enabled() {
         let sink = RecordingSink::new();
-        let mut clock = StageClock::start(&sink, true);
+        let mut clock = StageClock::start(&sink, true, TxId(1));
         clock.lap(&sink, Stage::FlashLoan);
         clock.finish(&sink, &TxCounters::default());
         assert_eq!(sink.stage_summary(Stage::FlashLoan).count, 1);
         assert_eq!(sink.transactions(), 1);
 
         // An un-picked transaction still records its counters.
-        let mut clock = StageClock::start(&sink, false);
+        let mut clock = StageClock::start(&sink, false, TxId(2));
         clock.lap(&sink, Stage::FlashLoan);
         clock.finish(&sink, &TxCounters::default());
         assert_eq!(sink.stage_summary(Stage::FlashLoan).count, 1);
         assert_eq!(sink.transactions(), 2);
 
         let noop = NoopSink;
-        let mut clock = StageClock::start(&noop, true);
+        let mut clock = StageClock::start(&noop, true, TxId(3));
         clock.lap(&noop, Stage::FlashLoan);
         clock.finish(&noop, &TxCounters::default());
     }

@@ -192,6 +192,10 @@ fn push_reason(out: &mut String, reason: &Reason) {
             out.push_str(",\"trade_seqs\":");
             push_seqs(out, trade_seqs);
         }
+        Reason::Indeterminate { fault } => {
+            out.push_str(",\"fault\":");
+            push_str(out, fault);
+        }
     }
     out.push('}');
 }
@@ -405,6 +409,9 @@ fn parse_reason(obj: &Json) -> Result<Reason, JsonError> {
             provider: get_str(obj, "provider")?,
         },
         "no_pattern" => Reason::NoPatternMatched,
+        "indeterminate" => Reason::Indeterminate {
+            fault: get_str(obj, "fault")?,
+        },
         "pattern" => Reason::PatternMatched {
             kind: kind_from_str(&get_str(obj, "pattern")?)
                 .ok_or_else(|| JsonError::semantic("unknown pattern kind"))?,

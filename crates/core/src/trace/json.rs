@@ -128,6 +128,7 @@ pub fn parse(input: &str) -> Result<Json, JsonError> {
     let mut p = Parser {
         bytes: input.as_bytes(),
         pos: 0,
+        depth: 0,
     };
     p.skip_ws();
     let value = p.value()?;
@@ -138,9 +139,16 @@ pub fn parse(input: &str) -> Result<Json, JsonError> {
     Ok(value)
 }
 
+/// Deepest permitted nesting of objects/arrays. The parser recurses per
+/// nesting level, so without a cap a hostile input of a few hundred
+/// kilobytes of `[` could overflow the stack; genuine trace documents
+/// nest single digits deep.
+const MAX_DEPTH: usize = 128;
+
 struct Parser<'a> {
     bytes: &'a [u8],
     pos: usize,
+    depth: usize,
 }
 
 impl Parser<'_> {
@@ -179,10 +187,30 @@ impl Parser<'_> {
         }
     }
 
+    /// Enters one nesting level, failing instead of recursing past
+    /// [`MAX_DEPTH`]. Callers must pair it with `self.depth -= 1`.
+    fn descend(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.err("nesting too deep"));
+        }
+        Ok(())
+    }
+
     fn value(&mut self) -> Result<Json, JsonError> {
         match self.peek() {
-            Some(b'{') => self.object(),
-            Some(b'[') => self.array(),
+            Some(b'{') => {
+                self.descend()?;
+                let v = self.object();
+                self.depth -= 1;
+                v
+            }
+            Some(b'[') => {
+                self.descend()?;
+                let v = self.array();
+                self.depth -= 1;
+                v
+            }
             Some(b'"') => Ok(Json::Str(self.string()?)),
             Some(b't') => self.literal("true", Json::Bool(true)),
             Some(b'f') => self.literal("false", Json::Bool(false)),
@@ -295,7 +323,10 @@ impl Parser<'_> {
                     // byte stream is valid UTF-8).
                     let rest = &self.bytes[self.pos..];
                     let s = std::str::from_utf8(rest).map_err(|_| self.err("invalid utf-8"))?;
-                    let c = s.chars().next().expect("non-empty");
+                    let c = s
+                        .chars()
+                        .next()
+                        .ok_or_else(|| self.err("truncated string"))?;
                     out.push(c);
                     self.pos += c.len_utf8();
                 }
@@ -339,9 +370,13 @@ impl Parser<'_> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos])
             .map_err(|_| self.err("invalid number"))?;
-        text.parse::<f64>()
-            .map(Json::Num)
-            .map_err(|_| self.err("invalid number"))
+        let num: f64 = text.parse().map_err(|_| self.err("invalid number"))?;
+        // `"1e999".parse::<f64>()` is Ok(inf); JSON has no infinities,
+        // so an overflowing literal is malformed input, not a number.
+        if !num.is_finite() {
+            return Err(self.err("number out of range"));
+        }
+        Ok(Json::Num(num))
     }
 }
 
@@ -445,5 +480,56 @@ mod tests {
         assert_eq!(parse("1.5").unwrap().as_u64(), None);
         assert_eq!(parse("-3").unwrap().as_u64(), None);
         assert_eq!(parse("9007199254740992").unwrap().as_u64(), Some(1 << 53));
+    }
+
+    #[test]
+    fn deep_nesting_errors_instead_of_overflowing_the_stack() {
+        // Far beyond MAX_DEPTH but far below what would exhaust the
+        // stack if recursion were unbounded — the error must be a
+        // JsonError, not an abort.
+        let bomb = "[".repeat(100_000);
+        let err = parse(&bomb).unwrap_err();
+        assert!(err.msg.contains("nesting too deep"), "{err}");
+        let obj_bomb = "{\"k\":".repeat(100_000);
+        assert!(parse(&obj_bomb).is_err());
+    }
+
+    #[test]
+    fn nesting_below_the_cap_parses() {
+        let depth = MAX_DEPTH - 1;
+        let doc = format!("{}0{}", "[".repeat(depth), "]".repeat(depth));
+        assert!(parse(&doc).is_ok());
+        let over = format!("{}0{}", "[".repeat(MAX_DEPTH + 1), "]".repeat(MAX_DEPTH + 1));
+        assert!(parse(&over).is_err());
+    }
+
+    #[test]
+    fn malformed_documents_return_err_not_panic() {
+        for bad in [
+            "{",
+            "}",
+            "[1, 2",
+            "{\"a\" 1}",
+            "{\"a\": 1,}",
+            "\"\\q\"",
+            "\"\\u12\"",
+            "\"\\ud800\"",  // lone high surrogate with no pair
+            "nul",
+            "truefalse",
+            "+1",
+            "--2",
+            "1e",
+            "\u{7f}",
+        ] {
+            assert!(parse(bad).is_err(), "input {bad:?} should fail cleanly");
+        }
+    }
+
+    #[test]
+    fn overflowing_number_literals_are_rejected() {
+        assert!(parse("1e999").unwrap_err().msg.contains("out of range"));
+        assert!(parse("-1e999").is_err());
+        // Values at the edge of the finite range still parse.
+        assert_eq!(parse("1.7976931348623157e308").unwrap().as_f64(), Some(f64::MAX));
     }
 }

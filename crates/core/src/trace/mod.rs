@@ -193,6 +193,13 @@ pub enum Reason {
         /// Journal `seq`s of the matched trades.
         trade_seqs: Vec<u32>,
     },
+    /// Analysis never completed: the transaction was quarantined by the
+    /// resilience layer and carries no verdict either way.
+    Indeterminate {
+        /// Machine-readable fault code (`Quarantine::reason()`), e.g.
+        /// `invalid_input:seq_gap` or `panic@tagging`.
+        fault: String,
+    },
 }
 
 impl Reason {
@@ -204,6 +211,7 @@ impl Reason {
             Reason::FlashLoan { .. } => "flash_loan",
             Reason::NoPatternMatched => "no_pattern",
             Reason::PatternMatched { .. } => "pattern",
+            Reason::Indeterminate { .. } => "indeterminate",
         }
     }
 }

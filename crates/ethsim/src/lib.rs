@@ -71,6 +71,7 @@ pub mod state;
 pub mod token;
 pub mod transfer;
 pub mod tx;
+pub mod validate;
 
 pub use address::Address;
 pub use calendar::{Date, MonthIndex, WeekIndex};
@@ -84,6 +85,7 @@ pub use state::{AccountKind, SKey, WorldState};
 pub use token::{TokenId, TokenInfo};
 pub use transfer::Transfer;
 pub use tx::{SpanId, TxId, TxRecord, TxStatus, TxTrace};
+pub use validate::{validate_record, RecordViolation, MAX_AMOUNT};
 
 /// Convenience result alias used throughout the substrate.
 pub type Result<T> = std::result::Result<T, SimError>;

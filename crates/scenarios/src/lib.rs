@@ -24,6 +24,7 @@
 
 pub mod attacks;
 pub mod benign;
+pub mod chaos;
 pub mod fuzz;
 pub mod generator;
 pub mod laundering;

@@ -1,0 +1,187 @@
+//! Cross-crate resilience integration: the full 22-attack corpus under
+//! fault injection.
+//!
+//! The unit tests in `leishen::resilience` and `leishen::scan` prove the
+//! quarantine machinery on synthetic worlds; these tests prove the
+//! properties the chaos bench gates on, against the *real* seed corpus:
+//!
+//! * genuine `ethsim` histories always validate clean — the fault
+//!   injector's ground-truth invariant list has no false positives;
+//! * the resilient scan is verdict-identical to the legacy scan on clean
+//!   input, in every pipeline configuration;
+//! * a mixed campaign (corrupted inputs + induced stage panics) never
+//!   loses a transaction: corrupted records quarantine with
+//!   machine-readable reasons, clean records keep their ground-truth
+//!   verdicts — recall on uncorrupted attacks stays 100%;
+//! * a worker panic in the legacy (non-resilient) scan propagates as a
+//!   catchable panic on the caller, not a process abort.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use ethsim::{validate_record, TxId, TxRecord};
+use leishen::resilience::{
+    FaultInjector, FaultPlan, InducedFault, PlannedFault, Verdict,
+};
+use leishen::telemetry::{NoopSink, RecordingSink, Stage};
+use leishen::trace::{FlightRecorder, NoopTracer, Reason};
+use leishen::{
+    install_quiet_hook, DetectorConfig, LeiShen, ResilienceConfig, ScanEngine, TagCache,
+};
+use leishen_scenarios::chaos::apply_input_faults;
+use leishen_scenarios::fuzz::seed_case;
+
+fn engines() -> [ScanEngine; 2] {
+    [
+        ScanEngine::new(1),
+        ScanEngine::new(4).with_chunk_size(4).allow_oversubscription(),
+    ]
+}
+
+#[test]
+fn genuine_corpus_has_zero_validator_violations() {
+    let seeds = seed_case(DetectorConfig::paper());
+    for tx in &seeds.case.txs {
+        let violations = validate_record(tx);
+        assert!(
+            violations.is_empty(),
+            "tx#{} fails validation: {violations:?}",
+            tx.id.0
+        );
+    }
+}
+
+#[test]
+fn resilient_scan_is_verdict_identical_to_legacy_on_clean_corpus() {
+    let seeds = seed_case(DetectorConfig::paper());
+    let refs: Vec<&TxRecord> = seeds.case.txs.iter().collect();
+    let view = seeds.case.view();
+    let detector = LeiShen::new(DetectorConfig::paper());
+    let policy = ResilienceConfig::new();
+
+    for engine in engines() {
+        let legacy = engine.scan(&detector, &refs, &view);
+        let resilient =
+            engine.scan_resilient(&detector, &refs, &view, &TagCache::new(), &policy);
+        assert!(resilient.is_fully_analyzed());
+        assert_eq!(resilient.stats.quarantined, 0);
+        let analyses: Vec<_> = resilient.analyses().collect();
+        assert_eq!(analyses.len(), legacy.len());
+        for (i, (got, want)) in analyses.iter().zip(&legacy).enumerate() {
+            assert_eq!(*got, want, "verdict diverged at index {i}");
+        }
+    }
+}
+
+#[test]
+fn chaos_campaign_quarantines_corruption_and_keeps_recall() {
+    install_quiet_hook();
+    let seeds = seed_case(DetectorConfig::paper());
+    let detector = LeiShen::new(DetectorConfig::paper());
+
+    // 10% fault rate — the acceptance point the bench gates on.
+    let plan = FaultPlan::new(42, 100);
+    let assignment = plan.assign(seeds.case.txs.len());
+    let mut txs = seeds.case.txs.clone();
+    let applied = apply_input_faults(&mut txs, &assignment);
+    let induced: Vec<(TxId, InducedFault)> = assignment
+        .iter()
+        .zip(&txs)
+        .filter_map(|(slot, tx)| match slot {
+            Some(PlannedFault::Induced(f)) => Some((tx.id, *f)),
+            _ => None,
+        })
+        .collect();
+    assert!(
+        applied.iter().any(Option::is_some),
+        "a 10% plan over {} txs should corrupt at least one record",
+        txs.len()
+    );
+
+    let refs: Vec<&TxRecord> = txs.iter().collect();
+    let view = seeds.case.view();
+    for engine in engines() {
+        let injector = FaultInjector::new(RecordingSink::new(), induced.iter().copied());
+        let recorder = FlightRecorder::new();
+        let scan = engine.scan_resilient_with(
+            &detector,
+            &refs,
+            &view,
+            &TagCache::new(),
+            &ResilienceConfig::new(),
+            &injector,
+            &recorder,
+        );
+
+        // Survival: one verdict per input, always.
+        assert_eq!(scan.verdicts.len(), txs.len());
+
+        for (i, verdict) in scan.verdicts.iter().enumerate() {
+            match (verdict, applied[i]) {
+                (Verdict::Indeterminate(q), Some(_)) => {
+                    // Containment: machine-readable reason + provenance.
+                    assert!(
+                        q.reason().starts_with("invalid_input:"),
+                        "tx#{}: {}",
+                        q.tx.0,
+                        q.reason()
+                    );
+                    let trace = recorder.find(q.tx).expect("quarantine is traced");
+                    assert!(trace
+                        .decision
+                        .reasons
+                        .iter()
+                        .any(|r| matches!(r, Reason::Indeterminate { .. })));
+                }
+                (Verdict::Indeterminate(q), None) => {
+                    panic!("uncorrupted tx#{} quarantined: {}", q.tx.0, q.reason())
+                }
+                (Verdict::Analyzed(_), Some(kind)) => {
+                    panic!("corrupted tx index {i} ({}) escaped quarantine", kind.name())
+                }
+                (Verdict::Analyzed(a), None) => {
+                    // Recall under fire: ground truth exactly preserved.
+                    assert_eq!(
+                        a.is_attack(),
+                        seeds.expect[i].flagged,
+                        "clean tx index {i} verdict changed under faults"
+                    );
+                }
+            }
+        }
+
+        // Telemetry agrees with the verdict stream.
+        let quarantined = scan.verdicts.iter().filter(|v| v.is_indeterminate()).count();
+        assert_eq!(scan.stats.quarantined, quarantined);
+        assert_eq!(injector.inner().counter_totals().quarantined, quarantined as u64);
+    }
+}
+
+#[test]
+fn legacy_scan_worker_panic_is_catchable_not_fatal() {
+    install_quiet_hook();
+    let seeds = seed_case(DetectorConfig::paper());
+    let refs: Vec<&TxRecord> = seeds.case.txs.iter().collect();
+    let view = seeds.case.view();
+    let detector = LeiShen::new(DetectorConfig::paper());
+    // Target a ground-truth attack: it definitely reaches the tagging
+    // stage, so the induced panic definitely fires.
+    let target = seeds
+        .expect
+        .iter()
+        .position(|e| e.flagged)
+        .expect("corpus has attacks");
+    let target_id = seeds.case.txs[target].id;
+
+    for engine in engines() {
+        let injector = FaultInjector::new(
+            NoopSink,
+            [(target_id, InducedFault::Panic { stage: Stage::Tagging })],
+        );
+        let cache = TagCache::new();
+        let result = catch_unwind(AssertUnwindSafe(|| {
+            engine.scan_instrumented(&detector, &refs, &view, &cache, &injector, &NoopTracer)
+        }));
+        assert!(result.is_err(), "the injected panic must propagate");
+        assert_eq!(injector.panics_fired(), 1);
+    }
+}
