@@ -13,12 +13,27 @@
 //!   the same corpus (seed, scale, transaction count), and on the
 //!   scale-free `speedup` fields otherwise (CI smoke runs use a smaller
 //!   corpus than the committed full-run baselines);
+//! * `speedup_at_4_workers` falls below `--min-speedup-at-4` (default
+//!   3.5) — checked on the committed baseline always, and on the fresh
+//!   run too when the corpora match (a smoke run over a different corpus
+//!   is not held to the full-run floor);
 //! * the telemetry sink's sampled overhead exceeds
 //!   `--max-sink-overhead-pct` (default 5%).
 //!
 //! Setup problems get their own exit codes so CI logs distinguish "the
 //! baseline was never stashed" from "the baseline is corrupt": exit 2 for
 //! a missing/unreadable file, exit 3 for one that does not parse as JSON.
+//!
+//! Exit 2 also covers the `scaling_monotonic` gate: a sweep whose
+//! 8-worker throughput falls below its own 2-worker throughput by more
+//! than `--scaling-tolerance-pct` (default 10%) indicates the sweep
+//! itself is broken — a scheduling inversion, not a gradual regression —
+//! and is reported as a setup-class failure. Like the speedup floor, it
+//! judges the committed baseline always and the fresh run only when the
+//! corpora match: a tiny CI smoke sweep on a saturated host measures the
+//! same collapsed code path at every worker count, where inversions are
+//! pure timer noise. The tolerance absorbs the residual noise of real
+//! full-scale runs.
 //!
 //! Both JSON files are parsed with the dependency-free
 //! `leishen::trace::json` parser — the same one the provenance importer
@@ -125,9 +140,40 @@ fn check_drop(
     }
 }
 
+/// The scheduled-engine worker sweep `(workers, tx_per_sec)` rows of a
+/// scan document. Rows without a `mode` field (pre-sweep baselines)
+/// count as scheduled.
+fn sweep_rows(doc: &Json, file: &str) -> Vec<(u64, f64)> {
+    doc.get("parallel")
+        .and_then(Json::as_arr)
+        .unwrap_or_else(|| panic!("{file}: missing parallel[]"))
+        .iter()
+        .filter(|r| r.get("mode").and_then(Json::as_str).is_none_or(|m| m == "scheduled"))
+        .filter_map(|r| Some((r.get("workers")?.as_u64()?, r.get("tx_per_sec")?.as_f64()?)))
+        .collect()
+}
+
+/// The `scaling_monotonic` gate: scaling a scheduled scan from 2 to 8
+/// workers must never *lose* throughput (beyond `tolerance_pct` of timer
+/// noise). Returns the violation message, if any; `None` when either row
+/// is absent (smoke runs sweep fewer worker counts).
+fn scaling_violation(rows: &[(u64, f64)], tolerance_pct: f64) -> Option<String> {
+    let at = |w: u64| rows.iter().find(|(rw, _)| *rw == w).map(|(_, tps)| *tps);
+    let (two, eight) = (at(2)?, at(8)?);
+    let floor = two * (1.0 - tolerance_pct / 100.0);
+    (eight < floor).then(|| {
+        format!(
+            "scaling not monotonic: 8-worker {eight:.1} tx/s < 2-worker {two:.1} tx/s \
+             (tolerance {tolerance_pct}%)"
+        )
+    })
+}
+
 fn main() -> ExitCode {
     let max_drop = cli_f64("--max-regression-pct", 25.0);
     let max_sink = cli_f64("--max-sink-overhead-pct", 5.0);
+    let scaling_tolerance = cli_f64("--scaling-tolerance-pct", 10.0);
+    let min_speedup_at_4 = cli_f64("--min-speedup-at-4", 3.5);
     let base_scan_path = cli_str("--baseline-scan", "baseline_scan.json");
     let base_obs_path = cli_str("--baseline-obs", "baseline_obs.json");
     let fresh_scan_path = cli_str("--fresh-scan", "BENCH_scan.json");
@@ -149,16 +195,8 @@ fn main() -> ExitCode {
             max_drop,
             &mut violations,
         );
-        let workers = |doc: &Json, file: &str| -> Vec<(u64, f64)> {
-            doc.get("parallel")
-                .and_then(Json::as_arr)
-                .unwrap_or_else(|| panic!("{file}: missing parallel[]"))
-                .iter()
-                .filter_map(|r| Some((r.get("workers")?.as_u64()?, r.get("tx_per_sec")?.as_f64()?)))
-                .collect()
-        };
-        let base_rows = workers(&base_scan, &base_scan_path);
-        let fresh_rows = workers(&fresh_scan, &fresh_scan_path);
+        let base_rows = sweep_rows(&base_scan, &base_scan_path);
+        let fresh_rows = sweep_rows(&fresh_scan, &fresh_scan_path);
         for (w, base_tps) in &base_rows {
             if let Some((_, fresh_tps)) = fresh_rows.iter().find(|(fw, _)| fw == w) {
                 check_drop(
@@ -178,6 +216,36 @@ fn main() -> ExitCode {
             f64_at(&fresh_scan, &["speedup_at_4_workers"], &fresh_scan_path),
             max_drop,
             &mut violations,
+        );
+    }
+
+    // ----- scan: worker-scaling gates --------------------------------------
+    // The speedup floor holds the committed full-run baseline to the
+    // scheduler's contract; the fresh run is only held to it when it
+    // measured the same corpus (CI smoke corpora are tiny and noisy).
+    for (doc, path, gated) in [
+        (&base_scan, &base_scan_path, true),
+        (&fresh_scan, &fresh_scan_path, same_corpus(&base_scan, &fresh_scan)),
+    ] {
+        if !gated {
+            continue;
+        }
+        let speedup = f64_at(doc, &["speedup_at_4_workers"], path);
+        let verdict = if speedup < min_speedup_at_4 { "FAIL" } else { "ok" };
+        println!(
+            "  {verdict:<4} {path} speedup at 4 workers: {speedup:.2}× (floor {min_speedup_at_4}×)"
+        );
+        if speedup < min_speedup_at_4 {
+            violations.push(format!(
+                "{path}: speedup_at_4_workers {speedup:.2} below floor {min_speedup_at_4}"
+            ));
+        }
+        if let Some(message) = scaling_violation(&sweep_rows(doc, path), scaling_tolerance) {
+            eprintln!("bench_diff: {path}: {message}");
+            return ExitCode::from(2);
+        }
+        println!(
+            "  ok   {path} scaling monotonic (8-worker ≥ 2-worker within {scaling_tolerance}%)"
         );
     }
 
@@ -280,6 +348,37 @@ mod tests {
         assert!(matches!(err, LoadError::Malformed(_)), "{err:?}");
         assert_eq!(err.exit_code(), 3);
         assert!(err.message().contains("malformed"), "{}", err.message());
+    }
+
+    #[test]
+    fn scaling_gate_trips_only_beyond_tolerance() {
+        // 8-worker dead even with 2-worker: fine.
+        let flat = [(2, 1000.0), (4, 1800.0), (8, 1000.0)];
+        assert_eq!(scaling_violation(&flat, 10.0), None);
+        // Within tolerance: noise, not an inversion.
+        let noisy = [(2, 1000.0), (8, 950.0)];
+        assert_eq!(scaling_violation(&noisy, 10.0), None);
+        // A real inversion trips the gate…
+        let inverted = [(2, 1000.0), (8, 600.0)];
+        let message = scaling_violation(&inverted, 10.0).expect("inversion detected");
+        assert!(message.contains("not monotonic"), "{message}");
+        // …and a sweep missing either endpoint cannot be judged.
+        assert_eq!(scaling_violation(&[(2, 1000.0)], 10.0), None);
+        assert_eq!(scaling_violation(&[(8, 600.0)], 10.0), None);
+        assert_eq!(scaling_violation(&[], 10.0), None);
+    }
+
+    #[test]
+    fn sweep_rows_keep_scheduled_and_unlabeled_rows_only() {
+        let doc = parse(
+            r#"{"parallel": [
+                {"workers": 2, "tx_per_sec": 10.0},
+                {"workers": 4, "mode": "scheduled", "tx_per_sec": 20.0},
+                {"workers": 4, "mode": "naive", "tx_per_sec": 15.0}
+            ]}"#,
+        )
+        .expect("fixture parses");
+        assert_eq!(sweep_rows(&doc, "fixture"), vec![(2, 10.0), (4, 20.0)]);
     }
 
     #[test]

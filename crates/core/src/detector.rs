@@ -11,8 +11,8 @@ use crate::flashloan::{identify_flash_loans, FlashLoanEvent};
 use crate::labels::Labels;
 use crate::patterns::{all_legs, match_all_legs_observed, PatternMatch, PatternScratch};
 use crate::report::AttackReport;
-use crate::scan::{BuildFnv, TagCache};
-use crate::simplify::{simplify_into_observed, SimplifyAction};
+use crate::scan::TagCache;
+use crate::simplify::{simplify_drain_observed, SimplifyAction};
 use crate::tagging::{tag_of, tag_transfers_with_into, Tag, TaggedTransfer};
 use crate::telemetry::{MetricsSink, NoopSink, Stage, StageClock, TxCounters};
 use crate::trace::{Decision, NoopTracer, Reason, TraceBuilder, TraceEvent, TraceSink, Verdict};
@@ -147,11 +147,16 @@ impl LeiShen {
     /// [`tag_of`] for the view's labels and creations. This is how
     /// [`crate::scan::ScanEngine`] workers plug in their thread-local
     /// cache fronts.
-    pub fn analyze_with(
+    ///
+    /// The resolver is a compile-time parameter (not `&mut dyn FnMut`):
+    /// the pipeline calls it roughly twice per journal entry, so on the
+    /// cached batch-scan path the local-map probe must inline into the
+    /// tagging loop instead of going through an indirect call.
+    pub fn analyze_with<R: FnMut(Address) -> Tag>(
         &self,
         tx: &TxRecord,
         view: &ChainView<'_>,
-        resolve: &mut dyn FnMut(Address) -> Tag,
+        resolve: &mut R,
     ) -> Analysis {
         self.analyze_scratch(tx, view, resolve, &mut AnalysisScratch::default())
     }
@@ -161,11 +166,11 @@ impl LeiShen {
     /// into `scratch` and is reused on the next call, so a worker
     /// analyzing a batch pays for those buffers once instead of once per
     /// transaction. Produces exactly the same [`Analysis`] as `analyze`.
-    pub fn analyze_scratch(
+    pub fn analyze_scratch<R: FnMut(Address) -> Tag>(
         &self,
         tx: &TxRecord,
         view: &ChainView<'_>,
-        resolve: &mut dyn FnMut(Address) -> Tag,
+        resolve: &mut R,
         scratch: &mut AnalysisScratch,
     ) -> Analysis {
         self.analyze_metered(tx, view, resolve, scratch, &NoopSink)
@@ -177,11 +182,11 @@ impl LeiShen {
     /// does) every timer read and counter store is dead code, so the
     /// uninstrumented hot path pays nothing. Produces exactly the same
     /// [`Analysis`] as `analyze` for any sink.
-    pub fn analyze_metered<S: MetricsSink>(
+    pub fn analyze_metered<S: MetricsSink, R: FnMut(Address) -> Tag>(
         &self,
         tx: &TxRecord,
         view: &ChainView<'_>,
-        resolve: &mut dyn FnMut(Address) -> Tag,
+        resolve: &mut R,
         scratch: &mut AnalysisScratch,
         sink: &S,
     ) -> Analysis {
@@ -195,11 +200,11 @@ impl LeiShen {
     /// parameter: monomorphized over [`NoopTracer`] every event closure
     /// and span clock is dead code. Produces exactly the same
     /// [`Analysis`] as `analyze` for any sink/tracer combination.
-    pub fn analyze_traced<S: MetricsSink, T: TraceSink>(
+    pub fn analyze_traced<S: MetricsSink, T: TraceSink, R: FnMut(Address) -> Tag>(
         &self,
         tx: &TxRecord,
         view: &ChainView<'_>,
-        resolve: &mut dyn FnMut(Address) -> Tag,
+        resolve: &mut R,
         scratch: &mut AnalysisScratch,
         sink: &S,
         tracer: &T,
@@ -254,11 +259,7 @@ impl LeiShen {
             };
         }
         let AnalysisScratch {
-            tagged,
-            patterns,
-            seen_tags,
-            seen_matches,
-            ..
+            tagged, patterns, ..
         } = scratch;
 
         // Stage 2: account tagging + simplification. Buffers are sized up
@@ -282,7 +283,9 @@ impl LeiShen {
         clock.lap(sink, Stage::Tagging);
         builder.lap(tracer, Stage::Tagging);
         let mut app_transfers = Vec::with_capacity(tagged.len());
-        let simplify_stats = simplify_into_observed(
+        // Draining variant: survivors move out of the scratch buffer
+        // (cleared anyway on the next transaction) instead of cloning.
+        let simplify_stats = simplify_drain_observed(
             tagged,
             view.weth,
             &self.config,
@@ -323,22 +326,23 @@ impl LeiShen {
         }
         clock.lap(sink, Stage::Trades);
         builder.lap(tracer, Stage::Trades);
+        // Dedup by linear scan: a transaction has a handful of borrower
+        // identities at most, and hashing a tag walks its app-name
+        // string, so a set would cost more than it saves.
         let mut borrower_tags: Vec<Tag> = Vec::new();
-        seen_tags.clear();
         for loan in &flash_loans {
             let t = resolve(loan.borrower);
-            if seen_tags.insert(t.clone()) {
+            if !borrower_tags.contains(&t) {
                 borrower_tags.push(t);
             }
         }
         let initiator_tag = resolve(tx.from);
-        if seen_tags.insert(initiator_tag.clone()) {
+        if !borrower_tags.contains(&initiator_tag) {
             borrower_tags.push(initiator_tag);
         }
         // Legs are flattened once and shared across borrower tags.
         let legs = all_legs(&trades);
         let mut matches: Vec<PatternMatch> = Vec::new();
-        seen_matches.clear();
         let active_matchers = 3 + usize::from(self.config.experimental_kdp);
         for tag in &borrower_tags {
             let found =
@@ -368,8 +372,11 @@ impl LeiShen {
                         });
                     }
                 });
+            // Same linear-scan rationale: matches number in the single
+            // digits, and the set this replaces cloned every match's
+            // trade list and counterparty name just to build its key.
             for m in found {
-                if seen_matches.insert(match_key(&m)) {
+                if !matches.iter().any(|have| same_match(have, &m)) {
                     matches.push(m);
                 }
             }
@@ -473,7 +480,10 @@ impl LeiShen {
         prices: Option<&UsdPriceTable>,
         resolve: &mut dyn FnMut(Address) -> Tag,
     ) -> Option<AttackReport> {
-        let analysis = self.analyze_with(tx, view, resolve);
+        // Cold path: one transaction per call, so the dyn resolver stays
+        // (monomorphizing `detect` would only bloat the binary).
+        let mut resolve = resolve;
+        let analysis = self.analyze_with(tx, view, &mut resolve);
         if !analysis.is_attack() {
             return None;
         }
@@ -505,33 +515,22 @@ impl LeiShen {
 pub struct AnalysisScratch {
     tagged: Vec<TaggedTransfer>,
     patterns: PatternScratch,
-    seen_tags: HashSet<Tag, BuildFnv>,
-    seen_matches: HashSet<MatchKey, BuildFnv>,
     /// Per-worker transaction tick driving the sink's stage-timing
     /// sampling ([`MetricsSink::stage_sampling`]).
     lap_tick: u32,
 }
 
-/// Dedup key for [`PatternMatch`] (which is `PartialEq`-only because of
-/// its `f64` volatility): the float joins the key by bit pattern.
-type MatchKey = (
-    crate::patterns::PatternKind,
-    TokenId,
-    TokenId,
-    Vec<u32>,
-    u64,
-    String,
-);
-
-fn match_key(m: &PatternMatch) -> MatchKey {
-    (
-        m.kind,
-        m.target_token,
-        m.quote_token,
-        m.trade_seqs.clone(),
-        m.volatility.to_bits(),
-        m.counterparty.clone(),
-    )
+/// Match equality for dedup across borrower tags. `PatternMatch` is
+/// `PartialEq`-only because of its `f64` volatility; here the float
+/// compares by bit pattern, so two NaN volatilities of identical
+/// provenance still dedup.
+fn same_match(a: &PatternMatch, b: &PatternMatch) -> bool {
+    a.kind == b.kind
+        && a.target_token == b.target_token
+        && a.quote_token == b.quote_token
+        && a.volatility.to_bits() == b.volatility.to_bits()
+        && a.trade_seqs == b.trade_seqs
+        && a.counterparty == b.counterparty
 }
 
 /// All addresses in the transaction that share a borrower tag — the

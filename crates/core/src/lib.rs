@@ -58,6 +58,7 @@ pub mod patterns;
 pub mod report;
 pub mod resilience;
 pub mod scan;
+pub mod sched;
 pub mod simplify;
 pub mod tagging;
 pub mod telemetry;
@@ -81,10 +82,14 @@ pub use resilience::{
     Quarantine, ResilienceConfig, ResilientScan,
 };
 pub use scan::{LocalTagCache, ScanEngine, ScanStats, ShardStat, TagCache};
+pub use sched::{access_set, SchedStats, WavePlan};
 pub use simplify::{
     simplify, simplify_into, simplify_into_observed, DropRule, SimplifyAction, SimplifyStats,
 };
-pub use tagging::{tag_transfers, tag_transfers_with, tag_transfers_with_into, Tag, TagMap, TaggedTransfer};
+pub use tagging::{
+    shares_creation_ancestry, tag_transfers, tag_transfers_with, tag_transfers_with_into, Tag,
+    TagMap, TaggedTransfer,
+};
 pub use telemetry::{
     MetricsSink, NoopSink, RecordingSink, Stage, StageSummary, TxCounters, TxCountersTotal,
     STAGES, STAGE_COUNT,

@@ -214,6 +214,14 @@ impl ResilientScan {
         self.verdicts.iter().filter_map(Verdict::quarantine)
     }
 
+    /// The input positions of the quarantined transactions, in input
+    /// order. Useful for asserting that two scans of the same corpus —
+    /// serial and wave-scheduled, say — sidelined exactly the same
+    /// records.
+    pub fn quarantined_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.quarantines().map(|q| q.index)
+    }
+
     /// Whether every transaction was fully analyzed.
     pub fn is_fully_analyzed(&self) -> bool {
         self.stats.quarantined == 0
@@ -595,6 +603,10 @@ impl<S: MetricsSink> MetricsSink for FaultInjector<S> {
     fn quarantined(&self) {
         self.inner.quarantined();
     }
+
+    fn scheduled(&self, stats: &crate::sched::SchedStats) {
+        self.inner.scheduled(stats);
+    }
 }
 
 /// One worker's front of a [`FaultInjector`]: injection state is shared
@@ -636,6 +648,10 @@ impl<F: MetricsSink> MetricsSink for FaultFront<'_, F> {
 
     fn quarantined(&self) {
         self.inner.quarantined();
+    }
+
+    fn scheduled(&self, stats: &crate::sched::SchedStats) {
+        self.inner.scheduled(stats);
     }
 }
 

@@ -35,6 +35,7 @@ use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
 use crossbeam::deque::{Injector, Steal};
 use ethsim::{validate_record, Address, CreationIndex, TxRecord};
@@ -46,6 +47,7 @@ use crate::resilience::{
     payload_message, stage_of_payload, Fault, Quarantine, ResilienceConfig, ResilientScan,
     Verdict,
 };
+use crate::sched::WavePlan;
 use crate::tagging::{tag_of, Tag};
 use crate::telemetry::{MetricsSink, NoopSink, RecordingSink};
 use crate::trace::{Decision, FlightRecorder, NoopTracer, Reason, TraceBuilder, TraceSink};
@@ -111,6 +113,25 @@ pub struct TagCache {
     // lock (the only contended operation), so the per-shard miss counts
     // double as the cache's contention profile.
     shard_misses: [AtomicU64; SHARD_COUNT],
+    // Lock acquisitions that found the shard already held (the try-lock
+    // fast path failed and the caller had to wait). With conflict-aware
+    // scheduling keeping concurrent workers on disjoint working sets,
+    // this should stay near zero even under contention-heavy corpora.
+    shard_lock_waits: [AtomicU64; SHARD_COUNT],
+    // Bumped after every insert; `snapshot` is rebuilt only when its
+    // recorded generation falls behind this counter.
+    generation: AtomicU64,
+    snapshot: RwLock<Snapshot>,
+    snapshot_rebuilds: AtomicU64,
+}
+
+/// A frozen merge of every shard at some generation. Entries are
+/// immutable once inserted, so a stale snapshot is only ever *missing*
+/// addresses, never wrong about one.
+#[derive(Debug, Default)]
+struct Snapshot {
+    generation: u64,
+    map: Arc<TagMapInner>,
 }
 
 /// Telemetry snapshot of one [`TagCache`] shard.
@@ -121,6 +142,10 @@ pub struct ShardStat {
     /// Misses routed to the shard — each one took the shard's write
     /// lock, so this is the shard's share of write contention.
     pub inserts: u64,
+    /// Lock acquisitions on the shard that found it already held and had
+    /// to wait (read or write). The scheduler exists to keep this near
+    /// zero: concurrent chunks come from disjoint affinity clusters.
+    pub lock_waits: u64,
 }
 
 impl TagCache {
@@ -143,14 +168,76 @@ impl TagCache {
         }
         let idx = self.shard_index(addr);
         let shard = &self.shards[idx];
-        if let Some(tag) = shard.read().get(&addr) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
-            return tag.clone();
+        // Try-lock first so contention is *observable*: a failed try is
+        // exactly one would-have-blocked acquisition, counted before
+        // falling back to the blocking path.
+        {
+            let guard = shard.try_read().unwrap_or_else(|| {
+                self.shard_lock_waits[idx].fetch_add(1, Ordering::Relaxed);
+                shard.read()
+            });
+            if let Some(tag) = guard.get(&addr) {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                return tag.clone();
+            }
         }
         self.shard_misses[idx].fetch_add(1, Ordering::Relaxed);
         let tag = tag_of(addr, labels, creations);
-        shard.write().insert(addr, tag.clone());
+        let mut guard = shard.try_write().unwrap_or_else(|| {
+            self.shard_lock_waits[idx].fetch_add(1, Ordering::Relaxed);
+            shard.write()
+        });
+        guard.insert(addr, tag.clone());
+        drop(guard);
+        self.generation.fetch_add(1, Ordering::Release);
         tag
+    }
+
+    /// A frozen, lock-free view of everything cached so far, shared by
+    /// reference. Worker fronts ([`LocalTagCache`]) probe this map with
+    /// no lock and no per-worker copy; it is rebuilt (one merge pass
+    /// over the shards) only when inserts have happened since the last
+    /// snapshot, so in the steady state — every address of the working
+    /// set already cached — taking a snapshot is one `Arc` clone.
+    pub(crate) fn snapshot(&self) -> Arc<TagMapInner> {
+        let current = self.generation.load(Ordering::Acquire);
+        {
+            let snap = self.snapshot.read();
+            if snap.generation == current {
+                return Arc::clone(&snap.map);
+            }
+        }
+        let mut snap = self.snapshot.write();
+        // Double-checked: another worker may have rebuilt while this one
+        // waited on the write lock.
+        let current = self.generation.load(Ordering::Acquire);
+        if snap.generation == current {
+            return Arc::clone(&snap.map);
+        }
+        // Record the generation observed *before* merging: an insert
+        // racing with the merge bumps the counter past this value, so
+        // the next snapshot() call rebuilds again and picks it up.
+        let mut merged =
+            TagMapInner::with_capacity_and_hasher(self.len(), BuildFnv::default());
+        for shard in &self.shards {
+            for (addr, tag) in shard.read().iter() {
+                merged.insert(*addr, tag.clone());
+            }
+        }
+        self.snapshot_rebuilds.fetch_add(1, Ordering::Relaxed);
+        *snap = Snapshot {
+            generation: current,
+            map: Arc::new(merged),
+        };
+        Arc::clone(&snap.map)
+    }
+
+    /// How many times [`TagCache::snapshot`] had to rebuild the frozen
+    /// view (0 ⇒ never taken or always current). One rebuild per batch
+    /// of new addresses is the expected steady state; a rebuild per
+    /// *scan* means the working set is still growing.
+    pub fn snapshot_rebuilds(&self) -> u64 {
+        self.snapshot_rebuilds.load(Ordering::Relaxed)
     }
 
     /// Number of lookups answered from the cache.
@@ -184,8 +271,19 @@ impl TagCache {
         for (i, slot) in out.iter_mut().enumerate() {
             slot.entries = self.shards[i].read().len();
             slot.inserts = self.shard_misses[i].load(Ordering::Relaxed);
+            slot.lock_waits = self.shard_lock_waits[i].load(Ordering::Relaxed);
         }
         out
+    }
+
+    /// Total shard-lock acquisitions that had to wait, across all shards
+    /// — the cache's aggregate contention signal, next to
+    /// [`TagCache::snapshot_rebuilds`] and the hit rate.
+    pub fn lock_waits(&self) -> u64 {
+        self.shard_lock_waits
+            .iter()
+            .map(|m| m.load(Ordering::Relaxed))
+            .sum()
     }
 
     /// Number of distinct addresses currently cached.
@@ -208,6 +306,16 @@ impl TagCache {
         for m in &self.shard_misses {
             m.store(0, Ordering::Relaxed);
         }
+        for m in &self.shard_lock_waits {
+            m.store(0, Ordering::Relaxed);
+        }
+        // Invalidate the frozen view: bump the generation and publish an
+        // empty snapshot stamped with it.
+        let generation = self.generation.fetch_add(1, Ordering::Release) + 1;
+        *self.snapshot.write() = Snapshot {
+            generation,
+            map: Arc::new(TagMapInner::default()),
+        };
     }
 }
 
@@ -223,32 +331,45 @@ impl TagCache {
 /// the tally is flushed when the `LocalTagCache` is dropped.
 pub struct LocalTagCache<'a> {
     shared: &'a TagCache,
-    map: TagMapInner,
+    // The shared cache's frozen view at construction time: probed with
+    // no lock, no atomic, and no per-worker copy. Over a warm cache this
+    // answers essentially every lookup.
+    snapshot: Arc<TagMapInner>,
+    // Addresses resolved after the snapshot was taken. Usually a handful
+    // per batch; they reach other workers through the shared cache and
+    // join the snapshot on its next rebuild.
+    overlay: TagMapInner,
     hits: u64,
 }
 
 impl<'a> LocalTagCache<'a> {
-    /// An empty local front over `shared`.
+    /// A front over `shared`, seeded with its current
+    /// [snapshot](TagCache::snapshot).
     pub fn new(shared: &'a TagCache) -> Self {
         LocalTagCache {
             shared,
-            map: TagMapInner::default(),
+            snapshot: shared.snapshot(),
+            overlay: TagMapInner::default(),
             hits: 0,
         }
     }
 
-    /// The tag of `addr` — local map first, shared cache second,
-    /// [`tag_of`] last.
+    /// The tag of `addr` — snapshot first, local overlay second, shared
+    /// cache third, [`tag_of`] last.
     pub fn resolve(&mut self, addr: Address, labels: &Labels, creations: &CreationIndex) -> Tag {
         if addr.is_zero() {
             return Tag::BlackHole;
         }
-        if let Some(tag) = self.map.get(&addr) {
+        if let Some(tag) = self.snapshot.get(&addr) {
+            self.hits += 1;
+            return tag.clone();
+        }
+        if let Some(tag) = self.overlay.get(&addr) {
             self.hits += 1;
             return tag.clone();
         }
         let tag = self.shared.resolve(addr, labels, creations);
-        self.map.insert(addr, tag.clone());
+        self.overlay.insert(addr, tag.clone());
         tag
     }
 }
@@ -305,6 +426,7 @@ pub struct ScanEngine {
     workers: usize,
     chunk_size: usize,
     oversubscribe: bool,
+    scheduled: bool,
 }
 
 impl ScanEngine {
@@ -315,14 +437,27 @@ impl ScanEngine {
             workers: workers.max(1),
             chunk_size: 32,
             oversubscribe: false,
+            scheduled: true,
         }
     }
 
     /// Overrides how many transactions each stolen work item carries.
-    /// Smaller chunks balance better; larger chunks amortize queue
-    /// traffic. Minimum 1.
+    /// Under the conflict-aware scheduler (the default) this is a
+    /// *ceiling*: the [`WavePlan`] adapts the chunk size down for small
+    /// batches so every worker still gets work. Smaller chunks balance
+    /// better; larger chunks amortize queue traffic. Minimum 1.
     pub fn with_chunk_size(mut self, chunk_size: usize) -> Self {
         self.chunk_size = chunk_size.max(1);
+        self
+    }
+
+    /// Disables the conflict-aware scheduler: the batch is cut into
+    /// fixed-size chunks in input order, the pre-`leishen::sched`
+    /// behavior. Kept so the throughput bench can measure scheduled vs
+    /// naive chunking on an otherwise identical engine; both produce
+    /// identical analyses, in input order.
+    pub fn with_naive_chunking(mut self) -> Self {
+        self.scheduled = false;
         self
     }
 
@@ -553,18 +688,30 @@ impl ScanEngine {
                 .collect();
         }
 
+        // Plan the batch: conflict-aware waves by default, the legacy
+        // blind fixed-size chunking under `with_naive_chunking`. Either
+        // way the plan's order is a permutation of the input indices and
+        // verdicts scatter back to input positions below, so scheduling
+        // never changes what the scan returns — only which worker
+        // analyzes what, and when.
+        let plan = if self.scheduled {
+            WavePlan::build(txs, view.creations(), workers, self.chunk_size)
+        } else {
+            WavePlan::naive(txs.len(), self.chunk_size)
+        };
+        let workers = workers.min(plan.chunk_count()).max(1);
+
         // Chunk descriptors go into a shared injector; workers steal
         // them until it runs dry. Completed chunks are published into
         // index-keyed slots immediately, so work a worker finished
         // before dying is never lost with it.
-        let injector: Injector<(usize, usize, usize)> = Injector::new();
-        for (chunk_idx, start) in (0..txs.len()).step_by(self.chunk_size).enumerate() {
-            let end = (start + self.chunk_size).min(txs.len());
-            injector.push((chunk_idx, start, end));
+        let injector: Injector<usize> = Injector::new();
+        for chunk_idx in 0..plan.chunk_count() {
+            injector.push(chunk_idx);
         }
-        let chunk_count = txs.len().div_ceil(self.chunk_size);
         let slots: Vec<Mutex<Option<Vec<Verdict>>>> =
-            (0..chunk_count).map(|_| Mutex::new(None)).collect();
+            (0..plan.chunk_count()).map(|_| Mutex::new(None)).collect();
+        let steal_retries = AtomicU64::new(0);
 
         let scope_result = crossbeam::thread::scope(|scope| {
             let handles: Vec<_> = (0..workers)
@@ -576,15 +723,16 @@ impl ScanEngine {
                         let tfront = tracer.worker_front();
                         loop {
                             match injector.steal() {
-                                Steal::Success((chunk_idx, start, end)) => {
-                                    let verdicts: Vec<Verdict> = txs[start..end]
+                                Steal::Success(chunk_idx) => {
+                                    let verdicts: Vec<Verdict> = plan
+                                        .chunk_indices(chunk_idx)
                                         .iter()
-                                        .enumerate()
-                                        .map(|(offset, tx)| {
+                                        .map(|&input| {
+                                            let input = input as usize;
                                             analyze_guarded(
                                                 detector,
-                                                tx,
-                                                start + offset,
+                                                txs[input],
+                                                input,
                                                 view,
                                                 &mut tags,
                                                 &mut scratch,
@@ -597,7 +745,10 @@ impl ScanEngine {
                                     *slots[chunk_idx].lock() = Some(verdicts);
                                 }
                                 Steal::Empty => break,
-                                Steal::Retry => continue,
+                                Steal::Retry => {
+                                    steal_retries.fetch_add(1, Ordering::Relaxed);
+                                    continue;
+                                }
                             }
                         }
                     })
@@ -629,27 +780,35 @@ impl ScanEngine {
             }
         }
 
-        let mut out: Vec<Verdict> = Vec::with_capacity(txs.len());
+        // Scatter reassembly: chunk `i`'s verdicts land at the *input*
+        // positions `plan.chunk_indices(i)` names, so the output is in
+        // input order whatever the wave layout was — and a quarantine's
+        // recorded index is the input index, unchanged by scheduling.
+        let mut out: Vec<Option<Verdict>> = Vec::with_capacity(txs.len());
+        out.resize_with(txs.len(), || None);
         for (chunk_idx, slot) in slots.into_iter().enumerate() {
             match slot.into_inner() {
-                Some(chunk) => out.extend(chunk),
+                Some(chunk) => {
+                    for (&input, verdict) in plan.chunk_indices(chunk_idx).iter().zip(chunk) {
+                        out[input as usize] = Some(verdict);
+                    }
+                }
                 None => {
                     // A worker died between stealing this chunk and
                     // publishing it (possible under a resilience policy
                     // only if the fault escaped the per-transaction
                     // guard). Reprocess the chunk on the calling thread
                     // under the same guard.
-                    let start = chunk_idx * self.chunk_size;
-                    let end = (start + self.chunk_size).min(txs.len());
                     let mut tags = LocalTagCache::new(cache);
                     let mut scratch = AnalysisScratch::default();
                     let front = sink.worker_front();
                     let tfront = tracer.worker_front();
-                    for (offset, tx) in txs[start..end].iter().enumerate() {
-                        out.push(analyze_guarded(
+                    for &input in plan.chunk_indices(chunk_idx) {
+                        let input = input as usize;
+                        out[input] = Some(analyze_guarded(
                             detector,
-                            tx,
-                            start + offset,
+                            txs[input],
+                            input,
                             view,
                             &mut tags,
                             &mut scratch,
@@ -661,7 +820,14 @@ impl ScanEngine {
                 }
             }
         }
-        out
+        if S::ENABLED {
+            let mut stats = plan.stats();
+            stats.steal_retries = steal_retries.load(Ordering::Relaxed);
+            sink.scheduled(&stats);
+        }
+        out.into_iter()
+            .map(|v| v.expect("the wave plan schedules every input index exactly once"))
+            .collect()
     }
 }
 

@@ -134,14 +134,77 @@ pub fn simplify_into_observed(
     weth_token: Option<TokenId>,
     config: &DetectorConfig,
     out: &mut Vec<TaggedTransfer>,
+    observe: impl FnMut(SimplifyAction),
+) -> SimplifyStats {
+    simplify_core(tagged.iter(), weth_token, config, out, observe)
+}
+
+/// [`simplify_into_observed`] consuming its input: kept transfers are
+/// *moved* into `out` instead of cloned, so the batch-scan hot path pays
+/// no tag refcount traffic for survivors. `tagged` is left empty (its
+/// allocation intact, for reuse). Output, stats, and observed actions
+/// are identical to the borrowing version for the same input.
+pub fn simplify_drain_observed(
+    tagged: &mut Vec<TaggedTransfer>,
+    weth_token: Option<TokenId>,
+    config: &DetectorConfig,
+    out: &mut Vec<TaggedTransfer>,
+    observe: impl FnMut(SimplifyAction),
+) -> SimplifyStats {
+    simplify_core(tagged.drain(..), weth_token, config, out, observe)
+}
+
+/// An input item the reduction loop can inspect by reference and then
+/// turn into an owned survivor: `&TaggedTransfer` clones, an owned
+/// `TaggedTransfer` moves. Keeps the borrowing and draining entry points
+/// on one code path so they cannot diverge.
+trait SimplifyItem {
+    fn peek(&self) -> &TaggedTransfer;
+    fn keep(self, token: TokenId) -> TaggedTransfer;
+}
+
+impl SimplifyItem for &TaggedTransfer {
+    fn peek(&self) -> &TaggedTransfer {
+        self
+    }
+
+    fn keep(self, token: TokenId) -> TaggedTransfer {
+        TaggedTransfer {
+            seq: self.seq,
+            sender: self.sender.clone(),
+            receiver: self.receiver.clone(),
+            amount: self.amount,
+            token,
+        }
+    }
+}
+
+impl SimplifyItem for TaggedTransfer {
+    fn peek(&self) -> &TaggedTransfer {
+        self
+    }
+
+    fn keep(mut self, token: TokenId) -> TaggedTransfer {
+        self.token = token;
+        self
+    }
+}
+
+/// The single-pass reduction behind every `simplify_*` entry point.
+fn simplify_core<I: SimplifyItem>(
+    items: impl Iterator<Item = I>,
+    weth_token: Option<TokenId>,
+    config: &DetectorConfig,
+    out: &mut Vec<TaggedTransfer>,
     mut observe: impl FnMut(SimplifyAction),
 ) -> SimplifyStats {
     out.clear();
     let mut stats = SimplifyStats::default();
     let is_weth = |tag: &Tag| tag.app_name() == Some(WETH_TAG);
-    for t in tagged {
+    for item in items {
         // Rules 1 and 2 are decided on the borrowed transfer — dropped
         // entries never pay a clone's tag refcount traffic.
+        let t = item.peek();
         if t.sender == t.receiver {
             stats.dropped += 1;
             observe(SimplifyAction::Dropped {
@@ -178,13 +241,7 @@ pub fn simplify_into_observed(
             }
         }
         observe(SimplifyAction::Kept { seq: t.seq });
-        out.push(TaggedTransfer {
-            seq: t.seq,
-            sender: t.sender.clone(),
-            receiver: t.receiver.clone(),
-            amount: t.amount,
-            token,
-        });
+        out.push(item.keep(token));
     }
     stats.kept = out.len() as u32;
     stats

@@ -511,3 +511,111 @@ proptest! {
         prop_assert_eq!(once, baseline);
     }
 }
+
+// Scheduling identity: the wave-scheduled multi-worker engine is a pure
+// reordering of per-transaction work, so on ANY corpus — whatever the
+// creation forest, transfer graph, or label placement — it must produce
+// byte-identical analyses to a serial scan, as must the naive
+// fixed-chunking engine it replaced. The same holds on the resilient
+// path with corrupted records present: scheduling must not change which
+// transactions get quarantined, nor the analyses of the healthy ones.
+proptest! {
+    #[test]
+    fn scheduled_scan_matches_serial_on_arbitrary_corpora(
+        seed in 0u64..500,
+        specs in prop::collection::vec(
+            (0usize..20, 0usize..20, 1u128..1_000_000, 0u32..3),
+            1..32
+        ),
+    ) {
+        use ethsim::{Transfer, TxId, TxRecord, TxStatus, TxTrace};
+        use leishen::{ChainView, LeiShen, ResilienceConfig, ScanEngine};
+
+        // The random creation-forest family the tagging properties use.
+        let mut records = Vec::new();
+        let mut labels = Labels::new();
+        let mut addrs = Vec::new();
+        for i in 0..20u64 {
+            let a = Address::from_u64(1000 + i);
+            addrs.push(a);
+            if i > 0 {
+                let parent = Address::from_u64(1000 + (seed + i) % i);
+                records.push(CreationRecord { creator: parent, created: a, block: 0 });
+            }
+            if (seed + i) % 5 == 0 {
+                labels.set(a, format!("App{}", (seed + i) % 3));
+            }
+        }
+        let view = ChainView::new(&labels, &records, None);
+
+        let txs: Vec<TxRecord> = specs.iter().enumerate().map(|(i, &(s, r, amount, tok))| {
+            TxRecord {
+                id: TxId(i as u64 + 1),
+                block: i as u64 / 4,
+                timestamp: 1_600_000_000 + i as u64,
+                from: addrs[s],
+                to: addrs[r],
+                function: format!("f{i}"),
+                status: TxStatus::Success,
+                trace: TxTrace {
+                    transfers: vec![
+                        Transfer {
+                            seq: 0,
+                            sender: addrs[s],
+                            receiver: addrs[r],
+                            amount,
+                            token: TokenId::from_index(tok),
+                        },
+                        Transfer {
+                            seq: 1,
+                            sender: addrs[r],
+                            receiver: addrs[(s + r) % addrs.len()],
+                            amount: amount / 2 + 1,
+                            token: TokenId::ETH,
+                        },
+                    ],
+                    ..TxTrace::default()
+                },
+            }
+        }).collect();
+        let refs: Vec<&TxRecord> = txs.iter().collect();
+
+        let detector = LeiShen::new(DetectorConfig::paper());
+        let serial = ScanEngine::new(1);
+        // Small chunk hint + lifted hardware cap so the threaded,
+        // wave-planned path genuinely runs even on single-core CI.
+        let scheduled = ScanEngine::new(4).with_chunk_size(2).allow_oversubscription();
+        let naive = ScanEngine::new(4)
+            .with_chunk_size(2)
+            .allow_oversubscription()
+            .with_naive_chunking();
+
+        let dump = |analyses: &[leishen::Analysis]| -> Vec<String> {
+            analyses.iter().map(|a| format!("{a:?}")).collect()
+        };
+        let want = dump(&serial.scan(&detector, &refs, &view));
+        prop_assert_eq!(&dump(&scheduled.scan(&detector, &refs, &view)), &want);
+        prop_assert_eq!(&dump(&naive.scan(&detector, &refs, &view)), &want);
+
+        // Resilient path: corrupt every fifth record's journal (a seq far
+        // past the contiguous range breaks the executor invariant) and
+        // require serial and scheduled scans to quarantine identically.
+        let mut corrupted = txs.clone();
+        for (i, tx) in corrupted.iter_mut().enumerate() {
+            if i % 5 == 0 {
+                tx.trace.transfers[0].seq = 9999;
+            }
+        }
+        let refs: Vec<&TxRecord> = corrupted.iter().collect();
+        let policy = ResilienceConfig::new();
+        let serial_run = serial.scan_resilient(&detector, &refs, &view, &TagCache::new(), &policy);
+        let sched_run =
+            scheduled.scan_resilient(&detector, &refs, &view, &TagCache::new(), &policy);
+        prop_assert!(serial_run.quarantined_indices().eq(sched_run.quarantined_indices()));
+        prop_assert!(serial_run.quarantined_indices().eq((0..corrupted.len()).step_by(5)));
+        let verdicts = |run: &leishen::ResilientScan| -> Vec<String> {
+            run.verdicts.iter().map(|v| format!("{v:?}")).collect()
+        };
+        prop_assert_eq!(verdicts(&serial_run), verdicts(&sched_run));
+    }
+}

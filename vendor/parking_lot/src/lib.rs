@@ -66,9 +66,29 @@ impl<T: ?Sized> RwLock<T> {
         self.0.read().unwrap_or_else(|p| p.into_inner())
     }
 
+    /// Acquires a shared read guard without blocking, or `None` if a
+    /// writer holds (or is waiting for) the lock.
+    pub fn try_read(&self) -> Option<RwLockReadGuard<'_, T>> {
+        match self.0.try_read() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
     /// Acquires an exclusive write guard.
     pub fn write(&self) -> RwLockWriteGuard<'_, T> {
         self.0.write().unwrap_or_else(|p| p.into_inner())
+    }
+
+    /// Acquires an exclusive write guard without blocking, or `None` if
+    /// the lock is held.
+    pub fn try_write(&self) -> Option<RwLockWriteGuard<'_, T>> {
+        match self.0.try_write() {
+            Ok(guard) => Some(guard),
+            Err(std::sync::TryLockError::Poisoned(p)) => Some(p.into_inner()),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
     }
 
     /// Mutable access without locking (requires exclusive ownership).
@@ -98,5 +118,21 @@ mod tests {
         }
         l.write().push(3);
         assert_eq!(l.read().len(), 3);
+    }
+
+    #[test]
+    fn try_variants_yield_while_held() {
+        let l = RwLock::new(0);
+        {
+            let _r = l.read();
+            assert!(l.try_read().is_some());
+            assert!(l.try_write().is_none());
+        }
+        {
+            let w = l.try_write();
+            assert!(w.is_some());
+            assert!(l.try_read().is_none());
+        }
+        assert!(l.try_read().is_some());
     }
 }
