@@ -308,6 +308,64 @@ fn main() -> ExitCode {
         }
     }
 
+    // ----- stream: sustained throughput + batch≡stream (opt-in) ------------
+    // Like the chaos gate, this only arms when a baseline is named, so
+    // existing invocations keep their argument lists.
+    let base_stream_path = cli_str("--baseline-stream", "");
+    if !base_stream_path.is_empty() {
+        let fresh_stream_path = cli_str("--fresh-stream", "BENCH_stream.json");
+        let base_stream = load(&base_stream_path);
+        let fresh_stream = load(&fresh_stream_path);
+        println!("stream: sustained rate + batch≡stream equivalence");
+
+        // The equivalence flags are the stream bin's own assertion that
+        // its verdicts matched a one-shot batch scan; a fresh run that
+        // did not (or could not) record them must not pass the gate.
+        for field in ["verdicts_match", "quarantines_match"] {
+            let held = fresh_stream
+                .get("equivalence")
+                .and_then(|e| e.get(field))
+                .and_then(Json::as_bool)
+                .unwrap_or(false);
+            let verdict = if held { "ok" } else { "FAIL" };
+            println!("  {verdict:<4} equivalence.{field}: {held}");
+            if !held {
+                violations.push(format!("stream equivalence.{field} is not true"));
+            }
+        }
+
+        // Sustained throughput compares like the scan gate: absolute
+        // when the corpora match, skipped otherwise (a smoke run over a
+        // different corpus says nothing about the full-run rate). The
+        // p99 gets triple the throughput tolerance — tail latency under
+        // a firehose producer is queueing-dominated and noisy.
+        if same_corpus(&base_stream, &fresh_stream) {
+            check_drop(
+                "sustained stream tx/s",
+                f64_at(&base_stream, &["sustained_tx_per_sec"], &base_stream_path),
+                f64_at(&fresh_stream, &["sustained_tx_per_sec"], &fresh_stream_path),
+                max_drop,
+                &mut violations,
+            );
+            let base_p99 = f64_at(&base_stream, &["p99_latency_us"], &base_stream_path);
+            let fresh_p99 = f64_at(&fresh_stream, &["p99_latency_us"], &fresh_stream_path);
+            let limit = max_drop * 3.0;
+            let growth_pct = (fresh_p99 / base_p99.max(1e-12) - 1.0) * 100.0;
+            let verdict = if growth_pct > limit { "FAIL" } else { "ok" };
+            println!(
+                "  {verdict:<4} p99 verdict latency: baseline {base_p99:.1}µs, \
+                 fresh {fresh_p99:.1}µs ({growth_pct:+.1}%)"
+            );
+            if growth_pct > limit {
+                violations.push(format!(
+                    "stream p99 latency grew {growth_pct:.1}% (limit {limit}%)"
+                ));
+            }
+        } else {
+            println!("  skip corpora differ — absolute stream rates not comparable");
+        }
+    }
+
     if violations.is_empty() {
         println!("\nbench_diff: no regressions");
         ExitCode::SUCCESS

@@ -60,6 +60,7 @@ pub mod resilience;
 pub mod scan;
 pub mod sched;
 pub mod simplify;
+pub mod stream;
 pub mod tagging;
 pub mod telemetry;
 pub mod trace;
@@ -85,6 +86,10 @@ pub use scan::{LocalTagCache, ScanEngine, ScanStats, ShardStat, TagCache};
 pub use sched::{access_set, SchedStats, WavePlan};
 pub use simplify::{
     simplify, simplify_into, simplify_into_observed, DropRule, SimplifyAction, SimplifyStats,
+};
+pub use stream::{
+    Block, BlockReport, BoundedQueue, QueueStats, StreamConfig, StreamProducer, StreamReport,
+    StreamService,
 };
 pub use tagging::{
     shares_creation_ancestry, tag_transfers, tag_transfers_with, tag_transfers_with_into, Tag,

@@ -65,14 +65,21 @@ pub enum Fault {
         /// The panic payload, stringified.
         message: String,
     },
+    /// The per-block deadline budget expired before this transaction
+    /// was analyzed. The streaming service downgrades late work to
+    /// [`Verdict::Indeterminate`] instead of stalling the stream; the
+    /// transaction never entered the pipeline.
+    Deadline,
 }
 
 impl Fault {
-    /// Stable machine-readable code: `invalid_input` or `panic`.
+    /// Stable machine-readable code: `invalid_input`, `panic`, or
+    /// `deadline`.
     pub fn code(&self) -> &'static str {
         match self {
             Fault::InvalidInput { .. } => "invalid_input",
             Fault::Panic { .. } => "panic",
+            Fault::Deadline => "deadline",
         }
     }
 }
@@ -109,6 +116,7 @@ impl Quarantine {
                 Some(stage) => format!("panic@{}", stage.name()),
                 None => "panic".to_string(),
             },
+            Fault::Deadline => "deadline".to_string(),
         }
     }
 }
@@ -161,6 +169,15 @@ pub struct ResilienceConfig {
     /// chaos) succeed on retry; deterministic panics quarantine on the
     /// second attempt.
     pub retry_once: bool,
+    /// Absolute wall-clock deadline for the scan. A transaction whose
+    /// analysis has not *started* by this instant is quarantined with
+    /// [`Fault::Deadline`] instead of being analyzed — the scan keeps
+    /// draining its inputs (every transaction still gets a verdict) but
+    /// stops paying for analysis. `None` (the default) never expires,
+    /// and batch semantics are byte-identical to the pre-deadline
+    /// engine. The streaming service derives one deadline per block
+    /// from its [`crate::stream::StreamConfig::block_budget`].
+    pub deadline: Option<std::time::Instant>,
 }
 
 impl Default for ResilienceConfig {
@@ -168,6 +185,7 @@ impl Default for ResilienceConfig {
         ResilienceConfig {
             validate_inputs: true,
             retry_once: true,
+            deadline: None,
         }
     }
 }
@@ -187,6 +205,14 @@ impl ResilienceConfig {
     /// Disables the retry, quarantining on the first panic.
     pub fn without_retry(mut self) -> Self {
         self.retry_once = false;
+        self
+    }
+
+    /// Sets an absolute deadline: transactions not yet started by
+    /// `deadline` are downgraded to [`Verdict::Indeterminate`] with
+    /// [`Fault::Deadline`].
+    pub fn with_deadline(mut self, deadline: std::time::Instant) -> Self {
+        self.deadline = Some(deadline);
         self
     }
 }

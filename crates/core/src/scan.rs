@@ -862,6 +862,15 @@ fn analyze_guarded<S: MetricsSink, T: TraceSink>(
         ));
     };
 
+    // Deadline first: once the budget is spent the scan stops paying
+    // for *anything* per transaction (validation included) and just
+    // drains the remaining inputs into degraded-mode verdicts.
+    if let Some(deadline) = policy.deadline {
+        if std::time::Instant::now() >= deadline {
+            return quarantine(tx, index, Fault::Deadline, None, 0, front, tfront);
+        }
+    }
+
     if policy.validate_inputs {
         let violations = validate_record(tx);
         if !violations.is_empty() {

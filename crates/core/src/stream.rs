@@ -1,0 +1,839 @@
+//! Streaming detection service: bounded-latency online scanning.
+//!
+//! Everything below [`crate::scan::ScanEngine`] is batch: a finished
+//! `Vec<TxRecord>` goes in, verdicts come out. The paper's detector is
+//! framed as a *monitor* over arriving Ethereum blocks, so this module
+//! adds the long-running service layer on top of the existing machinery:
+//!
+//! * **Ingest** — a producer (the chain clock, a mempool feed, a replay
+//!   harness) submits [`Block`]s through a [`StreamProducer`]. Blocks
+//!   land in a bounded MPSC queue ([`BoundedQueue`]); when the scanner
+//!   falls behind, `submit` *blocks* — explicit backpressure, never an
+//!   unbounded buffer, never a dropped transaction.
+//! * **Scan** — a scanner thread drains the ingest queue one block at a
+//!   time and runs each block through
+//!   [`ScanEngine::scan_resilient_with`], so streamed blocks get the
+//!   same conflict-aware scheduling, shared [`TagCache`], telemetry and
+//!   provenance wiring as a batch scan. Each block is one telemetry /
+//!   trace epoch: worker fronts merge into the shared sinks when the
+//!   block's scan completes, so per-block counters land as the block
+//!   lands.
+//! * **Deadline budgets** — [`StreamConfig::block_budget`] gives every
+//!   block a wall-clock allowance. When it expires, the remaining
+//!   transactions of that block are downgraded to
+//!   [`Verdict::Indeterminate`] with [`Fault::Deadline`] through the
+//!   resilience layer ([`ResilienceConfig::with_deadline`]) instead of
+//!   stalling the stream. A *poisoned* block — one whose scan panics
+//!   outside the per-transaction guard — is downgraded the same way by
+//!   a whole-block `catch_unwind` backstop; it never wedges the stream.
+//! * **Emit** — verdicts flow through a second bounded queue to an
+//!   emitter thread that stamps the block's end-to-end latency
+//!   (submit → emit) and hands each [`BlockReport`] to the caller's
+//!   callback *as it lands*, before the stream finishes.
+//! * **Drain / shutdown** — when the producer closure returns, the
+//!   ingest queue closes; the scanner finishes every queued block and
+//!   closes the emit queue; the emitter flushes every in-flight report
+//!   and returns. Every submitted transaction is emitted exactly once,
+//!   deterministically, regardless of arrival timing.
+//!
+//! The service's correctness contract is **batch ≡ stream**: for any
+//! corpus and any partition of it into blocks, the streamed verdicts,
+//! quarantines, and reason chains are byte-identical to a one-shot
+//! [`ScanEngine::scan_resilient`] over the concatenated corpus (the
+//! equivalence proptests in `tests/stream_equivalence.rs` pin this).
+//! The one deliberate divergence is deadline pressure, which can only
+//! *downgrade* a verdict to `Indeterminate` — never flip flagged to
+//! cleared or back. To keep the identity exact, the scanner rebases
+//! each block's [`Quarantine::index`] from block-relative to
+//! stream-relative positions.
+//!
+//! ```
+//! use leishen::stream::{Block, StreamConfig, StreamService};
+//! use leishen::{ChainView, DetectorConfig, Labels, LeiShen};
+//!
+//! let labels = Labels::new();
+//! let view = ChainView::new(&labels, &[], None);
+//! let detector = LeiShen::new(DetectorConfig::paper());
+//! let service = StreamService::new(2, StreamConfig::default());
+//! let report = service.replay(&detector, &view, []); // empty stream
+//! assert_eq!(report.transactions, 0);
+//! ```
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use ethsim::TxRecord;
+
+use crate::detector::{Analysis, ChainView, LeiShen};
+use crate::resilience::{
+    payload_message, Fault, Quarantine, ResilienceConfig, Verdict,
+};
+use crate::scan::{ScanEngine, ScanStats, TagCache};
+use crate::telemetry::{MetricsSink, NoopSink};
+use crate::trace::{NoopTracer, TraceSink};
+
+// ---------------------------------------------------------------------------
+// Bounded MPSC queue
+// ---------------------------------------------------------------------------
+
+/// Counters describing one bounded queue's life, snapshotted into the
+/// [`StreamReport`] so tests and the `stream` bench can see backpressure
+/// instead of guessing at it.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Configured capacity (items).
+    pub capacity: usize,
+    /// Items pushed over the queue's lifetime.
+    pub pushed: u64,
+    /// Deepest the queue ever got. Never exceeds `capacity`.
+    pub max_depth: usize,
+    /// Push calls that found the queue full and had to wait for the
+    /// consumer — each one is a backpressure stall made visible.
+    pub producer_waits: u64,
+}
+
+struct QueueState<T> {
+    items: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer queue over `std::sync::Condvar`.
+///
+/// `push` blocks while the queue is at capacity (counting the stall in
+/// [`QueueStats::producer_waits`]); `pop` blocks while it is empty and
+/// returns `None` only once the queue is closed *and* drained, which is
+/// what makes shutdown a deterministic flush rather than a race.
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    not_full: Condvar,
+    not_empty: Condvar,
+    capacity: usize,
+    pushed: AtomicU64,
+    producer_waits: AtomicU64,
+    max_depth: AtomicU64,
+}
+
+impl<T> BoundedQueue<T> {
+    /// A queue holding at most `capacity` items (minimum 1).
+    pub fn new(capacity: usize) -> Self {
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                items: VecDeque::new(),
+                closed: false,
+            }),
+            not_full: Condvar::new(),
+            not_empty: Condvar::new(),
+            capacity: capacity.max(1),
+            pushed: AtomicU64::new(0),
+            producer_waits: AtomicU64::new(0),
+            max_depth: AtomicU64::new(0),
+        }
+    }
+
+    /// Enqueues `item`, blocking while the queue is full. Returns the
+    /// item back if the queue was closed before it could be enqueued.
+    pub fn push(&self, item: T) -> Result<(), T> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        if state.items.len() >= self.capacity && !state.closed {
+            // One counted stall per push that had to wait, however many
+            // wakeups it takes to find a slot.
+            self.producer_waits.fetch_add(1, Ordering::Relaxed);
+            while state.items.len() >= self.capacity && !state.closed {
+                state = self.not_full.wait(state).expect("queue lock poisoned");
+            }
+        }
+        if state.closed {
+            return Err(item);
+        }
+        state.items.push_back(item);
+        self.pushed.fetch_add(1, Ordering::Relaxed);
+        self.max_depth
+            .fetch_max(state.items.len() as u64, Ordering::Relaxed);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Dequeues the oldest item, blocking while the queue is empty.
+    /// Returns `None` once the queue is closed and fully drained.
+    pub fn pop(&self) -> Option<T> {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        loop {
+            if let Some(item) = state.items.pop_front() {
+                self.not_full.notify_one();
+                return Some(item);
+            }
+            if state.closed {
+                return None;
+            }
+            state = self.not_empty.wait(state).expect("queue lock poisoned");
+        }
+    }
+
+    /// Closes the queue: pending `pop`s drain what is already queued and
+    /// then see `None`; blocked and future `push`es fail fast.
+    pub fn close(&self) {
+        let mut state = self.state.lock().expect("queue lock poisoned");
+        state.closed = true;
+        drop(state);
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Lifetime counters for this queue.
+    pub fn stats(&self) -> QueueStats {
+        QueueStats {
+            capacity: self.capacity,
+            pushed: self.pushed.load(Ordering::Relaxed),
+            max_depth: self.max_depth.load(Ordering::Relaxed) as usize,
+            producer_waits: self.producer_waits.load(Ordering::Relaxed),
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Stream vocabulary
+// ---------------------------------------------------------------------------
+
+/// One arriving block: a number (for reporting; ordering is submission
+/// order) and the transactions it carries.
+pub struct Block<'a> {
+    /// Block number, echoed into the matching [`BlockReport`].
+    pub number: u64,
+    /// The block's transactions, in intra-block order.
+    pub txs: Vec<&'a TxRecord>,
+}
+
+struct InFlight<'a> {
+    block: Block<'a>,
+    submitted_at: Instant,
+}
+
+struct Scanned {
+    number: u64,
+    base: usize,
+    verdicts: Vec<Verdict>,
+    submitted_at: Instant,
+}
+
+/// Service policy knobs.
+#[derive(Clone, Copy, Debug)]
+pub struct StreamConfig {
+    /// Capacity of the ingest queue (blocks). When the scanner falls
+    /// this many blocks behind, `submit` blocks the producer.
+    pub ingest_capacity: usize,
+    /// Capacity of the emit queue (scanned blocks). When the caller's
+    /// emit callback falls behind, the scanner blocks, and backpressure
+    /// propagates to the producer.
+    pub emit_capacity: usize,
+    /// Wall-clock budget per block. Transactions not started by the
+    /// time a block's budget expires are downgraded to
+    /// [`Verdict::Indeterminate`] with [`Fault::Deadline`]. `None`
+    /// (default) never downgrades, making the stream byte-identical to
+    /// a batch scan.
+    pub block_budget: Option<Duration>,
+    /// The resilience policy every block is scanned under.
+    pub policy: ResilienceConfig,
+}
+
+impl Default for StreamConfig {
+    fn default() -> Self {
+        StreamConfig {
+            ingest_capacity: 8,
+            emit_capacity: 8,
+            block_budget: None,
+            policy: ResilienceConfig::default(),
+        }
+    }
+}
+
+impl StreamConfig {
+    /// Overrides both queue capacities.
+    pub fn with_capacity(mut self, ingest: usize, emit: usize) -> Self {
+        self.ingest_capacity = ingest;
+        self.emit_capacity = emit;
+        self
+    }
+
+    /// Sets the per-block deadline budget.
+    pub fn with_block_budget(mut self, budget: Duration) -> Self {
+        self.block_budget = Some(budget);
+        self
+    }
+
+    /// Sets the resilience policy blocks are scanned under.
+    pub fn with_policy(mut self, policy: ResilienceConfig) -> Self {
+        self.policy = policy;
+        self
+    }
+}
+
+/// The producer-side handle passed to the `run` closure: submit blocks,
+/// feel backpressure. The handle is `Sync`, so a producer closure may
+/// hand it to several feeder threads (mempool bursts next to the block
+/// clock) — the queue is MPSC.
+pub struct StreamProducer<'q, 'a> {
+    ingest: &'q BoundedQueue<InFlight<'a>>,
+    rejected: AtomicU64,
+}
+
+impl<'a> StreamProducer<'_, 'a> {
+    /// Submits one block, blocking while the ingest queue is full.
+    /// Returns `false` if the stream already shut down (the block is
+    /// dropped and counted; this only happens if the scanner died).
+    pub fn submit(&self, block: Block<'a>) -> bool {
+        let accepted = self
+            .ingest
+            .push(InFlight {
+                block,
+                submitted_at: Instant::now(),
+            })
+            .is_ok();
+        if !accepted {
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+        }
+        accepted
+    }
+}
+
+/// One emitted block: the scan's verdicts plus stream bookkeeping.
+#[derive(Debug)]
+pub struct BlockReport {
+    /// The submitted block's number.
+    pub number: u64,
+    /// Stream-relative index of the block's first transaction; verdict
+    /// `i` of this block sits at stream position `base + i`, and
+    /// quarantine indices are already rebased to stream positions.
+    pub base: usize,
+    /// One verdict per transaction, in intra-block order.
+    pub verdicts: Vec<Verdict>,
+    /// End-to-end latency: block submitted → verdicts emitted.
+    pub latency: Duration,
+}
+
+impl BlockReport {
+    /// Transactions in this block.
+    pub fn len(&self) -> usize {
+        self.verdicts.len()
+    }
+
+    /// Whether the block carried no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.verdicts.is_empty()
+    }
+}
+
+/// The outcome of a full stream run, after drain.
+#[derive(Debug)]
+pub struct StreamReport {
+    /// Every emitted block, in submission order.
+    pub blocks: Vec<BlockReport>,
+    /// Ingest-queue counters (producer-side backpressure).
+    pub ingest: QueueStats,
+    /// Emit-queue counters (consumer-side backpressure).
+    pub emit: QueueStats,
+    /// Total transactions streamed.
+    pub transactions: usize,
+    /// Analyzed transactions whose analysis flagged an attack.
+    pub attacks: usize,
+    /// Transactions that ended in [`Verdict::Indeterminate`].
+    pub quarantined: usize,
+}
+
+impl StreamReport {
+    /// Every verdict in stream order (blocks in submission order,
+    /// transactions in intra-block order) — the sequence a batch scan
+    /// of the concatenated corpus would return.
+    pub fn verdicts(&self) -> impl Iterator<Item = &Verdict> {
+        self.blocks.iter().flat_map(|b| b.verdicts.iter())
+    }
+
+    /// The completed analyses, in stream order.
+    pub fn analyses(&self) -> impl Iterator<Item = &Analysis> {
+        self.verdicts().filter_map(Verdict::analysis)
+    }
+
+    /// The quarantine records, in stream order (indices are
+    /// stream-relative).
+    pub fn quarantines(&self) -> impl Iterator<Item = &Quarantine> {
+        self.verdicts().filter_map(Verdict::quarantine)
+    }
+
+    /// Stream positions of the quarantined transactions.
+    pub fn quarantined_indices(&self) -> impl Iterator<Item = usize> + '_ {
+        self.quarantines().map(|q| q.index)
+    }
+
+    /// The stream's totals in [`ScanStats`] shape (cache counters come
+    /// from the caller-owned [`TagCache`], which outlives the run).
+    pub fn scan_stats(&self, cache: &TagCache) -> ScanStats {
+        ScanStats {
+            transactions: self.transactions,
+            attacks: self.attacks,
+            cache_hits: cache.hits(),
+            cache_misses: cache.misses(),
+            quarantined: self.quarantined,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The service
+// ---------------------------------------------------------------------------
+
+/// A long-running streaming scanner over the batch [`ScanEngine`].
+///
+/// The service owns no corpus: `run` borrows a [`ChainView`] and a
+/// [`TagCache`] exactly like the batch entry points, hosts the scanner
+/// and emitter threads in a scoped pool for the duration of the call,
+/// and returns once the stream has fully drained. Call `run` again for
+/// the next session; the tag cache warms across runs.
+#[derive(Clone, Debug)]
+pub struct StreamService {
+    engine: ScanEngine,
+    config: StreamConfig,
+}
+
+impl StreamService {
+    /// A service scanning each block with `workers` worker threads.
+    pub fn new(workers: usize, config: StreamConfig) -> Self {
+        StreamService {
+            engine: ScanEngine::new(workers),
+            config,
+        }
+    }
+
+    /// A service over a caller-configured engine (chunk size, naive
+    /// chunking, oversubscription).
+    pub fn with_engine(engine: ScanEngine, config: StreamConfig) -> Self {
+        StreamService { engine, config }
+    }
+
+    /// The service's configuration.
+    pub fn config(&self) -> &StreamConfig {
+        &self.config
+    }
+
+    /// Replays pre-chunked blocks through the stream with no
+    /// instrumentation and no emit callback — the plain entry point for
+    /// tests and offline replays.
+    pub fn replay<'a>(
+        &self,
+        detector: &LeiShen,
+        view: &ChainView<'a>,
+        blocks: impl IntoIterator<Item = Block<'a>>,
+    ) -> StreamReport {
+        let cache = TagCache::new();
+        self.replay_with_cache(detector, view, &cache, blocks)
+    }
+
+    /// [`StreamService::replay`] against a caller-owned cache.
+    pub fn replay_with_cache<'a>(
+        &self,
+        detector: &LeiShen,
+        view: &ChainView<'a>,
+        cache: &TagCache,
+        blocks: impl IntoIterator<Item = Block<'a>>,
+    ) -> StreamReport {
+        self.run(
+            detector,
+            view,
+            cache,
+            &NoopSink,
+            &NoopTracer,
+            |producer| {
+                for block in blocks {
+                    if !producer.submit(block) {
+                        break;
+                    }
+                }
+            },
+            |_| {},
+        )
+    }
+
+    /// Runs one streaming session.
+    ///
+    /// `producer` executes on the calling thread with a
+    /// [`StreamProducer`] handle; every `submit` feels ingest-queue
+    /// backpressure. `on_emit` executes on the emitter thread, once per
+    /// block, *as verdicts land* — before later blocks finish and
+    /// before `run` returns. When `producer` returns, the stream drains
+    /// deterministically: every submitted transaction is scanned and
+    /// emitted exactly once, then `run` returns the assembled
+    /// [`StreamReport`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn run<'a, S, T, P, E>(
+        &self,
+        detector: &LeiShen,
+        view: &ChainView<'a>,
+        cache: &TagCache,
+        sink: &S,
+        tracer: &T,
+        producer: P,
+        on_emit: E,
+    ) -> StreamReport
+    where
+        S: MetricsSink + Sync,
+        T: TraceSink + Sync,
+        P: FnOnce(&StreamProducer<'_, 'a>),
+        E: FnMut(&BlockReport) + Send,
+    {
+        let ingest: BoundedQueue<InFlight<'a>> =
+            BoundedQueue::new(self.config.ingest_capacity);
+        let emit: BoundedQueue<Scanned> = BoundedQueue::new(self.config.emit_capacity);
+
+        let blocks = crossbeam::thread::scope(|scope| {
+            let emit_q = &emit;
+            let ingest_q = &ingest;
+            // Scanner: drain ingest in submission order, one block per
+            // scan call (= one telemetry/trace epoch), then close the
+            // emit queue so the emitter's drain is deterministic.
+            let scanner = scope.spawn(move |_| {
+                let mut base = 0usize;
+                while let Some(item) = ingest_q.pop() {
+                    let scanned = self.scan_block(detector, view, cache, sink, tracer, item, base);
+                    base += scanned.verdicts.len();
+                    if emit_q.push(scanned).is_err() {
+                        break;
+                    }
+                }
+                emit_q.close();
+            });
+
+            // Emitter: stamp latency, surface the report to the caller
+            // as it lands, keep it for the final StreamReport.
+            let mut on_emit = on_emit;
+            let emitter = scope.spawn(move |_| {
+                let mut blocks = Vec::new();
+                while let Some(scanned) = emit_q.pop() {
+                    let report = BlockReport {
+                        number: scanned.number,
+                        base: scanned.base,
+                        verdicts: scanned.verdicts,
+                        latency: scanned.submitted_at.elapsed(),
+                    };
+                    on_emit(&report);
+                    blocks.push(report);
+                }
+                blocks
+            });
+
+            // Producer runs on the calling thread; when it returns (or
+            // panics — the closer is unconditional so the pipeline can
+            // always drain), shutdown begins.
+            let handle = StreamProducer {
+                ingest: &ingest,
+                rejected: AtomicU64::new(0),
+            };
+            let produced = catch_unwind(AssertUnwindSafe(|| producer(&handle)));
+            ingest.close();
+
+            scanner.join().expect("stream scanner thread panicked");
+            let blocks = emitter.join().expect("stream emitter thread panicked");
+            if let Err(payload) = produced {
+                std::panic::resume_unwind(payload);
+            }
+            blocks
+        })
+        .expect("stream scope failed to join");
+
+        let transactions = blocks.iter().map(BlockReport::len).sum();
+        let attacks = blocks
+            .iter()
+            .flat_map(|b| b.verdicts.iter())
+            .filter_map(Verdict::analysis)
+            .filter(|a| a.is_attack())
+            .count();
+        let quarantined = blocks
+            .iter()
+            .flat_map(|b| b.verdicts.iter())
+            .filter(|v| v.is_indeterminate())
+            .count();
+        StreamReport {
+            blocks,
+            ingest: ingest.stats(),
+            emit: emit.stats(),
+            transactions,
+            attacks,
+            quarantined,
+        }
+    }
+
+    /// Scans one block under the stream policy: per-block deadline,
+    /// stream-relative quarantine indices, and a whole-block
+    /// `catch_unwind` backstop so a poisoned block degrades to
+    /// indeterminate verdicts instead of wedging the scanner.
+    #[allow(clippy::too_many_arguments)]
+    fn scan_block<'a, S, T>(
+        &self,
+        detector: &LeiShen,
+        view: &ChainView<'a>,
+        cache: &TagCache,
+        sink: &S,
+        tracer: &T,
+        item: InFlight<'a>,
+        base: usize,
+    ) -> Scanned
+    where
+        S: MetricsSink + Sync,
+        T: TraceSink + Sync,
+    {
+        let InFlight {
+            block,
+            submitted_at,
+        } = item;
+        let policy = match self.config.block_budget {
+            Some(budget) => self.config.policy.with_deadline(Instant::now() + budget),
+            None => self.config.policy,
+        };
+        let outcome = catch_unwind(AssertUnwindSafe(|| {
+            self.engine
+                .scan_resilient_with(detector, &block.txs, view, cache, &policy, sink, tracer)
+        }));
+        let mut verdicts = match outcome {
+            Ok(scan) => scan.verdicts,
+            Err(payload) => {
+                // The per-transaction guard should make this
+                // unreachable; if a panic escapes it anyway, the whole
+                // block degrades rather than the stream.
+                let message = payload_message(payload.as_ref());
+                block
+                    .txs
+                    .iter()
+                    .enumerate()
+                    .map(|(index, tx)| {
+                        Verdict::Indeterminate(Quarantine {
+                            tx: tx.id,
+                            index,
+                            fault: Fault::Panic {
+                                message: message.clone(),
+                            },
+                            stage: None,
+                            attempts: 0,
+                        })
+                    })
+                    .collect()
+            }
+        };
+        // Rebase quarantine indices from block-relative to
+        // stream-relative so streamed quarantines compare byte-for-byte
+        // against a batch scan of the concatenated corpus.
+        for verdict in &mut verdicts {
+            if let Verdict::Indeterminate(q) = verdict {
+                q.index += base;
+            }
+        }
+        Scanned {
+            number: block.number,
+            base,
+            verdicts,
+            submitted_at,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::DetectorConfig;
+    use crate::labels::Labels;
+    use ethsim::{Address, CreationRecord, TokenId, Transfer, TxId, TxStatus, TxTrace};
+
+    /// A small synthetic world: a 20-address creation forest plus `n`
+    /// two-transfer transactions (the same family the root proptests
+    /// use). Not attack-shaped — these tests pin plumbing, not
+    /// detection; the golden replay covers the 22 attacks.
+    fn synthetic(n: usize) -> (Labels, Vec<CreationRecord>, Vec<TxRecord>) {
+        let mut records = Vec::new();
+        let mut labels = Labels::new();
+        let mut addrs = Vec::new();
+        for i in 0..20u64 {
+            let a = Address::from_u64(1000 + i);
+            addrs.push(a);
+            if i > 0 {
+                let parent = Address::from_u64(1000 + (7 + i) % i);
+                records.push(CreationRecord {
+                    creator: parent,
+                    created: a,
+                    block: 0,
+                });
+            }
+            if (7 + i) % 5 == 0 {
+                labels.set(a, format!("App{}", (7 + i) % 3));
+            }
+        }
+        let txs: Vec<TxRecord> = (0..n)
+            .map(|i| {
+                let (s, r) = (i % addrs.len(), (i * 3 + 1) % addrs.len());
+                TxRecord {
+                    id: TxId(i as u64 + 1),
+                    block: i as u64 / 4,
+                    timestamp: 1_600_000_000 + i as u64,
+                    from: addrs[s],
+                    to: addrs[r],
+                    function: format!("f{i}"),
+                    status: TxStatus::Success,
+                    trace: TxTrace {
+                        transfers: vec![
+                            Transfer {
+                                seq: 0,
+                                sender: addrs[s],
+                                receiver: addrs[r],
+                                amount: 1_000 + i as u128,
+                                token: TokenId::from_index(i as u32 % 3),
+                            },
+                            Transfer {
+                                seq: 1,
+                                sender: addrs[r],
+                                receiver: addrs[(s + r) % addrs.len()],
+                                amount: 500 + i as u128,
+                                token: TokenId::ETH,
+                            },
+                        ],
+                        ..TxTrace::default()
+                    },
+                }
+            })
+            .collect();
+        (labels, records, txs)
+    }
+
+    #[test]
+    fn queue_respects_capacity_and_drains_after_close() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(2);
+        q.push(1).unwrap();
+        q.push(2).unwrap();
+        q.close();
+        assert_eq!(q.push(3), Err(3));
+        assert_eq!(q.pop(), Some(1));
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        let stats = q.stats();
+        assert_eq!(stats.pushed, 2);
+        assert_eq!(stats.max_depth, 2);
+    }
+
+    #[test]
+    fn queue_blocks_full_producer_until_consumer_frees_a_slot() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(1);
+        q.push(1).unwrap();
+        crossbeam::thread::scope(|scope| {
+            let pusher = scope.spawn(|_| q.push(2).is_ok());
+            std::thread::sleep(Duration::from_millis(20));
+            assert_eq!(q.pop(), Some(1));
+            assert!(pusher.join().unwrap());
+        })
+        .unwrap();
+        assert_eq!(q.pop(), Some(2));
+        assert!(q.stats().producer_waits >= 1);
+    }
+
+    #[test]
+    fn empty_stream_reports_nothing() {
+        let labels = Labels::new();
+        let view = ChainView::new(&labels, &[], None);
+        let detector = LeiShen::new(DetectorConfig::paper());
+        let service = StreamService::new(2, StreamConfig::default());
+        let report = service.replay(&detector, &view, []);
+        assert_eq!(report.transactions, 0);
+        assert_eq!(report.blocks.len(), 0);
+        assert_eq!(report.quarantined, 0);
+    }
+
+    #[test]
+    fn streamed_verdicts_match_batch_on_a_synthetic_corpus() {
+        let (labels, creations, records) = synthetic(23);
+        let detector = LeiShen::new(DetectorConfig::paper());
+        let view = ChainView::new(&labels, &creations, None);
+        let txs: Vec<&TxRecord> = records.iter().collect();
+
+        let policy = ResilienceConfig::default();
+        let batch = ScanEngine::new(2).scan_resilient(
+            &detector,
+            &txs,
+            &view,
+            &TagCache::new(),
+            &policy,
+        );
+
+        let service = StreamService::new(2, StreamConfig::default().with_policy(policy));
+        let blocks: Vec<Block<'_>> = txs
+            .chunks(7)
+            .enumerate()
+            .map(|(i, chunk)| Block {
+                number: i as u64,
+                txs: chunk.to_vec(),
+            })
+            .collect();
+        let report = service.replay(&detector, &view, blocks);
+
+        assert_eq!(report.transactions, batch.verdicts.len());
+        let streamed: Vec<&Verdict> = report.verdicts().collect();
+        for (i, (s, b)) in streamed.iter().zip(batch.verdicts.iter()).enumerate() {
+            assert_eq!(
+                format!("{s:?}"),
+                format!("{b:?}"),
+                "verdict {i} diverged between stream and batch"
+            );
+        }
+        assert_eq!(report.attacks, batch.stats.attacks);
+        assert_eq!(report.quarantined, batch.stats.quarantined);
+    }
+
+    #[test]
+    fn expired_budget_downgrades_every_transaction() {
+        let (labels, creations, records) = synthetic(12);
+        let detector = LeiShen::new(DetectorConfig::paper());
+        let view = ChainView::new(&labels, &creations, None);
+        let txs: Vec<&TxRecord> = records.iter().collect();
+
+        let service = StreamService::new(
+            2,
+            StreamConfig::default().with_block_budget(Duration::from_secs(0)),
+        );
+        let blocks = vec![Block {
+            number: 0,
+            txs: txs.clone(),
+        }];
+        let report = service.replay(&detector, &view, blocks);
+        assert_eq!(report.quarantined, report.transactions);
+        for q in report.quarantines() {
+            assert_eq!(q.fault, Fault::Deadline);
+            assert_eq!(q.reason(), "deadline");
+        }
+    }
+
+    #[test]
+    fn emit_callback_sees_blocks_in_submission_order() {
+        let (labels, creations, records) = synthetic(17);
+        let detector = LeiShen::new(DetectorConfig::paper());
+        let view = ChainView::new(&labels, &creations, None);
+        let txs: Vec<&TxRecord> = records.iter().collect();
+
+        let service = StreamService::new(2, StreamConfig::default());
+        let seen = Mutex::new(Vec::new());
+        let cache = TagCache::new();
+        service.run(
+            &detector,
+            &view,
+            &cache,
+            &NoopSink,
+            &NoopTracer,
+            |producer| {
+                for (i, chunk) in txs.chunks(5).enumerate() {
+                    producer.submit(Block {
+                        number: i as u64,
+                        txs: chunk.to_vec(),
+                    });
+                }
+            },
+            |block| seen.lock().unwrap().push(block.number),
+        );
+        let seen = seen.into_inner().unwrap();
+        let expected: Vec<u64> = (0..txs.chunks(5).len() as u64).collect();
+        assert_eq!(seen, expected);
+    }
+}

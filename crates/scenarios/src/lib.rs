@@ -22,6 +22,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod arrival;
 pub mod attacks;
 pub mod benign;
 pub mod chaos;
@@ -31,6 +32,7 @@ pub mod laundering;
 pub mod prices;
 pub mod world;
 
+pub use arrival::ArrivalCurve;
 pub use attacks::{run_all_attacks, AttackSpec, ExecutedAttack};
 pub use generator::{GeneratedTx, Generator, GeneratorConfig, TxClass};
 pub use world::World;

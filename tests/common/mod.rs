@@ -10,11 +10,14 @@
 //! typically uses a subset of it, hence the file-wide `dead_code` allow.
 #![allow(dead_code)]
 
+pub mod snapshot;
+
 use std::path::PathBuf;
 
 use ethsim::TxRecord;
-use leishen::{ChainView, DetectorConfig, Labels, LeiShen};
-use leishen_scenarios::{run_all_attacks, ExecutedAttack, World};
+use leishen::{ChainView, DetectorConfig, Labels, LeiShen, ScanEngine, SeedCase};
+use leishen_scenarios::generator::{generate, GeneratorConfig};
+use leishen_scenarios::{run_all_attacks, ExecutedAttack, GeneratedTx, World};
 
 /// The executed Table I corpus: the world the attacks ran in, their
 /// execution handles, and the detector-facing label cloud.
@@ -61,6 +64,87 @@ impl AttackCorpus {
     pub fn expected_flagged(&self) -> usize {
         self.attacks.iter().filter(|a| a.spec.expect_leishen).count()
     }
+}
+
+/// The seed every deterministic suite uses unless it is explicitly
+/// sweeping seeds. Stamped into failure messages via
+/// [`WildCorpus::provenance`] so a CI log line is enough to reproduce.
+pub const DEFAULT_SEED: u64 = 42;
+
+/// The wild-corpus scale the integration suites run at (~550 benign txs
+/// plus the attack classes — enough to exercise the negatives).
+pub const WILD_SCALE: f64 = 0.002;
+
+/// The generated synthetic wild corpus (paper §VI-C): one seeded world
+/// plus every generated transaction, with the provenance needed to
+/// reproduce a failure from its log line.
+pub struct WildCorpus {
+    /// The simulated chain after generation.
+    pub world: World,
+    /// Every generated transaction with its ground-truth class.
+    pub corpus: Vec<GeneratedTx>,
+    /// Labels snapshotted from the world's protocol deployments.
+    pub labels: Labels,
+    /// The generator seed this corpus was built from.
+    pub seed: u64,
+    /// The generator scale this corpus was built at.
+    pub scale: f64,
+}
+
+impl WildCorpus {
+    /// The standard suite corpus: [`DEFAULT_SEED`] at [`WILD_SCALE`],
+    /// with attacks.
+    pub fn build() -> Self {
+        WildCorpus::with_seed(DEFAULT_SEED, WILD_SCALE)
+    }
+
+    /// A wild corpus from an explicit `(seed, scale)` — the same pair
+    /// [`WildCorpus::provenance`] prints on failure.
+    pub fn with_seed(seed: u64, scale: f64) -> Self {
+        let mut world = World::new();
+        let config = GeneratorConfig { seed, scale, with_attacks: true };
+        let corpus = generate(&mut world, &config);
+        let labels = world.detector_labels();
+        WildCorpus { world, corpus, labels, seed, scale }
+    }
+
+    /// `"wild corpus seed=42 scale=0.002"` — append this to assertion
+    /// messages so the failing corpus is reproducible from the log.
+    pub fn provenance(&self) -> String {
+        format!("wild corpus seed={} scale={}", self.seed, self.scale)
+    }
+
+    /// The detector's chain view over this corpus.
+    pub fn view(&self) -> ChainView<'_> {
+        self.world.view(&self.labels)
+    }
+
+    /// The replayed record of one generated transaction.
+    pub fn record(&self, gtx: &GeneratedTx) -> &TxRecord {
+        self.world.chain.replay(gtx.tx).expect("recorded")
+    }
+
+    /// All generated records in corpus order — the batch-scan input.
+    pub fn records(&self) -> Vec<&TxRecord> {
+        self.corpus.iter().map(|gtx| self.record(gtx)).collect()
+    }
+}
+
+/// The fuzz/chaos seed corpus (22 attacks + benign workloads + pool)
+/// under the paper configuration — the input every resilience and
+/// equivalence suite shares.
+pub fn seed_corpus() -> SeedCase {
+    leishen_scenarios::fuzz::seed_case(DetectorConfig::paper())
+}
+
+/// The two engine shapes every identity suite compares: serial, and a
+/// 4-worker engine with small chunks and the hardware cap lifted so the
+/// threaded path genuinely runs on single-core CI machines.
+pub fn engines() -> [ScanEngine; 2] {
+    [
+        ScanEngine::new(1),
+        ScanEngine::new(4).with_chunk_size(4).allow_oversubscription(),
+    ]
 }
 
 /// The detector under the paper's Table-to-Table configuration.

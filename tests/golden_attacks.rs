@@ -23,192 +23,11 @@
 //! and the only floats (pattern volatilities) are formatted to six
 //! decimal places.
 
-use std::collections::HashSet;
-use std::fmt::Write as _;
 use std::path::PathBuf;
 
-use ethsim::TokenId;
-use leishen::{trace_exits, Analysis, ChainView, ExitReport};
-use leishen_scenarios::{ExecutedAttack, World};
-
 mod common;
+use common::snapshot::{exits_for, file_name, render, slug};
 use common::AttackCorpus;
-
-/// JSON string escaping for the identifier-ish strings we emit (tags,
-/// names, token symbols) — quotes, backslashes and control characters.
-fn esc(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// `"bZx-1"` → `"bzx_1"`, `"MY FARM PET"` → `"my_farm_pet"`.
-fn slug(name: &str) -> String {
-    let mut out = String::new();
-    for c in name.chars() {
-        if c.is_ascii_alphanumeric() {
-            out.push(c.to_ascii_lowercase());
-        } else if !out.ends_with('_') && !out.is_empty() {
-            out.push('_');
-        }
-    }
-    out.trim_end_matches('_').to_string()
-}
-
-/// Funds leaving the attacker cluster within the attack transaction
-/// itself, classified by [`trace_exits`]. Routed through
-/// [`leishen::AttackReport::with_exits`] by the callers so the report
-/// wiring is exercised, not just the raw forensics pass.
-fn exits_for(world: &World, attack: &ExecutedAttack, view: &ChainView<'_>) -> Vec<ExitReport> {
-    let record = world.chain.replay(attack.tx).expect("recorded");
-    let cluster: HashSet<_> = [attack.attacker, attack.contract].into_iter().collect();
-    trace_exits(
-        &[record],
-        &cluster,
-        view.labels(),
-        view.creations(),
-        &["Tornado Cash"],
-    )
-}
-
-/// Renders the detector's complete output for one attack as
-/// deterministic, pretty-printed JSON.
-fn snapshot(
-    world: &World,
-    attack: &ExecutedAttack,
-    analysis: &Analysis,
-    exits: &[ExitReport],
-) -> String {
-    let sym = |t: TokenId| -> String {
-        world
-            .chain
-            .state()
-            .token(t)
-            .map(|info| info.symbol.clone())
-            .unwrap_or_else(|_| t.to_string())
-    };
-    let side = |legs: &[(u128, TokenId)]| -> String {
-        legs.iter()
-            .map(|(amount, token)| format!("[\"{amount}\", \"{}\"]", esc(&sym(*token))))
-            .collect::<Vec<_>>()
-            .join(", ")
-    };
-
-    let mut j = String::new();
-    let spec = &attack.spec;
-    let _ = writeln!(j, "{{");
-    let _ = writeln!(j, "  \"id\": {},", spec.id);
-    let _ = writeln!(j, "  \"name\": \"{}\",", esc(spec.name));
-    let _ = writeln!(j, "  \"attacked_app\": \"{}\",", esc(spec.attacked_app));
-    let _ = writeln!(j, "  \"is_attack\": {},", analysis.is_attack());
-    let _ = writeln!(j, "  \"account_transfers\": {},", analysis.account_transfer_count);
-
-    let _ = writeln!(j, "  \"flash_loans\": [");
-    for (i, loan) in analysis.flash_loans.iter().enumerate() {
-        let token = loan
-            .token
-            .map(|t| format!("\"{}\"", esc(&sym(t))))
-            .unwrap_or_else(|| "null".into());
-        let amount = loan
-            .amount
-            .map(|a| format!("\"{a}\""))
-            .unwrap_or_else(|| "null".into());
-        let comma = if i + 1 < analysis.flash_loans.len() { "," } else { "" };
-        let _ = writeln!(
-            j,
-            "    {{ \"provider\": \"{}\", \"lender\": \"{}\", \"borrower\": \"{}\", \"token\": {token}, \"amount\": {amount} }}{comma}",
-            loan.provider, loan.lender, loan.borrower
-        );
-    }
-    let _ = writeln!(j, "  ],");
-
-    let _ = writeln!(j, "  \"app_transfers\": [");
-    for (i, t) in analysis.app_transfers.iter().enumerate() {
-        let comma = if i + 1 < analysis.app_transfers.len() { "," } else { "" };
-        let _ = writeln!(
-            j,
-            "    {{ \"seq\": {}, \"from\": \"{}\", \"to\": \"{}\", \"amount\": \"{}\", \"token\": \"{}\" }}{comma}",
-            t.seq,
-            esc(&t.sender.to_string()),
-            esc(&t.receiver.to_string()),
-            t.amount,
-            esc(&sym(t.token))
-        );
-    }
-    let _ = writeln!(j, "  ],");
-
-    let _ = writeln!(j, "  \"trades\": [");
-    for (i, t) in analysis.trades.iter().enumerate() {
-        let comma = if i + 1 < analysis.trades.len() { "," } else { "" };
-        let _ = writeln!(
-            j,
-            "    {{ \"seq\": {}, \"kind\": \"{}\", \"buyer\": \"{}\", \"seller\": \"{}\", \"sells\": [{}], \"buys\": [{}] }}{comma}",
-            t.seq,
-            t.kind,
-            esc(&t.buyer.to_string()),
-            esc(&t.seller.to_string()),
-            side(&t.sells),
-            side(&t.buys)
-        );
-    }
-    let _ = writeln!(j, "  ],");
-
-    let _ = writeln!(j, "  \"borrower_tags\": [");
-    for (i, tag) in analysis.borrower_tags.iter().enumerate() {
-        let comma = if i + 1 < analysis.borrower_tags.len() { "," } else { "" };
-        let _ = writeln!(j, "    \"{}\"{comma}", esc(&tag.to_string()));
-    }
-    let _ = writeln!(j, "  ],");
-
-    let _ = writeln!(j, "  \"matches\": [");
-    for (i, m) in analysis.matches.iter().enumerate() {
-        let seqs = m
-            .trade_seqs
-            .iter()
-            .map(|s| s.to_string())
-            .collect::<Vec<_>>()
-            .join(", ");
-        let comma = if i + 1 < analysis.matches.len() { "," } else { "" };
-        let _ = writeln!(
-            j,
-            "    {{ \"kind\": \"{}\", \"target_token\": \"{}\", \"quote_token\": \"{}\", \"trade_seqs\": [{seqs}], \"volatility\": {:.6}, \"counterparty\": \"{}\" }}{comma}",
-            m.kind,
-            esc(&sym(m.target_token)),
-            esc(&sym(m.quote_token)),
-            m.volatility,
-            esc(&m.counterparty)
-        );
-    }
-    let _ = writeln!(j, "  ],");
-
-    let _ = writeln!(j, "  \"exits\": [");
-    for (i, e) in exits.iter().enumerate() {
-        let comma = if i + 1 < exits.len() { "," } else { "" };
-        let _ = writeln!(
-            j,
-            "    {{ \"sink\": \"{}\", \"sink_tag\": \"{}\", \"kind\": \"{}\", \"hops\": {}, \"amount\": \"{}\", \"token\": \"{}\", \"path_len\": {} }}{comma}",
-            e.sink,
-            esc(&e.sink_tag.to_string()),
-            e.kind.name(),
-            e.kind.hops(),
-            e.amount,
-            esc(&sym(e.token)),
-            e.path.len()
-        );
-    }
-    let _ = writeln!(j, "  ]");
-    let _ = writeln!(j, "}}");
-    j
-}
 
 fn golden_dir() -> PathBuf {
     common::tests_dir("golden")
@@ -240,8 +59,8 @@ fn golden_corpus_matches_snapshots() {
             Some(report) => report.with_exits(exits).exits,
             None => exits,
         };
-        let rendered = snapshot(&corpus.world, attack, &analysis, &exits);
-        let file = format!("{:02}_{}.json", attack.spec.id, slug(attack.spec.name));
+        let rendered = render(&corpus.world, attack, &analysis, &exits);
+        let file = file_name(attack);
         let path = dir.join(&file);
         expected_files.push(file.clone());
 
@@ -310,7 +129,7 @@ fn snapshots_are_deterministic_across_worlds() {
                 let record = corpus.record(attack);
                 let analysis = detector.analyze(record, &view);
                 let exits = exits_for(&corpus.world, attack, &view);
-                snapshot(&corpus.world, attack, &analysis, &exits)
+                render(&corpus.world, attack, &analysis, &exits)
             })
             .collect::<Vec<_>>()
     };

@@ -12,30 +12,23 @@ use std::collections::HashMap;
 use leishen::heuristics::initiated_by_aggregator;
 use leishen::patterns::PatternKind;
 use leishen::{DetectorConfig, LeiShen, ScanEngine};
-use leishen_scenarios::generator::{generate, GeneratorConfig, AGGREGATOR_APPS};
-use leishen_scenarios::{GeneratedTx, World};
+use leishen_scenarios::generator::AGGREGATOR_APPS;
 
-struct Scan {
-    world: World,
-    corpus: Vec<GeneratedTx>,
-}
+mod common;
+use common::WildCorpus;
 
-fn run_scan() -> Scan {
-    let mut world = World::new();
-    let config = GeneratorConfig {
-        seed: 42,
-        scale: 0.002, // ~550 benign txs — enough to exercise the negatives
-        with_attacks: true,
-    };
-    let corpus = generate(&mut world, &config);
-    Scan { world, corpus }
+/// The shared suite corpus: `WildCorpus::build()` is seed 42 at scale
+/// 0.002 (~550 benign txs — enough to exercise the negatives), and
+/// every headline assertion stamps `scan.provenance()` into its message
+/// so a CI failure reproduces from the log line alone.
+fn run_scan() -> WildCorpus {
+    WildCorpus::build()
 }
 
 #[test]
 fn table_v_counts_and_precision() {
     let scan = run_scan();
-    let labels = scan.world.detector_labels();
-    let view = scan.world.view(&labels);
+    let view = scan.view();
     let detector = LeiShen::new(DetectorConfig::paper());
 
     let mut per_pattern: HashMap<PatternKind, (usize, usize)> = HashMap::new(); // (tp, fp)
@@ -44,7 +37,7 @@ fn table_v_counts_and_precision() {
     let mut mismatches = Vec::new();
 
     for gtx in &scan.corpus {
-        let record = scan.world.chain.replay(gtx.tx).expect("recorded");
+        let record = scan.record(gtx);
         let analysis = detector.analyze(record, &view);
         let mut kinds: Vec<PatternKind> = analysis.matches.iter().map(|m| m.kind).collect();
         kinds.sort();
@@ -76,14 +69,15 @@ fn table_v_counts_and_precision() {
     }
     assert!(
         mismatches.is_empty(),
-        "{} mismatches:\n{}",
+        "{} mismatches ({}):\n{}",
         mismatches.len(),
+        scan.provenance(),
         mismatches.join("\n")
     );
 
     // Table V.
-    assert_eq!(detected, 180, "180 transactions detected");
-    assert_eq!(true_positives, 142, "142 true attacks");
+    assert_eq!(detected, 180, "180 transactions detected ({})", scan.provenance());
+    assert_eq!(true_positives, 142, "142 true attacks ({})", scan.provenance());
     let precision = true_positives as f64 / detected as f64;
     assert!(
         (precision - 0.789).abs() < 0.003,
@@ -103,14 +97,13 @@ fn table_v_counts_and_precision() {
 #[test]
 fn aggregator_heuristic_lifts_mbs_precision_to_80() {
     let scan = run_scan();
-    let labels = scan.world.detector_labels();
-    let view = scan.world.view(&labels);
+    let view = scan.view();
     let detector = LeiShen::new(DetectorConfig::paper());
 
     let mut mbs_tp = 0usize;
     let mut mbs_fp = 0usize;
     for gtx in &scan.corpus {
-        let record = scan.world.chain.replay(gtx.tx).expect("recorded");
+        let record = scan.record(gtx);
         let analysis = detector.analyze(record, &view);
         if !analysis.matches.iter().any(|m| m.kind == PatternKind::Mbs) {
             continue;
@@ -126,7 +119,7 @@ fn aggregator_heuristic_lifts_mbs_precision_to_80() {
             mbs_fp += 1;
         }
     }
-    assert_eq!(mbs_tp, 60, "heuristic never drops an attacker-initiated MBS");
+    assert_eq!(mbs_tp, 60, "heuristic never drops an attacker-initiated MBS ({})", scan.provenance());
     assert_eq!(mbs_fp, 15, "32 aggregator-initiated FPs dropped");
     let precision = mbs_tp as f64 / (mbs_tp + mbs_fp) as f64;
     assert!(
@@ -144,13 +137,12 @@ fn aggregator_heuristic_lifts_mbs_precision_to_80() {
 #[test]
 fn parallel_scan_is_byte_identical_to_serial_loop() {
     let scan = run_scan();
-    let labels = scan.world.detector_labels();
-    let view = scan.world.view(&labels);
+    let view = scan.view();
     let detector = LeiShen::new(DetectorConfig::paper());
     let records: Vec<_> = scan
         .corpus
         .iter()
-        .map(|gtx| scan.world.chain.replay(gtx.tx).expect("recorded"))
+        .map(|gtx| scan.record(gtx))
         .collect();
 
     let serial: Vec<String> = records
@@ -168,7 +160,7 @@ fn parallel_scan_is_byte_identical_to_serial_loop() {
         assert_eq!(&format!("{got:?}"), want, "analysis {i} differs");
     }
     assert_eq!(stats.transactions, records.len());
-    assert_eq!(stats.attacks, 180, "same detection set as Table V");
+    assert_eq!(stats.attacks, 180, "same detection set as Table V ({})", scan.provenance());
     assert!(
         stats.cache_hits > stats.cache_misses,
         "corpus scan should mostly hit the shared tag cache ({} hits / {} misses)",
@@ -181,11 +173,12 @@ fn parallel_scan_is_byte_identical_to_serial_loop() {
 fn flash_loans_identified_on_every_generated_tx() {
     let scan = run_scan();
     for gtx in &scan.corpus {
-        let record = scan.world.chain.replay(gtx.tx).expect("recorded");
+        let record = scan.record(gtx);
         assert!(
             !leishen::identify_flash_loans(record).is_empty(),
-            "{:?}: wild corpus txs are all flash-loan txs",
-            gtx.class
+            "{:?}: wild corpus txs are all flash-loan txs ({})",
+            gtx.class,
+            scan.provenance()
         );
     }
 }
@@ -220,15 +213,14 @@ fn fig8_shape_first_attack_and_yearly_averages() {
 #[test]
 fn relaxed_thresholds_trade_precision_for_nothing() {
     let scan = run_scan();
-    let labels = scan.world.detector_labels();
-    let view = scan.world.view(&labels);
+    let view = scan.view();
     let strict = LeiShen::new(DetectorConfig::paper());
     let relaxed = LeiShen::new(DetectorConfig::relaxed());
 
     let mut strict_counts = (0usize, 0usize); // (detected, tp)
     let mut relaxed_counts = (0usize, 0usize);
     for gtx in &scan.corpus {
-        let record = scan.world.chain.replay(gtx.tx).expect("recorded");
+        let record = scan.record(gtx);
         if strict.analyze(record, &view).is_attack() {
             strict_counts.0 += 1;
             strict_counts.1 += gtx.class.is_attack() as usize;
@@ -251,12 +243,11 @@ fn relaxed_thresholds_trade_precision_for_nothing() {
 #[test]
 fn table_vii_profits_are_measured_not_asserted() {
     let scan = run_scan();
-    let labels = scan.world.detector_labels();
-    let view = scan.world.view(&labels);
+    let view = scan.view();
     let detector = LeiShen::new(DetectorConfig::paper());
     let mut measured = Vec::new();
     for gtx in scan.corpus.iter().filter(|t| t.class.is_attack()) {
-        let record = scan.world.chain.replay(gtx.tx).expect("recorded");
+        let record = scan.record(gtx);
         let report = detector
             .detect(record, &view, Some(&scan.world.prices))
             .expect("attack detected");
